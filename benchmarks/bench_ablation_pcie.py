@@ -1,0 +1,44 @@
+"""Ablation A1: sensitivity of the PAM-vs-naive gap to PCIe crossing
+latency (the paper's S4 future-work axis).
+
+The naive policy's penalty is exactly two crossings, so the latency gap
+must grow monotonically with the per-crossing cost and approach zero as
+the crossing becomes free.
+"""
+
+import pytest
+
+from conftest import report
+from repro.harness.scenarios import figure1
+from repro.harness.sweep import pcie_latency_sweep
+from repro.harness.tables import render_pcie_sweep
+from repro.units import usec
+
+CROSSINGS_US = (2, 5, 10, 14, 20, 30, 50)
+
+
+def test_pcie_latency_sensitivity(benchmark):
+    points = []
+
+    def run():
+        points.clear()
+        points.extend(pcie_latency_sweep(
+            lambda profile: figure1(server_profile=profile),
+            crossing_latencies_s=[usec(v) for v in CROSSINGS_US],
+            duration_s=0.006))
+        return points
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Ablation A1 — PCIe crossing latency sensitivity",
+           render_pcie_sweep(points))
+
+    gaps = [p.gap for p in points]
+    # Monotone growth of PAM's saving with crossing cost.
+    assert gaps == sorted(gaps)
+    # Near-free crossings: the policies nearly tie.
+    assert gaps[0] < 0.05
+    # Expensive crossings: PAM saves more than a quarter.
+    assert gaps[-1] > 0.25
+    # The default 14 us point reproduces the paper's ~18%.
+    default_point = points[CROSSINGS_US.index(14)]
+    assert default_point.gap == pytest.approx(0.18, abs=0.03)

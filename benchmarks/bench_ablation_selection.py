@@ -1,0 +1,67 @@
+"""Ablation A3: PAM's two design choices against degenerate variants.
+
+* min-theta^S *border* selection (PAM) vs min-theta^S *anywhere*
+  (naive) vs *random* NIC NF vs *all borders greedily* — quantifying
+  both halves of the paper's challenge sentence: "migrating too few
+  vNFs may not alleviate the hot spot, while migrating too many vNFs
+  may waste CPU resource".
+"""
+
+import pytest
+
+from conftest import report
+from repro.baselines.greedy_border import GreedyBorderPolicy
+from repro.baselines.naive import NaivePolicy
+from repro.baselines.random_policy import RandomPolicy
+from repro.core.planner import PAMPolicy
+from repro.harness.compare import compare_policies
+from repro.harness.scenarios import figure1
+from repro.harness.tables import render_table
+from repro.resources.model import LoadModel
+from repro.units import as_usec
+
+
+def test_selection_rule_ablation(benchmark):
+    scenario = figure1()
+    policies = [PAMPolicy(), NaivePolicy(), RandomPolicy(seed=7),
+                GreedyBorderPolicy()]
+    outcomes = {}
+
+    def run():
+        outcomes.update(compare_policies(scenario, policies=policies,
+                                         duration_s=0.008))
+        return outcomes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name in ("pam", "naive", "random", "greedy-border"):
+        outcome = outcomes[name]
+        after_cpu = LoadModel(outcome.plan.after,
+                              scenario.throughput_bps).cpu_load()
+        rows.append([
+            name,
+            str(len(outcome.plan.migrated_names)),
+            f"{outcome.plan.total_crossing_delta:+d}",
+            f"{after_cpu.utilisation:.2f}",
+            f"{as_usec(outcome.mean_latency_s):.1f}",
+        ])
+    report(
+        "Ablation A3 — selection rule: moves, crossings, CPU use, latency",
+        render_table(
+            ["policy", "migrations", "dPCIe", "CPU util after",
+             "mean latency (us)"],
+            rows))
+
+    pam = outcomes["pam"]
+    greedy = outcomes["greedy-border"]
+    # PAM migrates the minimum number among alleviating border policies.
+    assert len(pam.plan.migrated_names) <= len(greedy.plan.migrated_names)
+    # Greedy wastes CPU relative to PAM ("too many vNFs").
+    pam_cpu = LoadModel(pam.plan.after, scenario.throughput_bps).cpu_load()
+    greedy_cpu = LoadModel(greedy.plan.after,
+                           scenario.throughput_bps).cpu_load()
+    assert greedy_cpu.utilisation >= pam_cpu.utilisation
+    # PAM's latency is the best (ties allowed within 2%).
+    for name, outcome in outcomes.items():
+        assert pam.mean_latency_s <= outcome.mean_latency_s * 1.02, name

@@ -1,0 +1,50 @@
+"""Ablation A13 (extension): latency-vs-load curves and the knee shift.
+
+The open-loop hockey stick for the canonical chain before and after
+each policy's migration.  Shape assertions: every curve is flat then
+blows up; PAM shifts the knee right (1.51 -> ~2.0 Gbps) without raising
+the flat region; naive raises the flat region by the crossing penalty.
+"""
+
+import pytest
+
+from conftest import report
+from repro.harness.compare import compare_policies
+from repro.harness.curves import latency_load_curve
+from repro.harness.scenarios import figure1
+from repro.units import gbps
+
+LOADS = [gbps(v) for v in (0.6, 1.0, 1.3, 1.45, 1.7, 1.9, 2.2, 2.6, 3.1)]
+
+
+def test_latency_load_curves(benchmark):
+    scenario = figure1()
+    curves = {}
+
+    def run():
+        outcomes = compare_policies(scenario, duration_s=0.004)
+        for policy in ("noop", "naive", "pam"):
+            after = scenario.with_placement(
+                outcomes[policy].plan.after, suffix=policy)
+            curves[policy] = latency_load_curve(
+                after, LOADS, duration_s=0.008, label=policy)
+        return curves
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Ablation A13 — latency-vs-load curves (the knee shift)",
+           "\n\n".join(curves[p].render()
+                       for p in ("noop", "naive", "pam")))
+
+    noop, naive, pam = (curves[p] for p in ("noop", "naive", "pam"))
+    # Every curve is a hockey stick: final latency >> base latency.
+    for curve in (noop, naive, pam):
+        assert curve.points[-1].mean_latency_s > \
+            3 * curve.points[0].mean_latency_s
+    # PAM moves the knee right of the original chain's.
+    assert pam.knee_bps() > noop.knee_bps()
+    # ...without raising the flat region (same latency at light load)...
+    assert pam.points[0].mean_latency_s == pytest.approx(
+        noop.points[0].mean_latency_s, rel=0.02)
+    # ...while naive's flat region carries the two-crossing penalty.
+    assert naive.points[0].mean_latency_s > \
+        1.1 * pam.points[0].mean_latency_s

@@ -1,0 +1,40 @@
+"""Figure 1 reproduction: the three migration choices on the canonical
+chain.
+
+(a) before migration — LB on CPU, Logger/Monitor/Firewall on the NIC,
+    3 PCIe crossings;
+(b) "casual"/naive migration — the bottleneck Monitor moves to the CPU
+    mid-chain, adding exactly 2 crossings and tens of microseconds;
+(c) PAM — the border Logger is pushed aside, crossings unchanged and
+    latency within noise of (a).
+"""
+
+import pytest
+
+from conftest import report
+from repro.harness.compare import compare_policies, latency_gap
+from repro.harness.scenarios import figure1
+from repro.harness.tables import render_figure1
+
+
+def test_figure1_migration_choices(benchmark):
+    outcomes = {}
+
+    def run():
+        outcomes.update(compare_policies(figure1(), duration_s=0.01))
+        return outcomes
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Figure 1 — migration choices on the canonical chain",
+           render_figure1(outcomes))
+
+    # Shape assertions: the crossing arithmetic of the figure.
+    assert outcomes["noop"].pcie_crossings == 3
+    assert outcomes["pam"].pcie_crossings == 3
+    assert outcomes["naive"].pcie_crossings == 5
+    assert outcomes["pam"].plan.migrated_names == ["logger"]
+    assert outcomes["naive"].plan.migrated_names == ["monitor"]
+    # Latency shape: PAM == before, naive pays the two crossings.
+    assert outcomes["pam"].mean_latency_s == pytest.approx(
+        outcomes["noop"].mean_latency_s, rel=0.02)
+    assert -0.25 < latency_gap(outcomes) < -0.12

@@ -1,0 +1,102 @@
+"""Ablation A5: the migration mechanism's own cost.
+
+PAM chooses *which* NF to move; the move itself (pause, DMA the state
+over PCIe, resume + replay) is the UNO/OpenNF mechanism we simulate.
+This bench sweeps the state size from 4 KiB to 64 MiB and reports the
+pause/transfer/resume decomposition, then measures the live transient:
+the worst-case packet latency during a migration grows with the state
+size because arrivals buffer for the whole transfer.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from conftest import report
+from repro.chain import catalog
+from repro.core.pam import select as pam_select
+from repro.devices.pcie import PCIeLink
+from repro.harness.scenarios import figure1
+from repro.harness.tables import render_table
+from repro.migration.cost import MigrationCostModel
+from repro.migration.executor import MigrationExecutor
+from repro.sim.engine import Engine
+from repro.sim.network import ChainNetwork
+from repro.traffic.packet import Packet
+from repro.units import as_usec, gbps, kib, mib
+
+STATE_SIZES = (kib(4), kib(64), mib(1), mib(8), mib(64))
+
+
+def test_cost_decomposition(benchmark):
+    model = MigrationCostModel()
+    link = PCIeLink()
+
+    def run():
+        rows = []
+        for state in STATE_SIZES:
+            nf = replace(catalog.get("firewall"), state_bytes=state)
+            cost = model.estimate(nf, link, active_flows=0,
+                                  buffered_packets=100)
+            rows.append((state, cost))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [[f"{state // 1024} KiB",
+              f"{as_usec(cost.pause_s):.0f}",
+              f"{as_usec(cost.transfer_s):.0f}",
+              f"{as_usec(cost.resume_s):.0f}",
+              f"{as_usec(cost.total_s):.0f}"]
+             for state, cost in rows]
+    report("Ablation A5 — migration cost vs state size",
+           render_table(["state", "pause (us)", "transfer (us)",
+                         "resume (us)", "total (us)"], table))
+
+    totals = [cost.total_s for _, cost in rows]
+    assert totals == sorted(totals)  # monotone in state size
+    # Transfer dominates at 64 MiB; control overhead dominates at 4 KiB.
+    small, large = rows[0][1], rows[-1][1]
+    assert small.transfer_s < small.pause_s + small.resume_s
+    assert large.transfer_s > 10 * (large.pause_s + large.resume_s)
+
+
+def live_transient(state_bytes):
+    """Max packet latency through a live migration of that much state.
+
+    Uses the naive plan (it moves the *stateful* Monitor, so the
+    state-size knob has effect; PAM's pick, Logger, is stateless and
+    moves a fixed config blob regardless).
+    """
+    from repro.baselines.naive import select as naive_select
+    scenario = figure1()
+    server = scenario.build_server()
+    server.refresh_demand(gbps(1.8))
+    engine = Engine()
+    network = ChainNetwork(server, engine)
+    executor = MigrationExecutor(server, network, engine)
+    plan = naive_select(scenario.placement, gbps(1.8))
+    # Scale the live-flow count so the transferred state (base +
+    # entry * flows) matches the requested size.
+    entry = executor.cost_model.state_model.flow_entry_bytes
+    executor.active_flows = max(0, state_bytes // entry)
+    for i in range(3000):
+        network.inject(Packet(seq=i, size_bytes=256, arrival_s=i * 1.1e-6))
+    engine.at(5e-4, lambda: executor.apply(plan, gbps(1.8)), control=True)
+    engine.run()
+    return max(p.latency_s for p in network.delivered)
+
+
+def test_live_transient_grows_with_state(benchmark):
+    def run():
+        return [(state, live_transient(state))
+                for state in (kib(64), mib(1), mib(8))]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = [[f"{state // 1024} KiB", f"{as_usec(worst):.0f}"]
+             for state, worst in rows]
+    report("Ablation A5b — worst packet latency during a live migration",
+           render_table(["state moved", "max latency (us)"], table))
+    worsts = [worst for _, worst in rows]
+    assert worsts == sorted(worsts)
+    # Even the 8 MiB transient clears within the run (loss-free).
+    assert worsts[-1] < 0.02

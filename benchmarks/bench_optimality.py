@@ -1,0 +1,92 @@
+"""Ablation A9 (extension): PAM vs. the offline-optimal placement.
+
+PAM never recomputes the placement from scratch — it nudges the current
+one with the fewest border moves.  An exhaustive search over all 2^n
+placements gives the true latency optimum at each load, so we can
+quantify the trade PAM makes: **disruption** (migrations executed,
+whether operator-placed NFs move) against **optimality gap** (latency
+above the offline optimum).
+
+Shape: PAM stays within tens of percent of an optimum that would need
+3x the migrations and would relocate the operator's own CPU placements;
+the naive policy is strictly farther from the optimum than PAM.
+"""
+
+import pytest
+
+from conftest import report
+from repro.analysis.latency_model import predict_latency
+from repro.analysis.placement_opt import optimality_gap, optimise_placement
+from repro.baselines.naive import NaiveConfig
+from repro.baselines.naive import select as naive_select
+from repro.core.pam import PAMConfig
+from repro.core.pam import select as pam_select
+from repro.chain.nf import DeviceKind
+from repro.errors import ScaleOutRequired
+from repro.harness.scenarios import figure1
+from repro.harness.tables import render_table
+from repro.units import as_usec, gbps
+
+LOADS = (1.6, 1.7, 1.8, 1.9)
+
+
+def moves_between(a, b):
+    """How many NFs sit on different devices in placements a vs b."""
+    da, db = a.as_dict(), b.as_dict()
+    return sum(1 for name in da if da[name] != db[name])
+
+
+def test_pam_vs_offline_optimum(benchmark):
+    scenario = figure1()
+    rows = []
+
+    def run():
+        rows.clear()
+        for load_gbps in LOADS:
+            load = gbps(load_gbps)
+            optimum = optimise_placement(scenario.chain, load,
+                                         egress=DeviceKind.CPU)
+            for policy, selector in (
+                    ("pam", lambda: pam_select(
+                        scenario.placement, load,
+                        PAMConfig(strict=False))),
+                    ("naive", lambda: naive_select(
+                        scenario.placement, load,
+                        NaiveConfig(strict=False)))):
+                plan = selector()
+                gap = optimality_gap(plan.after, load)
+                rows.append((load_gbps, policy,
+                             len(plan.migrated_names),
+                             moves_between(scenario.placement,
+                                           optimum.placement),
+                             gap,
+                             predict_latency(plan.after, 256).total_s,
+                             optimum.predicted_latency_s))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = [[f"{load:.1f}", policy, str(own_moves), str(opt_moves),
+              f"{as_usec(latency):.1f}", f"{as_usec(opt_latency):.1f}",
+              f"{gap:+.1%}"]
+             for load, policy, own_moves, opt_moves, gap, latency,
+             opt_latency in rows]
+    report(
+        "Ablation A9 — online PAM vs offline-optimal placement",
+        render_table(
+            ["load (Gbps)", "policy", "moves", "optimum needs",
+             "latency (us)", "optimum (us)", "gap"],
+            table))
+
+    for load, policy, own_moves, opt_moves, gap, *_ in rows:
+        if policy == "pam":
+            # PAM uses strictly fewer moves than reaching the optimum
+            # would, and stays within 35% of it.
+            assert own_moves < opt_moves
+            assert 0.0 <= gap < 0.35
+    pam_gaps = {load: gap for load, policy, __, ___, gap, *_ in rows
+                if policy == "pam"}
+    naive_gaps = {load: gap for load, policy, __, ___, gap, *_ in rows
+                  if policy == "naive"}
+    for load in pam_gaps:
+        assert naive_gaps[load] > pam_gaps[load]

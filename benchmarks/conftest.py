@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables/figures (or a named
+ablation) and prints the same rows/series the paper reports, so
+
+    pytest benchmarks/ --benchmark-only -s
+
+doubles as the experiment log behind EXPERIMENTS.md.  Timings are taken
+with ``benchmark.pedantic`` over a single round: each "iteration" is a
+full discrete-event experiment, not a micro-op, and the printed table —
+not the wall-clock — is the scientific output.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def report(title: str, body: str) -> None:
+    """Print a clearly delimited experiment block (survives -s)."""
+    bar = "=" * 72
+    sys.stdout.write(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+    sys.stdout.flush()

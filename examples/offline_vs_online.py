@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Offline optimal placement vs online PAM — the disruption trade-off.
+
+An exhaustive search over all 2^n placements of the Figure-1 chain
+gives the true latency optimum at the overload load.  Reaching it from
+the operator's placement would take three migrations — including
+relocating the load balancer the operator deliberately put on the CPU.
+PAM instead spends one border move and accepts a bounded optimality
+gap.  This example draws all three placements and quantifies the trade.
+
+Run:  python examples/offline_vs_online.py
+"""
+
+from repro.analysis.latency_model import predict_latency
+from repro.analysis.placement_opt import optimality_gap, optimise_placement
+from repro.chain.diagram import render_placement
+from repro.chain.nf import DeviceKind
+from repro.core.pam import select as pam_select
+from repro.harness.scenarios import figure1
+from repro.units import as_usec, gbps
+
+
+def moves_between(a, b):
+    """NFs on different devices between two placements."""
+    da, db = a.as_dict(), b.as_dict()
+    return [name for name in da if da[name] != db[name]]
+
+
+def main() -> None:
+    scenario = figure1()
+    load = gbps(1.8)
+
+    print("Operator's placement (overloaded at 1.8 Gbps):")
+    print(render_placement(scenario.placement))
+
+    plan = pam_select(scenario.placement, load)
+    print("\nAfter PAM's single border move:")
+    print(render_placement(plan.after))
+
+    optimum = optimise_placement(scenario.chain, load,
+                                 egress=DeviceKind.CPU)
+    print("\nThe offline optimum (exhaustive over all "
+          f"{optimum.total_count} placements, "
+          f"{optimum.feasible_count} feasible):")
+    print(render_placement(optimum.placement))
+
+    pam_latency = predict_latency(plan.after, 256).total_s
+    opt_latency = optimum.predicted_latency_s
+    print(f"\nlatency: PAM {as_usec(pam_latency):.1f} us vs optimum "
+          f"{as_usec(opt_latency):.1f} us "
+          f"(gap {optimality_gap(plan.after, load):+.1%})")
+    print(f"moves:   PAM {len(plan.migrated_names)} "
+          f"({', '.join(plan.migrated_names)}) vs optimum "
+          f"{len(moves_between(scenario.placement, optimum.placement))} "
+          f"({', '.join(moves_between(scenario.placement, optimum.placement))})")
+    print("\nThe optimum relocates the operator-placed load balancer and")
+    print("moves three NFs mid-episode; PAM trades ~29% latency headroom")
+    print("for one non-disruptive move that never second-guesses the")
+    print("operator's own placements.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` on older toolchains needs a
+legacy setup.py entry point; all real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""PAM: push-aside migration for SmartNIC-accelerated NFV service chains.
+
+A from-scratch reproduction of *"PAM: When Overloaded, Push Your
+Neighbor Aside!"* (Meng et al., SIGCOMM 2018 Posters & Demos) on a
+discrete-event simulation of a SmartNIC + CPU NFV server.
+
+Quick tour
+----------
+>>> from repro import harness, core
+>>> scenario = harness.figure1()
+>>> plan = core.select(scenario.placement, scenario.throughput_bps)
+>>> plan.migrated_names
+['logger']
+>>> plan.total_crossing_delta
+0
+
+See ``examples/quickstart.py`` for the full simulate-and-compare flow.
+"""
+
+from . import (analysis, baselines, chain, core, devices, harness,
+               migration, multichain, resources, sim, telemetry, traffic,
+               units)
+from .errors import (CapacityError, ConfigurationError, InfeasiblePlanError,
+                     MigrationError, PlacementError, ReproError,
+                     ScaleOutRequired, SchedulingError, SimulationError,
+                     UnknownNFError)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityError",
+    "ConfigurationError",
+    "InfeasiblePlanError",
+    "MigrationError",
+    "PlacementError",
+    "ReproError",
+    "ScaleOutRequired",
+    "SchedulingError",
+    "SimulationError",
+    "UnknownNFError",
+    "analysis",
+    "baselines",
+    "chain",
+    "core",
+    "devices",
+    "harness",
+    "migration",
+    "multichain",
+    "resources",
+    "sim",
+    "telemetry",
+    "traffic",
+    "units",
+]

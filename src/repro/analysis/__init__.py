@@ -1,0 +1,28 @@
+"""Closed-form analysis: latency prediction and capacity regimes."""
+
+from .explain import explain_placement
+from .capacity_model import (CapacityReport, Regime, capacity_report,
+                             headroom_gained, rank_migration_candidates)
+from .placement_opt import (MAX_CHAIN_LENGTH, OptimisationResult,
+                            enumerate_placements, optimality_gap,
+                            optimise_placement)
+from .latency_model import (LatencyPrediction, predict_crossing_penalty,
+                            predict_latency, predict_policy_gap)
+
+__all__ = [
+    "CapacityReport",
+    "LatencyPrediction",
+    "MAX_CHAIN_LENGTH",
+    "OptimisationResult",
+    "Regime",
+    "capacity_report",
+    "enumerate_placements",
+    "explain_placement",
+    "optimality_gap",
+    "optimise_placement",
+    "headroom_gained",
+    "predict_crossing_penalty",
+    "predict_latency",
+    "predict_policy_gap",
+    "rank_migration_candidates",
+]

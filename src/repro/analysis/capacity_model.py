@@ -1,0 +1,100 @@
+"""Closed-form capacity and operating-regime analysis.
+
+Answers "what will this placement do at offered load X?" without a
+simulation: the sustainable knee of each device, the chain knee, and
+the classification the planner benches use (fine / NIC hot / CPU hot /
+both hot).  All of it is the paper's linear model evaluated directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..errors import ConfigurationError
+from ..resources.model import LoadModel
+
+
+class Regime(enum.Enum):
+    """Operating regime of a placement at a given offered load."""
+
+    NOMINAL = "nominal"
+    NIC_OVERLOADED = "nic_overloaded"
+    CPU_OVERLOADED = "cpu_overloaded"
+    BOTH_OVERLOADED = "both_overloaded"
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Knees and regime boundaries of one placement."""
+
+    nic_knee_bps: float
+    cpu_knee_bps: float
+
+    @property
+    def chain_knee_bps(self) -> float:
+        """The load at which the first device saturates."""
+        return min(self.nic_knee_bps, self.cpu_knee_bps)
+
+    @property
+    def binding_device(self) -> Optional[DeviceKind]:
+        """Which device saturates first (None if neither ever does)."""
+        if self.chain_knee_bps == float("inf"):
+            return None
+        if self.nic_knee_bps <= self.cpu_knee_bps:
+            return DeviceKind.SMARTNIC
+        return DeviceKind.CPU
+
+    def regime_at(self, offered_bps: float) -> Regime:
+        """Classify the operating regime at ``offered_bps``."""
+        if offered_bps < 0:
+            raise ConfigurationError("offered load must be >= 0")
+        nic_hot = offered_bps > self.nic_knee_bps
+        cpu_hot = offered_bps > self.cpu_knee_bps
+        if nic_hot and cpu_hot:
+            return Regime.BOTH_OVERLOADED
+        if nic_hot:
+            return Regime.NIC_OVERLOADED
+        if cpu_hot:
+            return Regime.CPU_OVERLOADED
+        return Regime.NOMINAL
+
+
+def capacity_report(placement: Placement) -> CapacityReport:
+    """Compute both device knees for ``placement``."""
+    load = LoadModel(placement, 0.0)
+    return CapacityReport(
+        nic_knee_bps=load.max_sustainable_throughput(DeviceKind.SMARTNIC),
+        cpu_knee_bps=load.max_sustainable_throughput(DeviceKind.CPU))
+
+
+def headroom_gained(placement: Placement, nf_name: str) -> float:
+    """How much the NIC knee rises if ``nf_name`` leaves the SmartNIC.
+
+    PAM's Step 2 in capacity terms: migrating the border NF with the
+    smallest theta^S maximises this gain per migration.  Returns the
+    knee delta in bits/second (0 if the NF is not on the NIC).
+    """
+    if placement.device_of(nf_name) is not DeviceKind.SMARTNIC:
+        return 0.0
+    before = capacity_report(placement).nic_knee_bps
+    after = capacity_report(
+        placement.moved(nf_name, DeviceKind.CPU)).nic_knee_bps
+    return after - before
+
+
+def rank_migration_candidates(placement: Placement
+                              ) -> List[Tuple[str, float]]:
+    """SmartNIC NFs ranked by NIC-knee gain from migrating them.
+
+    Confirms analytically that min-theta^S (the paper's rule) and
+    max-knee-gain produce the same ranking under the linear model.
+    """
+    candidates = [nf for nf in placement.nic_nfs() if nf.cpu_capable]
+    ranked = [(nf.name, headroom_gained(placement, nf.name))
+              for nf in candidates]
+    ranked.sort(key=lambda pair: -pair[1])
+    return ranked

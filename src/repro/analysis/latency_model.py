@@ -1,0 +1,102 @@
+"""Closed-form latency prediction for a placed chain.
+
+Under CBR load below every device's knee there is no queueing, so the
+chain's end-to-end latency is a deterministic sum the simulator must
+match exactly:
+
+``latency = wire terms + sum_i (bits/theta_i + base_i) + crossings * pcie(size)``
+
+:func:`predict_latency` evaluates that sum from a placement and packet
+size.  It serves three purposes:
+
+* a fast what-if oracle for planners (evaluating a candidate migration
+  without running a simulation),
+* the analytical form of the paper's Figure 1 arithmetic (the naive
+  penalty is literally ``2 * pcie(size)``),
+* a cross-validation target: ``tests/test_analysis.py`` asserts the
+  discrete-event simulator reproduces the closed form to float
+  precision in the uncongested regime, which pins down the data path's
+  correctness far more tightly than statistical checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..devices.pcie import PCIeLink
+from ..devices.server import Server, ServerProfile
+from ..errors import ConfigurationError
+from ..units import bits, wire_time
+
+
+@dataclass(frozen=True)
+class LatencyPrediction:
+    """Component breakdown of the closed-form latency."""
+
+    wire_s: float
+    processing_s: float
+    pcie_s: float
+    crossings: int
+
+    @property
+    def total_s(self) -> float:
+        """End-to-end latency (no queueing assumed)."""
+        return self.wire_s + self.processing_s + self.pcie_s
+
+
+def predict_latency(placement: Placement, packet_bytes: int,
+                    server_profile: Optional[ServerProfile] = None
+                    ) -> LatencyPrediction:
+    """Closed-form per-packet latency of ``placement`` at light load."""
+    if packet_bytes <= 0:
+        raise ConfigurationError("packet size must be positive")
+    profile = server_profile or ServerProfile()
+    pcie = PCIeLink(profile.pcie_bandwidth_bps,
+                    profile.pcie_crossing_latency_s)
+
+    wire = 0.0
+    if placement.ingress is DeviceKind.SMARTNIC:
+        wire += wire_time(packet_bytes, profile.nic_port_rate_bps)
+    if placement.egress is DeviceKind.SMARTNIC:
+        wire += wire_time(packet_bytes, profile.nic_port_rate_bps)
+
+    processing = sum(
+        bits(packet_bytes) / nf.capacity_on(placement.device_of(nf.name))
+        + nf.base_latency_s
+        for nf in placement.chain)
+
+    crossings = placement.pcie_crossings()
+    return LatencyPrediction(
+        wire_s=wire,
+        processing_s=processing,
+        pcie_s=crossings * pcie.crossing_time(packet_bytes),
+        crossings=crossings)
+
+
+def predict_policy_gap(before: Placement, after_a: Placement,
+                       after_b: Placement, packet_bytes: int,
+                       server_profile: Optional[ServerProfile] = None
+                       ) -> float:
+    """Relative latency gap between two post-migration placements.
+
+    ``(latency(after_a) - latency(after_b)) / latency(after_b)`` —
+    e.g. naive vs PAM, the paper's 18%.  ``before`` is accepted for
+    API symmetry and future differential models but the closed form
+    needs only the two afters.
+    """
+    a = predict_latency(after_a, packet_bytes, server_profile).total_s
+    b = predict_latency(after_b, packet_bytes, server_profile).total_s
+    return (a - b) / b
+
+
+def predict_crossing_penalty(packet_bytes: int,
+                             server_profile: Optional[ServerProfile] = None
+                             ) -> float:
+    """The latency cost of the naive policy's two extra crossings."""
+    profile = server_profile or ServerProfile()
+    pcie = PCIeLink(profile.pcie_bandwidth_bps,
+                    profile.pcie_crossing_latency_s)
+    return 2 * pcie.crossing_time(packet_bytes)

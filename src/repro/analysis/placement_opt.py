@@ -1,0 +1,131 @@
+"""Exhaustive placement optimisation — the offline reference point.
+
+PAM is an *online* heuristic: it adjusts the current placement with the
+fewest border moves.  For chains of practical length (the paper's is 4;
+real chains rarely exceed ~10 NFs) the full placement space is only
+``2^n``, so we can compute the true optimum by enumeration and use it
+two ways:
+
+* as an initial-placement planner (which NFs to offload at deploy
+  time), and
+* as the yardstick for ablation A9: how close does PAM's incremental
+  push-aside land to the offline optimum it never recomputes?
+
+The objective is the closed-form light-load latency
+(:func:`repro.analysis.latency_model.predict_latency`) subject to both
+devices staying under capacity at the target throughput; ties break
+toward fewer PCIe crossings, then fewer CPU-resident NFs (prefer the
+fast path).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..chain.chain import ServiceChain
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..devices.server import ServerProfile
+from ..errors import ConfigurationError, ScaleOutRequired
+from ..resources.model import LoadModel
+from .latency_model import predict_latency
+
+#: Enumeration guard: 2^16 placements is instant; beyond that, refuse
+#: rather than silently take minutes.
+MAX_CHAIN_LENGTH = 16
+
+
+@dataclass(frozen=True)
+class OptimisationResult:
+    """The optimum and how the search space looked."""
+
+    placement: Placement
+    predicted_latency_s: float
+    feasible_count: int
+    total_count: int
+
+    @property
+    def feasible_fraction(self) -> float:
+        """Share of placements that respected both capacity limits."""
+        return self.feasible_count / self.total_count
+
+
+def enumerate_placements(chain: ServiceChain,
+                         ingress: DeviceKind = DeviceKind.SMARTNIC,
+                         egress: DeviceKind = DeviceKind.SMARTNIC):
+    """Yield every device assignment the NFs' capabilities allow."""
+    if len(chain) > MAX_CHAIN_LENGTH:
+        raise ConfigurationError(
+            f"chain too long for exhaustive search "
+            f"({len(chain)} > {MAX_CHAIN_LENGTH})")
+    options: List[Tuple[DeviceKind, ...]] = []
+    for nf in chain:
+        devices = tuple(device for device in
+                        (DeviceKind.SMARTNIC, DeviceKind.CPU)
+                        if nf.can_run_on(device))
+        options.append(devices)
+    for combo in itertools.product(*options):
+        assignment = {nf.name: device
+                      for nf, device in zip(chain, combo)}
+        yield Placement(chain, assignment, ingress=ingress, egress=egress)
+
+
+def optimise_placement(chain: ServiceChain, throughput_bps: float,
+                       packet_bytes: int = 256,
+                       server_profile: Optional[ServerProfile] = None,
+                       ingress: DeviceKind = DeviceKind.SMARTNIC,
+                       egress: DeviceKind = DeviceKind.SMARTNIC
+                       ) -> OptimisationResult:
+    """The latency-optimal feasible placement at ``throughput_bps``.
+
+    Raises :class:`ScaleOutRequired` when no placement keeps both
+    devices under capacity — the chain simply does not fit the server
+    at that load.
+    """
+    best: Optional[Placement] = None
+    best_key: Optional[Tuple[float, int, int]] = None
+    best_latency = 0.0
+    feasible = 0
+    total = 0
+    for placement in enumerate_placements(chain, ingress, egress):
+        total += 1
+        load = LoadModel(placement, throughput_bps)
+        if load.nic_load().utilisation >= 1.0:
+            continue
+        if load.cpu_load().utilisation >= 1.0:
+            continue
+        feasible += 1
+        latency = predict_latency(placement, packet_bytes,
+                                  server_profile).total_s
+        key = (latency, placement.pcie_crossings(),
+               len(placement.cpu_nfs()))
+        if best_key is None or key < best_key:
+            best, best_key, best_latency = placement, key, latency
+    if best is None:
+        raise ScaleOutRequired(
+            f"no feasible placement for chain {chain.name!r} at "
+            f"{throughput_bps / 1e9:.2f} Gbps")
+    return OptimisationResult(placement=best,
+                              predicted_latency_s=best_latency,
+                              feasible_count=feasible,
+                              total_count=total)
+
+
+def optimality_gap(candidate: Placement, throughput_bps: float,
+                   packet_bytes: int = 256,
+                   server_profile: Optional[ServerProfile] = None
+                   ) -> float:
+    """Relative latency excess of ``candidate`` over the true optimum.
+
+    0.0 means the candidate *is* latency-optimal.  Used by ablation A9
+    to score PAM's incremental placements.
+    """
+    optimum = optimise_placement(
+        candidate.chain, throughput_bps, packet_bytes, server_profile,
+        ingress=candidate.ingress, egress=candidate.egress)
+    candidate_latency = predict_latency(candidate, packet_bytes,
+                                        server_profile).total_s
+    return (candidate_latency - optimum.predicted_latency_s) / \
+        optimum.predicted_latency_s

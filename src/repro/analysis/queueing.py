@@ -1,0 +1,95 @@
+"""Queueing-theoretic cross-validation of the simulator.
+
+The NF stations are deterministic-service single-server queues, so
+under Poisson arrivals each lightly-shared station is an **M/D/1**
+system with a closed-form mean wait (Pollaczek–Khinchine):
+
+``W_q = rho * S / (2 * (1 - rho))``
+
+where ``S`` is the (deterministic) service time and ``rho = lambda*S``
+the utilisation.  Comparing the simulator's measured queueing delay
+against this formula is an *independent* correctness check on the whole
+queueing path — arrival scheduling, FIFO discipline, busy/idle
+bookkeeping — that does not share any code with the simulator itself.
+
+These formulas apply per station at its own utilisation; the chain-level
+helpers combine them for a placement under a uniform Poisson load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..errors import ConfigurationError
+from ..units import bits
+
+
+@dataclass(frozen=True)
+class StationPrediction:
+    """M/D/1 quantities for one NF at one load."""
+
+    nf_name: str
+    service_time_s: float
+    utilisation: float
+    mean_wait_s: float
+
+    @property
+    def mean_sojourn_s(self) -> float:
+        """Wait plus service (excludes the NF's pipeline latency)."""
+        return self.mean_wait_s + self.service_time_s
+
+
+def md1_mean_wait(service_time_s: float, utilisation: float) -> float:
+    """Pollaczek–Khinchine mean queueing delay for M/D/1."""
+    if service_time_s <= 0:
+        raise ConfigurationError("service time must be positive")
+    if not (0.0 <= utilisation < 1.0):
+        raise ConfigurationError(
+            f"M/D/1 needs utilisation in [0, 1), got {utilisation}")
+    return utilisation * service_time_s / (2.0 * (1.0 - utilisation))
+
+
+def predict_station(placement: Placement, nf_name: str,
+                    rate_bps: float, packet_bytes: int
+                    ) -> StationPrediction:
+    """M/D/1 prediction for one NF under uniform Poisson load."""
+    nf = placement.chain.get(nf_name)
+    device = placement.device_of(nf_name)
+    service = bits(packet_bytes) / nf.capacity_on(device)
+    packet_rate = rate_bps / bits(packet_bytes)
+    rho = packet_rate * service
+    return StationPrediction(
+        nf_name=nf_name,
+        service_time_s=service,
+        utilisation=rho,
+        mean_wait_s=md1_mean_wait(service, rho))
+
+
+def predict_chain_queueing(placement: Placement, rate_bps: float,
+                           packet_bytes: int) -> float:
+    """Summed M/D/1 mean waits over every NF of the chain.
+
+    An approximation: downstream arrival processes are departures of
+    upstream deterministic servers, not Poisson (they are *smoother*,
+    so the true queueing is at or below this sum — the simulator must
+    land between the bottleneck-only wait and this upper bound).
+    """
+    return sum(predict_station(placement, nf.name, rate_bps,
+                               packet_bytes).mean_wait_s
+               for nf in placement.chain)
+
+
+def bottleneck_wait(placement: Placement, rate_bps: float,
+                    packet_bytes: int) -> float:
+    """M/D/1 wait at the chain's most utilised NF only (lower bound).
+
+    The first queue sees the raw Poisson process, so at least the
+    bottleneck's P-K wait must appear in the measured latency.
+    """
+    predictions = [predict_station(placement, nf.name, rate_bps,
+                                   packet_bytes)
+                   for nf in placement.chain]
+    return max(p.mean_wait_s for p in predictions)

@@ -1,0 +1,18 @@
+"""Comparison policies: naive (UNO-style), noop, random, greedy, scale-out."""
+
+from .greedy_border import GreedyBorderPolicy
+from .naive import NaiveConfig, NaivePolicy
+from .noop import NoopPolicy
+from .random_policy import RandomPolicy
+from .scaleout import (ScaleOutFallbackPolicy, ScaleOutPlan, plan_scaleout)
+
+__all__ = [
+    "GreedyBorderPolicy",
+    "NaiveConfig",
+    "NaivePolicy",
+    "NoopPolicy",
+    "RandomPolicy",
+    "ScaleOutFallbackPolicy",
+    "ScaleOutPlan",
+    "plan_scaleout",
+]

@@ -1,0 +1,70 @@
+"""Over-migration ablation: push *every* feasible border NF aside.
+
+PAM's Step 2 deliberately migrates the *minimum* number of NFs ("
+migrating too many vNFs may waste CPU resource").  This policy ignores
+that and keeps migrating border NFs even after Eq. 3 is satisfied, as
+long as the CPU has room — quantifying the CPU waste and throughput
+loss PAM's stopping rule prevents (bench A3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..core.border import border_sets, refreshed_border_sets
+from ..core.feasibility import FeasibilityConfig, cpu_can_host, nic_alleviated
+from ..core.pam import _pick_b0
+from ..core.plan import MigrationAction, MigrationPlan
+from ..resources.model import LoadModel, ThroughputSpec
+
+POLICY_NAME = "greedy-border"
+
+
+class GreedyBorderPolicy:
+    """Migrates border NFs until none fits on the CPU any more."""
+
+    name = POLICY_NAME
+
+    def __init__(self, feasibility: FeasibilityConfig = FeasibilityConfig(),
+                 max_migrations: int = 64) -> None:
+        self.feasibility = feasibility
+        self.max_migrations = max_migrations
+
+    def select(self, placement: Placement,
+               throughput: ThroughputSpec) -> MigrationPlan:
+        """Migrate every feasible border NF, ignoring the stop rule."""
+        load = LoadModel(placement, throughput)
+        if nic_alleviated(load, self.feasibility):
+            return MigrationPlan.empty(placement, POLICY_NAME,
+                                       notes=("smartnic not overloaded",))
+        borders = border_sets(placement)
+        actions: List[MigrationAction] = []
+        current = placement
+        while len(actions) < self.max_migrations:
+            b0_name = _pick_b0(current, borders)
+            if b0_name is None:
+                break
+            b0 = current.chain.get(b0_name)
+            if not cpu_can_host(load, b0, self.feasibility):
+                borders = borders.without(b0_name)
+                continue
+            was_left = b0_name in borders.left
+            actions.append(MigrationAction(
+                nf_name=b0_name, source=DeviceKind.SMARTNIC,
+                target=DeviceKind.CPU,
+                crossing_delta=current.crossing_delta(b0_name,
+                                                      DeviceKind.CPU)))
+            current = current.moved(b0_name, DeviceKind.CPU)
+            load = LoadModel(current, throughput)
+            borders = refreshed_border_sets(current, borders, b0_name,
+                                            was_left)
+        alleviates = nic_alleviated(load, self.feasibility)
+        plan = MigrationPlan(
+            actions=tuple(actions), before=placement, after=current,
+            alleviates=alleviates, policy=POLICY_NAME,
+            notes=(f"migrated {len(actions)} border NFs greedily",))
+        plan.validate()
+        return plan

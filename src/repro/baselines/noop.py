@@ -1,0 +1,28 @@
+"""The do-nothing baseline — Figure 2's "before migration" series.
+
+Never migrates; the chain rides out the overload with queueing delay
+and drops.  Useful both as the pre-migration reference latency (PAM is
+compared against it in S3: "almost unchanged") and as the control arm
+in ablations.
+"""
+
+from __future__ import annotations
+
+from ..chain.placement import Placement
+from ..core.plan import MigrationPlan
+from ..resources.model import ThroughputSpec
+
+POLICY_NAME = "noop"
+
+
+class NoopPolicy:
+    """Always returns the empty plan."""
+
+    name = POLICY_NAME
+
+    def select(self, placement: Placement,
+               throughput: ThroughputSpec) -> MigrationPlan:
+        """Return the empty plan, whatever the load."""
+        return MigrationPlan.empty(placement, POLICY_NAME,
+                                   alleviates=False,
+                                   notes=("noop policy never migrates",))

@@ -1,0 +1,38 @@
+"""Service-chain substrate: NF profiles, chains, and placements."""
+
+from . import catalog
+from .builder import ChainBuilder
+from .constraints import (DEFAULT_SFC_RULES, AtMostOne, MustBeEdge,
+                          MustPrecede, Rule, Violation, check_chain,
+                          validate_chain)
+from .chain import ServiceChain
+from .diagram import render_placement
+from .graph import EGRESS, INGRESS, Edge, GraphPlacement, ServiceGraph
+from .nf import DeviceKind, NFInstanceId, NFKind, NFProfile
+from .placement import Placement, Segment
+
+__all__ = [
+    "AtMostOne",
+    "ChainBuilder",
+    "DEFAULT_SFC_RULES",
+    "DeviceKind",
+    "EGRESS",
+    "Edge",
+    "GraphPlacement",
+    "INGRESS",
+    "NFInstanceId",
+    "NFKind",
+    "MustBeEdge",
+    "MustPrecede",
+    "NFProfile",
+    "Placement",
+    "Segment",
+    "ServiceChain",
+    "Rule",
+    "ServiceGraph",
+    "Violation",
+    "catalog",
+    "render_placement",
+    "check_chain",
+    "validate_chain",
+]

@@ -1,0 +1,128 @@
+"""Service-chain model.
+
+A service chain (paper S1, after [3]) is an ordered sequence of vNFs
+that every packet must traverse.  :class:`ServiceChain` is an immutable
+ordered collection of :class:`~repro.chain.nf.NFProfile` with unique
+names; position-based helpers (upstream/downstream neighbours) are what
+the border identification in :mod:`repro.core.border` builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, UnknownNFError
+from .nf import NFProfile
+
+
+class ServiceChain:
+    """An ordered, validated sequence of NFs.
+
+    The chain is immutable: operations that "modify" it (not needed by
+    PAM, which only moves NFs between devices) return new chains.
+    """
+
+    def __init__(self, nfs: Iterable[NFProfile], name: str = "chain") -> None:
+        self._nfs: Tuple[NFProfile, ...] = tuple(nfs)
+        self.name = name
+        if len(self._nfs) == 0:
+            raise ConfigurationError("a service chain needs at least one NF")
+        seen = set()
+        for nf in self._nfs:
+            if nf.name in seen:
+                raise ConfigurationError(
+                    f"duplicate NF name {nf.name!r} in chain {name!r}; "
+                    "use NFProfile.renamed() to instantiate a profile twice")
+            seen.add(nf.name)
+        self._index = {nf.name: i for i, nf in enumerate(self._nfs)}
+
+    # -- container protocol -----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nfs)
+
+    def __iter__(self) -> Iterator[NFProfile]:
+        return iter(self._nfs)
+
+    def __getitem__(self, position: int) -> NFProfile:
+        return self._nfs[position]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        path = " -> ".join(nf.name for nf in self._nfs)
+        return f"ServiceChain({self.name!r}: {path})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServiceChain):
+            return NotImplemented
+        return self._nfs == other._nfs
+
+    def __hash__(self) -> int:
+        return hash(self._nfs)
+
+    # -- lookups ------------------------------------------------------------
+
+    @property
+    def nfs(self) -> Tuple[NFProfile, ...]:
+        """The NFs in traversal order."""
+        return self._nfs
+
+    def names(self) -> List[str]:
+        """NF names in traversal order."""
+        return [nf.name for nf in self._nfs]
+
+    def get(self, name: str) -> NFProfile:
+        """The NF called ``name``; raises :class:`UnknownNFError` if absent."""
+        try:
+            return self._nfs[self._index[name]]
+        except KeyError:
+            raise UnknownNFError(
+                f"chain {self.name!r} has no NF {name!r}; "
+                f"it contains: {', '.join(self.names())}") from None
+
+    def position(self, name: str) -> int:
+        """Zero-based position of ``name`` in the chain."""
+        self.get(name)  # raise uniformly for unknown names
+        return self._index[name]
+
+    # -- neighbourhood ---------------------------------------------------
+
+    def upstream(self, name: str) -> Optional[NFProfile]:
+        """The NF immediately before ``name``, or None at the chain head."""
+        pos = self.position(name)
+        return self._nfs[pos - 1] if pos > 0 else None
+
+    def downstream(self, name: str) -> Optional[NFProfile]:
+        """The NF immediately after ``name``, or None at the chain tail."""
+        pos = self.position(name)
+        return self._nfs[pos + 1] if pos + 1 < len(self._nfs) else None
+
+    def is_head(self, name: str) -> bool:
+        """Whether ``name`` is the first NF (receives traffic from the wire)."""
+        return self.position(name) == 0
+
+    def is_tail(self, name: str) -> bool:
+        """Whether ``name`` is the last NF (sends traffic to the wire)."""
+        return self.position(name) == len(self._nfs) - 1
+
+    # -- derived chains ----------------------------------------------------
+
+    def subchain(self, start: int, stop: int, name: Optional[str] = None) -> "ServiceChain":
+        """The chain restricted to positions ``[start, stop)``."""
+        if not (0 <= start < stop <= len(self._nfs)):
+            raise ConfigurationError(
+                f"invalid subchain [{start}, {stop}) of length-{len(self._nfs)} chain")
+        return ServiceChain(self._nfs[start:stop], name or f"{self.name}[{start}:{stop}]")
+
+    def min_capacity_nf(self, device) -> NFProfile:
+        """The NF with minimum capacity on ``device`` (the naive policy's pick).
+
+        NFs that cannot run on ``device`` are skipped.
+        """
+        candidates = [nf for nf in self._nfs if nf.can_run_on(device)]
+        if not candidates:
+            raise ConfigurationError(
+                f"no NF in chain {self.name!r} can run on {device}")
+        return min(candidates, key=lambda nf: nf.capacity_on(device))

@@ -1,0 +1,151 @@
+"""Service-chain ordering constraints (SFC validity rules).
+
+Service-function chaining imposes semantic order: an IDS cannot inspect
+traffic a VPN has not decrypted yet; NAT rewrites addresses, so NFs that
+match on original addresses must run before it.  This module expresses
+such rules declaratively and validates chains against them, so a
+mis-ordered chain fails at build time instead of producing quietly
+meaningless experiments.
+
+Rules speak in :class:`~repro.chain.nf.NFKind` terms and therefore apply
+to renamed instances too.  :data:`DEFAULT_SFC_RULES` encodes the common
+conventions; callers compose their own rule lists freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..errors import ConfigurationError
+from .chain import ServiceChain
+from .nf import NFKind
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken rule, with a human-readable explanation."""
+
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.rule}: {self.detail}"
+
+
+class Rule:
+    """Base class: checks one property of a chain."""
+
+    name = "rule"
+
+    def check(self, chain: ServiceChain) -> List[Violation]:
+        """Violations of this rule in ``chain`` (empty = compliant)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class MustPrecede(Rule):
+    """Every ``before``-kind NF must come before every ``after``-kind NF."""
+
+    before: NFKind
+    after: NFKind
+    reason: str = ""
+
+    @property
+    def name(self) -> str:
+        """Rule identifier used in violation reports."""
+        return f"{self.before.value}-before-{self.after.value}"
+
+    def check(self, chain: ServiceChain) -> List[Violation]:
+        """Flag every before-kind NF placed after an after-kind NF."""
+        violations = []
+        last_after = None
+        for position, nf in enumerate(chain):
+            if nf.kind is self.after:
+                last_after = (position, nf.name)
+            elif nf.kind is self.before and last_after is not None:
+                after_pos, after_name = last_after
+                detail = (f"{nf.name!r} (pos {position}) must precede "
+                          f"{after_name!r} (pos {after_pos})")
+                if self.reason:
+                    detail += f" — {self.reason}"
+                violations.append(Violation(self.name, detail))
+        return violations
+
+
+@dataclass(frozen=True)
+class AtMostOne(Rule):
+    """At most one NF of ``kind`` per chain."""
+
+    kind: NFKind
+
+    @property
+    def name(self) -> str:
+        """Rule identifier used in violation reports."""
+        return f"at-most-one-{self.kind.value}"
+
+    def check(self, chain: ServiceChain) -> List[Violation]:
+        """Flag chains with more than one NF of the kind."""
+        matches = [nf.name for nf in chain if nf.kind is self.kind]
+        if len(matches) <= 1:
+            return []
+        return [Violation(self.name,
+                          f"found {len(matches)}: {', '.join(matches)}")]
+
+
+@dataclass(frozen=True)
+class MustBeEdge(Rule):
+    """An NF of ``kind`` may only sit at the head or tail of the chain."""
+
+    kind: NFKind
+
+    @property
+    def name(self) -> str:
+        """Rule identifier used in violation reports."""
+        return f"{self.kind.value}-at-edge"
+
+    def check(self, chain: ServiceChain) -> List[Violation]:
+        """Flag kind-instances sitting strictly mid-chain."""
+        violations = []
+        for position, nf in enumerate(chain):
+            if nf.kind is self.kind and \
+                    not (position == 0 or position == len(chain) - 1):
+                violations.append(Violation(
+                    self.name,
+                    f"{nf.name!r} sits mid-chain at position {position}"))
+        return violations
+
+
+#: Conventional SFC ordering rules.
+DEFAULT_SFC_RULES: Sequence[Rule] = (
+    MustPrecede(NFKind.VPN, NFKind.IDS,
+                reason="the IDS cannot inspect ciphertext"),
+    MustPrecede(NFKind.VPN, NFKind.DPI,
+                reason="the DPI cannot parse ciphertext"),
+    MustPrecede(NFKind.FIREWALL, NFKind.CACHE,
+                reason="never cache traffic the firewall would block"),
+    MustPrecede(NFKind.NAT, NFKind.LOAD_BALANCER,
+                reason="balance on post-NAT addresses"),
+    AtMostOne(NFKind.NAT),
+    MustBeEdge(NFKind.LOAD_BALANCER),
+)
+
+
+def check_chain(chain: ServiceChain,
+                rules: Sequence[Rule] = DEFAULT_SFC_RULES
+                ) -> List[Violation]:
+    """All violations of ``rules`` in ``chain`` (empty = compliant)."""
+    violations: List[Violation] = []
+    for rule in rules:
+        violations.extend(rule.check(chain))
+    return violations
+
+
+def validate_chain(chain: ServiceChain,
+                   rules: Sequence[Rule] = DEFAULT_SFC_RULES) -> None:
+    """Raise :class:`ConfigurationError` listing every violation."""
+    violations = check_chain(chain, rules)
+    if violations:
+        summary = "; ".join(str(violation) for violation in violations)
+        raise ConfigurationError(
+            f"chain {chain.name!r} violates SFC rules: {summary}")

@@ -1,0 +1,83 @@
+"""ASCII diagrams of chains and placements.
+
+The examples and the CLI want to *show* a placement, not enumerate it.
+:func:`render_placement` draws the device lanes with the chain's hops
+and PCIe crossings, e.g. the Figure-1 placement::
+
+    wire ->|                                              |
+    NIC    |      [logger]--[monitor]--[firewall]         |
+           |     /                              \\         |
+    CPU    | [load_balancer]                     -> host  |
+           |  crossings: 3
+
+(Exact layout below differs; the point is lanes + crossing marks.)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .nf import DeviceKind
+from .placement import Placement
+
+_LANE = {DeviceKind.SMARTNIC: 0, DeviceKind.CPU: 1}
+
+
+def render_placement(placement: Placement) -> str:
+    """Two-lane (NIC / CPU) diagram of the placement with crossings."""
+    lanes: List[List[str]] = [[], []]
+    cross_marks: List[str] = []
+
+    def pad_to_width(width: int) -> None:
+        for lane in lanes:
+            while len("".join(lane)) < width:
+                lane.append(" ")
+
+    def append(device: DeviceKind, text: str) -> None:
+        target = _LANE[device]
+        other = 1 - target
+        width = max(len("".join(lanes[target])), len("".join(lanes[other])))
+        pad_to_width(width)
+        lanes[target].append(text)
+        lanes[other].append(" " * len(text))
+        cross_marks.append(" " * len(text))
+
+    def same_lane_link(device: DeviceKind) -> None:
+        lanes[_LANE[device]].append("--")
+        lanes[1 - _LANE[device]].append("  ")
+        cross_marks.append("  ")
+
+    def mark_crossing(width_hint: int = 3) -> None:
+        pad_to_width(max(len("".join(lane)) for lane in lanes))
+        for lane in lanes:
+            lane.append("-" * width_hint)
+        cross_marks.append(" X ".center(width_hint))
+
+    previous = placement.ingress
+    append(previous, "wire>" if previous is DeviceKind.SMARTNIC
+           else "host>")
+    for nf in placement.chain:
+        device = placement.device_of(nf.name)
+        if device is not previous:
+            mark_crossing()
+        else:
+            same_lane_link(previous)
+        append(device, f"[{nf.name}]")
+        previous = device
+    if placement.egress is not previous:
+        mark_crossing()
+    else:
+        same_lane_link(previous)
+    append(placement.egress, ">wire" if placement.egress is
+           DeviceKind.SMARTNIC else ">host")
+
+    nic_line = "NIC  " + "".join(lanes[0]).rstrip()
+    cpu_line = "CPU  " + "".join(lanes[1]).rstrip()
+    marks = "     " + "".join(cross_marks).rstrip()
+    footer = f"     PCIe crossings: {placement.pcie_crossings()}"
+    lines = [nic_line]
+    if marks.strip():
+        lines.append(marks)
+    lines.append(cpu_line)
+    lines.append(footer)
+    return "\n".join(lines)

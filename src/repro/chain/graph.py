@@ -1,0 +1,251 @@
+"""Service graphs: branched NF topologies (NFP-style), beyond chains.
+
+The paper's motivation cites NFP [7], where traffic fans out to
+parallel NF branches and merges again.  A :class:`ServiceGraph` is a
+single-source, single-sink DAG of NFs whose edges carry *traffic
+fractions*: a classifier sending 30% of flows to an IDS branch and 70%
+to a fast path is two out-edges with fractions 0.3 / 0.7.
+
+The chain-world quantities generalise:
+
+* a node's **share** is the fraction of total traffic reaching it
+  (propagated from the source along edge fractions);
+* :class:`GraphPlacement` scores a placement by **expected PCIe
+  crossings per packet** — the share-weighted count of edges whose
+  endpoints sit on different devices;
+* a *border* NF is then simply one whose move to the CPU does not
+  increase the expected crossings, which
+  :func:`repro.core.graph_pam.select` exploits exactly like chain PAM.
+
+A linear chain embeds as the degenerate graph, and the graph
+quantities collapse to the chain ones (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError, UnknownNFError
+from .nf import DeviceKind, NFProfile
+
+#: Virtual endpoint node names (never NF names).
+INGRESS = "__ingress__"
+EGRESS = "__egress__"
+
+#: Tolerance for fraction sums (floats).
+_FRACTION_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge carrying ``fraction`` of its source's traffic."""
+
+    src: str
+    dst: str
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.fraction <= 1.0):
+            raise ConfigurationError(
+                f"edge {self.src}->{self.dst}: fraction must be in (0, 1]")
+        if self.src == self.dst:
+            raise ConfigurationError(f"self-loop on {self.src!r}")
+
+
+class ServiceGraph:
+    """A validated single-source single-sink DAG of NFs."""
+
+    def __init__(self, nfs: Iterable[NFProfile],
+                 edges: Iterable[Edge], name: str = "graph") -> None:
+        self.name = name
+        self._nfs: Dict[str, NFProfile] = {}
+        for nf in nfs:
+            if nf.name in (INGRESS, EGRESS):
+                raise ConfigurationError(
+                    f"NF name {nf.name!r} is reserved")
+            if nf.name in self._nfs:
+                raise ConfigurationError(
+                    f"duplicate NF {nf.name!r} in graph {name!r}")
+            self._nfs[nf.name] = nf
+        if not self._nfs:
+            raise ConfigurationError("a service graph needs at least one NF")
+        self.edges: Tuple[Edge, ...] = tuple(edges)
+        self._out: Dict[str, List[Edge]] = {}
+        self._in: Dict[str, List[Edge]] = {}
+        valid_nodes = set(self._nfs) | {INGRESS, EGRESS}
+        for edge in self.edges:
+            for end in (edge.src, edge.dst):
+                if end not in valid_nodes:
+                    raise ConfigurationError(
+                        f"edge references unknown node {end!r}")
+            if edge.dst == INGRESS or edge.src == EGRESS:
+                raise ConfigurationError(
+                    "edges may not enter the ingress or leave the egress")
+            self._out.setdefault(edge.src, []).append(edge)
+            self._in.setdefault(edge.dst, []).append(edge)
+        self._validate_structure()
+        self._shares = self._propagate_shares()
+
+    # -- validation -----------------------------------------------------------
+
+    def _validate_structure(self) -> None:
+        if INGRESS not in self._out:
+            raise ConfigurationError("graph needs at least one ingress edge")
+        if EGRESS not in self._in:
+            raise ConfigurationError("graph needs at least one egress edge")
+        for name in self._nfs:
+            if name not in self._in:
+                raise ConfigurationError(f"NF {name!r} is unreachable")
+            if name not in self._out:
+                raise ConfigurationError(f"NF {name!r} has no way out")
+        for node, out_edges in self._out.items():
+            total = sum(edge.fraction for edge in out_edges)
+            if abs(total - 1.0) > _FRACTION_TOL:
+                raise ConfigurationError(
+                    f"outgoing fractions of {node!r} sum to {total}, "
+                    "expected 1.0")
+        self._topological_order()  # raises on cycles
+
+    def _topological_order(self) -> List[str]:
+        """Kahn's algorithm over NF nodes; raises on a cycle."""
+        indegree = {name: len(self._in.get(name, ())) for name in self._nfs}
+        # Ingress edges do not count toward NF indegree for the sort.
+        for name in indegree:
+            indegree[name] -= sum(1 for e in self._in.get(name, ())
+                                  if e.src == INGRESS)
+        ready = [name for name, degree in indegree.items() if degree == 0]
+        order: List[str] = []
+        while ready:
+            ready.sort()  # deterministic
+            node = ready.pop(0)
+            order.append(node)
+            for edge in self._out.get(node, ()):
+                if edge.dst == EGRESS:
+                    continue
+                indegree[edge.dst] -= 1
+                if indegree[edge.dst] == 0:
+                    ready.append(edge.dst)
+        if len(order) != len(self._nfs):
+            raise ConfigurationError(f"graph {self.name!r} has a cycle")
+        return order
+
+    def _propagate_shares(self) -> Dict[str, float]:
+        shares = {name: 0.0 for name in self._nfs}
+        shares[INGRESS] = 1.0
+        shares[EGRESS] = 0.0
+        for node in [INGRESS] + self._topological_order():
+            for edge in self._out.get(node, ()):
+                shares[edge.dst] = shares.get(edge.dst, 0.0) + \
+                    shares[node] * edge.fraction
+        if abs(shares[EGRESS] - 1.0) > 1e-6:
+            raise ConfigurationError(
+                f"traffic not conserved: egress share {shares[EGRESS]}")
+        return shares
+
+    # -- lookups -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nfs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nfs
+
+    def names(self) -> List[str]:
+        """NF names in topological order."""
+        return self._topological_order()
+
+    def get(self, name: str) -> NFProfile:
+        """The NF called ``name``."""
+        try:
+            return self._nfs[name]
+        except KeyError:
+            raise UnknownNFError(
+                f"graph {self.name!r} has no NF {name!r}") from None
+
+    def node_share(self, name: str) -> float:
+        """Fraction of total traffic that traverses ``name``."""
+        if name in (INGRESS, EGRESS):
+            return 1.0
+        self.get(name)
+        return self._shares[name]
+
+    def edge_share(self, edge: Edge) -> float:
+        """Fraction of total traffic flowing along ``edge``."""
+        source_share = 1.0 if edge.src == INGRESS else self.node_share(edge.src)
+        return source_share * edge.fraction
+
+    @classmethod
+    def from_chain(cls, chain) -> "ServiceGraph":
+        """Embed a linear :class:`~repro.chain.chain.ServiceChain`."""
+        names = chain.names()
+        edges = [Edge(INGRESS, names[0])]
+        edges += [Edge(a, b) for a, b in zip(names, names[1:])]
+        edges.append(Edge(names[-1], EGRESS))
+        return cls(chain.nfs, edges, name=chain.name)
+
+
+class GraphPlacement:
+    """NF -> device assignment for a service graph."""
+
+    def __init__(self, graph: ServiceGraph,
+                 assignment: Mapping[str, DeviceKind],
+                 ingress: DeviceKind = DeviceKind.SMARTNIC,
+                 egress: DeviceKind = DeviceKind.SMARTNIC) -> None:
+        self.graph = graph
+        self.ingress = ingress
+        self.egress = egress
+        missing = [name for name in graph.names() if name not in assignment]
+        if missing:
+            raise ConfigurationError(
+                f"placement omits NFs: {', '.join(missing)}")
+        for name in graph.names():
+            if not graph.get(name).can_run_on(assignment[name]):
+                raise ConfigurationError(
+                    f"NF {name!r} cannot run on {assignment[name].value}")
+        self._assignment = {name: assignment[name]
+                            for name in graph.names()}
+
+    def device_of(self, name: str) -> DeviceKind:
+        """Device hosting ``name`` (endpoints resolve to their devices)."""
+        if name == INGRESS:
+            return self.ingress
+        if name == EGRESS:
+            return self.egress
+        self.graph.get(name)
+        return self._assignment[name]
+
+    def on_device(self, device: DeviceKind) -> List[NFProfile]:
+        """NFs on ``device`` in topological order."""
+        return [self.graph.get(name) for name in self.graph.names()
+                if self._assignment[name] is device]
+
+    def nic_nfs(self) -> List[NFProfile]:
+        """NFs on the SmartNIC."""
+        return self.on_device(DeviceKind.SMARTNIC)
+
+    def expected_crossings(self) -> float:
+        """Share-weighted PCIe crossings per packet.
+
+        The graph generalisation of
+        :meth:`~repro.chain.placement.Placement.pcie_crossings`: an edge
+        contributes its traffic share when its endpoints differ.
+        """
+        return sum(self.graph.edge_share(edge)
+                   for edge in self.graph.edges
+                   if self.device_of(edge.src) is not
+                   self.device_of(edge.dst))
+
+    def moved(self, name: str, to: DeviceKind) -> "GraphPlacement":
+        """The placement after moving ``name`` to ``to``."""
+        if self.device_of(name) is to:
+            raise ConfigurationError(f"NF {name!r} already on {to.value}")
+        assignment = dict(self._assignment)
+        assignment[name] = to
+        return GraphPlacement(self.graph, assignment,
+                              ingress=self.ingress, egress=self.egress)
+
+    def crossing_delta(self, name: str, to: DeviceKind) -> float:
+        """Change in expected crossings if ``name`` moved to ``to``."""
+        return self.moved(name, to).expected_crossings() - \
+            self.expected_crossings()

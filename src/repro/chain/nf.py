@@ -1,0 +1,178 @@
+"""Network-function (vNF) model.
+
+The paper characterises each vNF by two numbers (Table 1): its
+throughput capacity on the SmartNIC (theta_i^S) and on the CPU
+(theta_i^C).  Following CoCo [5], resource utilisation is assumed linear
+in throughput, so capacities fully determine behaviour under load.
+
+:class:`NFProfile` captures those capacities plus a handful of
+parameters the simulator and migration mechanism need beyond the paper's
+model: a fixed per-packet processing overhead (pipeline latency even at
+zero load), the amount of per-flow state the NF keeps (drives migration
+cost), and whether the NF is stateful at all (stateless NFs migrate with
+negligible state transfer, as UNO notes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..errors import CapacityError
+from ..units import gbps, usec
+
+
+class DeviceKind(enum.Enum):
+    """The two processing devices the paper considers on one server."""
+
+    SMARTNIC = "smartnic"
+    CPU = "cpu"
+
+    def other(self) -> "DeviceKind":
+        """The opposite device (migration always moves NIC <-> CPU)."""
+        return DeviceKind.CPU if self is DeviceKind.SMARTNIC else DeviceKind.SMARTNIC
+
+
+class NFKind(enum.Enum):
+    """Network-function families used by the paper and its references.
+
+    The first four appear in Table 1; the rest come from the service
+    chains in NFP [7] and UNO [4] and are used by the extended scenarios
+    and ablation benchmarks.
+    """
+
+    FIREWALL = "firewall"
+    LOGGER = "logger"
+    MONITOR = "monitor"
+    LOAD_BALANCER = "load_balancer"
+    NAT = "nat"
+    IDS = "ids"
+    DPI = "dpi"
+    VPN = "vpn"
+    GATEWAY = "gateway"
+    CACHE = "cache"
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True)
+class NFProfile:
+    """Immutable description of one vNF.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a chain ("monitor", "fw-edge", ...).
+    kind:
+        The NF family, used for catalog lookups and reporting.
+    nic_capacity_bps:
+        Throughput capacity theta^S on the SmartNIC, bits/second.
+    cpu_capacity_bps:
+        Throughput capacity theta^C on the CPU, bits/second.
+    base_latency_s:
+        Fixed per-packet processing latency at negligible load.  Real
+        NFs impose pipeline latency even when underutilised; the paper's
+        latency plots include it implicitly.
+    state_bytes:
+        Total NF state that a migration must transfer (0 for stateless).
+    stateful:
+        Whether migration must pause/buffer/replay (OpenNF semantics) or
+        can simply re-steer flows.
+    pass_rate:
+        Fraction of traffic the NF forwards downstream (1.0 for
+        transparent NFs; a firewall blocking 5%% of packets has 0.95).
+        Filtering thins the load every downstream NF sees, which the
+        planning maths honours via per-NF throughput maps.
+    nic_capable / cpu_capable:
+        Some NFs cannot run on one of the devices (e.g. a DPI needing
+        large memory cannot fit NIC SRAM).  PAM must skip such NFs when
+        selecting migration candidates.
+    """
+
+    name: str
+    kind: NFKind = NFKind.GENERIC
+    nic_capacity_bps: float = gbps(10.0)
+    cpu_capacity_bps: float = gbps(4.0)
+    base_latency_s: float = usec(5.0)
+    state_bytes: int = 0
+    stateful: bool = False
+    nic_capable: bool = True
+    cpu_capable: bool = True
+    pass_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CapacityError("NF name must be non-empty")
+        if self.nic_capable and self.nic_capacity_bps <= 0:
+            raise CapacityError(
+                f"NF {self.name!r}: SmartNIC capacity must be positive, "
+                f"got {self.nic_capacity_bps}")
+        if self.cpu_capable and self.cpu_capacity_bps <= 0:
+            raise CapacityError(
+                f"NF {self.name!r}: CPU capacity must be positive, "
+                f"got {self.cpu_capacity_bps}")
+        if not (self.nic_capable or self.cpu_capable):
+            raise CapacityError(
+                f"NF {self.name!r} can run on neither device")
+        if self.base_latency_s < 0:
+            raise CapacityError(
+                f"NF {self.name!r}: base latency must be >= 0")
+        if self.state_bytes < 0:
+            raise CapacityError(
+                f"NF {self.name!r}: state size must be >= 0")
+        if not (0.0 < self.pass_rate <= 1.0):
+            raise CapacityError(
+                f"NF {self.name!r}: pass rate must be in (0, 1]")
+
+    # -- capacity lookups -------------------------------------------------
+
+    def capacity_on(self, device: DeviceKind) -> float:
+        """theta of this NF on ``device`` (bits/second).
+
+        Raises :class:`CapacityError` if the NF cannot run there, so a
+        selection algorithm that forgot to check capability fails fast.
+        """
+        if device is DeviceKind.SMARTNIC:
+            if not self.nic_capable:
+                raise CapacityError(f"NF {self.name!r} cannot run on the SmartNIC")
+            return self.nic_capacity_bps
+        if not self.cpu_capable:
+            raise CapacityError(f"NF {self.name!r} cannot run on the CPU")
+        return self.cpu_capacity_bps
+
+    def can_run_on(self, device: DeviceKind) -> bool:
+        """Whether this NF may be placed on ``device``."""
+        return self.nic_capable if device is DeviceKind.SMARTNIC else self.cpu_capable
+
+    def utilisation_share(self, device: DeviceKind, throughput_bps: float) -> float:
+        """Fraction of ``device`` consumed at ``throughput_bps``.
+
+        This is the paper's linear model: theta_cur / theta_i^D.
+        """
+        if throughput_bps < 0:
+            raise CapacityError("throughput must be >= 0")
+        return throughput_bps / self.capacity_on(device)
+
+    def renamed(self, new_name: str) -> "NFProfile":
+        """A copy of this profile under a different name.
+
+        Chains require unique NF names, so instantiating the same catalog
+        profile twice in one chain goes through :meth:`renamed`.
+        """
+        return replace(self, name=new_name)
+
+
+@dataclass(frozen=True)
+class NFInstanceId:
+    """Identity of one running instance of an NF.
+
+    The base system runs one instance per NF; the scale-out fallback
+    (:mod:`repro.baselines.scaleout`) creates additional replicas, which
+    share the profile but have distinct ``replica`` indices.
+    """
+
+    nf_name: str
+    replica: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.nf_name if self.replica == 0 else f"{self.nf_name}#{self.replica}"

@@ -1,0 +1,289 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives operators the paper's experiments without writing Python:
+
+* ``reproduce``  — regenerate and check every paper artefact,
+* ``table1`` / ``figure1`` / ``figure2`` — the individual artefacts,
+* ``plan``       — run a selection policy at a chosen offered load,
+* ``explain``    — placement diagram + capacity/border/latency analysis,
+* ``optimise``   — exhaustive optimal-placement search,
+* ``spike``      — the closed-loop traffic-spike episode,
+* ``run-config`` — execute a JSON experiment description,
+* ``suite``      — run or regression-check a directory of experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .baselines.naive import NaivePolicy
+from .baselines.noop import NoopPolicy
+from .chain import catalog
+from .core.planner import MigrationController, PAMPolicy
+from .errors import ReproError, ScaleOutRequired
+from .analysis.explain import explain_placement
+from .analysis.placement_opt import optimise_placement
+from .harness import config as config_mod
+from .harness.compare import compare_policies, latency_gap
+from .harness.results import ResultRecord
+from .harness.paper import reproduce_all
+from .harness.suite import check_suite, render_checks, run_suite
+from .harness.scenarios import figure1
+from .harness.sweep import packet_size_sweep
+from .harness.tables import (render_figure1, render_figure2_latency,
+                             render_figure2_throughput, render_table)
+from .resources.capacity import CapacityTable
+from .sim.runner import SimulationRunner
+from .telemetry.monitor import LoadMonitor
+from .traffic.packet import PAPER_SIZE_SWEEP, FixedSize
+from .traffic.patterns import ProfiledArrivals, spike
+from .units import as_usec, gbps
+
+
+def _policy_by_name(name: str):
+    policies = {"pam": PAMPolicy, "naive": NaivePolicy, "noop": NoopPolicy}
+    try:
+        return policies[name]()
+    except KeyError:
+        raise ReproError(
+            f"unknown policy {name!r}; choose from {sorted(policies)}")
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Print the Table 1 capacity table."""
+    table = CapacityTable.from_mapping(catalog.TABLE1)
+    print(table.render())
+    return 0
+
+
+def cmd_figure1(args: argparse.Namespace) -> int:
+    """Run and print the Figure 1 policy comparison."""
+    outcomes = compare_policies(figure1(), duration_s=args.duration)
+    print(render_figure1(outcomes))
+    gap = latency_gap(outcomes)
+    print(f"\nPAM vs naive latency: {gap:+.1%} (paper: -18%)")
+    return 0
+
+
+def cmd_figure2(args: argparse.Namespace) -> int:
+    """Run and print the Figure 2 packet-size sweep."""
+    points = packet_size_sweep(figure1(), sizes=tuple(args.sizes),
+                               duration_s=args.duration)
+    print(render_figure2_latency(points))
+    print()
+    print(render_figure2_throughput(points))
+    if args.chart:
+        from .telemetry.ascii_plots import bar_chart
+        print()
+        rows = []
+        for point in points:
+            size = point.packet_size_bytes
+            for policy in ("noop", "naive", "pam"):
+                rows.append((f"{size}B {policy}",
+                             round(point.mean_latency_usec(policy), 1)))
+        print(bar_chart(rows, width=36, unit="us"))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Run one selection policy and print its plan."""
+    scenario = figure1()
+    policy = _policy_by_name(args.policy)
+    try:
+        plan = policy.select(scenario.placement, gbps(args.load))
+    except ScaleOutRequired as exc:
+        print(f"{args.policy}: cannot alleviate by migration "
+              f"(NIC {exc.nic_utilisation:.2f}, CPU "
+              f"{exc.cpu_utilisation:.2f}); scale out per OpenNF")
+        return 1
+    if plan.is_noop:
+        print(f"{args.policy}: no migration needed at {args.load} Gbps")
+        return 0
+    rows = [[action.nf_name, action.source.value, action.target.value,
+             f"{action.crossing_delta:+d}"] for action in plan.actions]
+    print(render_table(["vNF", "from", "to", "dPCIe"], rows,
+                       title=f"{args.policy} plan at {args.load} Gbps"))
+    print(f"alleviates: {plan.alleviates}  "
+          f"total crossing delta: {plan.total_crossing_delta:+d}")
+    return 0
+
+
+def cmd_spike(args: argparse.Namespace) -> int:
+    """Run the closed-loop traffic-spike episode."""
+    profile = spike(base_bps=gbps(args.base), peak_bps=gbps(args.peak),
+                    start_s=0.01, duration_s=1.0)
+    generator = ProfiledArrivals(profile, FixedSize(args.size),
+                                 duration_s=args.duration, seed=11,
+                                 jitter=False)
+    server = figure1().build_server()
+    controller = MigrationController(_policy_by_name(args.policy))
+    monitor = LoadMonitor(inner=controller)
+    result = SimulationRunner(server, generator, monitor,
+                              monitor_period_s=0.002).run()
+    print(f"policy={args.policy} migrated={result.migrated_nfs} "
+          f"at={[f'{t*1e3:.1f}ms' for t in result.migration_times_s]}")
+    print(f"delivered {result.delivered}/{result.injected} "
+          f"(dropped {result.dropped}); mean latency "
+          f"{as_usec(result.latency.mean_s):.1f} us, "
+          f"p99 {as_usec(result.latency.p99_s):.1f} us")
+    return 0
+
+
+def cmd_run_config(args: argparse.Namespace) -> int:
+    """Run a JSON-described experiment."""
+    spec = config_mod.load(args.config)
+    result = spec.run()
+    record = ResultRecord.from_result(result, label=spec.name)
+    if args.output:
+        record.save(args.output)
+        print(f"result written to {args.output}")
+    print(f"experiment {spec.name!r} (policy={spec.policy_name}):")
+    print(f"  delivered {result.delivered}/{result.injected} "
+          f"(dropped {result.dropped})")
+    if result.latency is not None:
+        print(f"  latency {result.latency.describe()}")
+    print(f"  goodput {result.goodput_bps / 1e9:.2f} Gbps")
+    if result.migrated_nfs:
+        print(f"  migrated: {', '.join(result.migrated_nfs)}")
+    return 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Print the placement diagram and analysis report."""
+    scenario = figure1()
+    print(explain_placement(scenario.placement, gbps(args.load),
+                            packet_bytes=args.size))
+    return 0
+
+
+def cmd_optimise(args: argparse.Namespace) -> int:
+    """Exhaustively search for the optimal placement."""
+    scenario = figure1()
+    try:
+        result = optimise_placement(
+            scenario.chain, gbps(args.load),
+            packet_bytes=args.size,
+            ingress=scenario.placement.ingress,
+            egress=scenario.placement.egress)
+    except ScaleOutRequired:
+        print(f"no feasible placement at {args.load} Gbps; scale out")
+        return 1
+    rows = [[nf.name, result.placement.device_of(nf.name).value]
+            for nf in scenario.chain]
+    print(render_table(["vNF", "device"], rows,
+                       title=f"optimal placement at {args.load} Gbps"))
+    print(f"predicted latency: "
+          f"{as_usec(result.predicted_latency_s):.1f} us; "
+          f"{result.feasible_count}/{result.total_count} placements "
+          "feasible")
+    return 0
+
+
+def cmd_reproduce(args: argparse.Namespace) -> int:
+    """Regenerate and check every paper artefact in one call."""
+    report_obj = reproduce_all(duration_s=args.duration)
+    print(report_obj.render())
+    return 0 if report_obj.all_passed else 1
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """Run or regression-check a directory of experiments."""
+    if args.check:
+        checks = check_suite(args.directory)
+        print(render_checks(checks))
+        return 0 if all(check.ok for check in checks) else 1
+    entries = run_suite(args.directory)
+    for entry in entries:
+        print(f"{entry.config_path.name:<40} -> "
+              f"{entry.result_path.name}")
+    print(f"{len(entries)} experiments run, baselines written")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PAM (SIGCOMM'18) reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 capacity table") \
+       .set_defaults(func=cmd_table1)
+
+    p_fig1 = sub.add_parser("figure1", help="the three migration choices")
+    p_fig1.add_argument("--duration", type=float, default=0.01,
+                        help="seconds of simulated traffic per run")
+    p_fig1.set_defaults(func=cmd_figure1)
+
+    p_fig2 = sub.add_parser("figure2", help="packet-size sweep")
+    p_fig2.add_argument("--sizes", type=int, nargs="+",
+                        default=list(PAPER_SIZE_SWEEP))
+    p_fig2.add_argument("--duration", type=float, default=0.008)
+    p_fig2.add_argument("--chart", action="store_true",
+                        help="append an ASCII bar chart")
+    p_fig2.set_defaults(func=cmd_figure2)
+
+    p_plan = sub.add_parser("plan", help="run a selection policy")
+    p_plan.add_argument("--policy", default="pam",
+                        choices=["pam", "naive", "noop"])
+    p_plan.add_argument("--load", type=float, default=1.8,
+                        help="offered load in Gbps")
+    p_plan.set_defaults(func=cmd_plan)
+
+    p_spike = sub.add_parser("spike", help="closed-loop overload episode")
+    p_spike.add_argument("--policy", default="pam",
+                         choices=["pam", "naive", "noop"])
+    p_spike.add_argument("--base", type=float, default=1.3)
+    p_spike.add_argument("--peak", type=float, default=1.8)
+    p_spike.add_argument("--size", type=int, default=256)
+    p_spike.add_argument("--duration", type=float, default=0.04)
+    p_spike.set_defaults(func=cmd_spike)
+
+    p_explain = sub.add_parser("explain",
+                               help="diagram + analysis of a placement")
+    p_explain.add_argument("--load", type=float, default=1.8)
+    p_explain.add_argument("--size", type=int, default=256)
+    p_explain.set_defaults(func=cmd_explain)
+
+    p_opt = sub.add_parser("optimise",
+                           help="exhaustive optimal placement search")
+    p_opt.add_argument("--load", type=float, default=1.8)
+    p_opt.add_argument("--size", type=int, default=256)
+    p_opt.set_defaults(func=cmd_optimise)
+
+    p_repro = sub.add_parser("reproduce",
+                             help="regenerate and check every paper artefact")
+    p_repro.add_argument("--duration", type=float, default=0.008)
+    p_repro.set_defaults(func=cmd_reproduce)
+
+    p_suite = sub.add_parser("suite",
+                             help="run/check a directory of experiments")
+    p_suite.add_argument("directory")
+    p_suite.add_argument("--check", action="store_true",
+                         help="diff against committed baselines")
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_config = sub.add_parser("run-config",
+                              help="run a JSON-described experiment")
+    p_config.add_argument("config", help="path to the experiment JSON")
+    p_config.add_argument("--output", help="write a result record here")
+    p_config.set_defaults(func=cmd_run_config)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

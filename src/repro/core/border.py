@@ -1,0 +1,122 @@
+"""Step 1 of PAM: border vNF identification.
+
+A *border* vNF (paper S2) is a SmartNIC-resident NF whose chain
+neighbour lives on the CPU side: the **left border** set ``B_L`` holds
+NFs whose *upstream* neighbour is on the CPU, the **right border** set
+``B_R`` those whose *downstream* neighbour is.  Chain endpoints count as
+neighbours too — the placement's ingress/egress devices stand in for the
+wire or the host application — so an NF adjacent to a host-terminated
+chain end is a border exactly when moving it adds no PCIe crossings.
+
+Migrating a border vNF never introduces new packet transmissions over
+PCIe: the segment boundary just shifts by one NF.  That invariant (the
+heart of the paper) is asserted in :func:`border_sets` post-conditions
+and property-tested in ``tests/test_property_border.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+from ..chain.nf import DeviceKind, NFProfile
+from ..chain.placement import Placement
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BorderSets:
+    """The left/right border sets of one placement."""
+
+    left: FrozenSet[str]
+    right: FrozenSet[str]
+
+    @property
+    def all(self) -> FrozenSet[str]:
+        """``B_L ∪ B_R`` — the candidate pool of Step 2."""
+        return self.left | self.right
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.left or name in self.right
+
+    def without(self, name: str) -> "BorderSets":
+        """Remove an infeasible candidate (Step 3's retry path)."""
+        return BorderSets(left=self.left - {name}, right=self.right - {name})
+
+
+def _neighbour_device(placement: Placement, index: int) -> DeviceKind:
+    """Device of the chain hop at ``index`` in the endpoint-padded walk.
+
+    ``index`` ranges over ``-1`` (ingress endpoint) .. ``len(chain)``
+    (egress endpoint).
+    """
+    chain = placement.chain
+    if index < 0:
+        return placement.ingress
+    if index >= len(chain):
+        return placement.egress
+    return placement.device_of(chain[index].name)
+
+
+def border_sets(placement: Placement) -> BorderSets:
+    """Compute ``B_L`` and ``B_R`` for the placement (paper Step 1)."""
+    chain = placement.chain
+    left: Set[str] = set()
+    right: Set[str] = set()
+    for position, nf in enumerate(chain):
+        if placement.device_of(nf.name) is not DeviceKind.SMARTNIC:
+            continue
+        if _neighbour_device(placement, position - 1) is DeviceKind.CPU:
+            left.add(nf.name)
+        if _neighbour_device(placement, position + 1) is DeviceKind.CPU:
+            right.add(nf.name)
+    sets = BorderSets(left=frozenset(left), right=frozenset(right))
+    _check_invariant(placement, sets)
+    return sets
+
+
+def _check_invariant(placement: Placement, sets: BorderSets) -> None:
+    """Every border NF must be movable to the CPU without adding crossings."""
+    for name in sets.all:
+        nf = placement.chain.get(name)
+        if not nf.cpu_capable:
+            continue  # not a migration candidate, but still a border
+        if placement.crossing_delta(name, DeviceKind.CPU) > 0:
+            raise SimulationError(
+                f"border invariant violated: moving {name!r} to CPU would "
+                "add PCIe crossings")
+
+
+def refreshed_border_sets(placement: Placement, sets: BorderSets,
+                          migrated: str, was_left: bool) -> BorderSets:
+    """Maintain the border sets after migrating ``migrated`` (paper Step 3).
+
+    "If b0 ∈ B_L, we remove it from B_L and add its downstream element
+    into the set if the downstream element is also placed on SmartNIC";
+    symmetrically for B_R with the upstream element.  ``placement`` must
+    be the placement *after* the move.
+
+    Recomputing :func:`border_sets` from scratch gives the same answer
+    (property-tested); this incremental form mirrors the paper's loop
+    and is what :mod:`repro.core.pam` uses.
+    """
+    chain = placement.chain
+    left = set(sets.left)
+    right = set(sets.right)
+    if was_left:
+        left.discard(migrated)
+        successor = chain.downstream(migrated)
+        if successor is not None and \
+                placement.device_of(successor.name) is DeviceKind.SMARTNIC:
+            left.add(successor.name)
+    else:
+        right.discard(migrated)
+        predecessor = chain.upstream(migrated)
+        if predecessor is not None and \
+                placement.device_of(predecessor.name) is DeviceKind.SMARTNIC:
+            right.add(predecessor.name)
+    # The migrated NF may also have sat in the other set (a singleton
+    # NIC segment is both a left and a right border); drop it there too.
+    left.discard(migrated)
+    right.discard(migrated)
+    return BorderSets(left=frozenset(left), right=frozenset(right))

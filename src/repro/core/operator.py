@@ -1,0 +1,158 @@
+"""Production-hardened control loop around PAM.
+
+The bare :class:`~repro.core.planner.MigrationController` reacts to
+every overload sample.  Operating a real fleet needs more discipline,
+and :class:`HardenedController` adds it:
+
+* **cooldown** — a minimum quiet period between executed plans, so one
+  traffic wobble cannot trigger a migration storm;
+* **flap damping** — an NF that migrated recently may not migrate again
+  until its damp window expires (suppresses A->B->A ping-pong between
+  the forward policy and the pull-back);
+* **migration budget** — a hard cap on migrations per run, because each
+  move costs control-plane work and transient latency;
+* **pull-back** — optionally runs
+  :func:`~repro.core.reverse.select_pullback` when the NIC has been
+  quiet, returning pushed-aside NFs to the fast path.
+
+The hardened loop composes with any
+:class:`~repro.core.planner.SelectionPolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..chain.nf import DeviceKind
+from ..core.plan import MigrationPlan
+from ..errors import ConfigurationError, ScaleOutRequired
+from ..migration.cost import MigrationCostModel
+from ..migration.executor import MigrationExecutor, MigrationRecord
+from ..sim.runner import TickContext
+from ..telemetry.overload import OverloadDetector
+from .planner import PAMPolicy, SelectionPolicy
+from .reverse import PullbackConfig, select_pullback
+
+
+@dataclass(frozen=True)
+class HardeningConfig:
+    """Operational guard rails."""
+
+    #: Minimum seconds between two executed plans.
+    cooldown_s: float = 0.01
+    #: An NF may not migrate twice within this window.
+    flap_damp_s: float = 0.05
+    #: Hard cap on migrations over the controller's lifetime.
+    migration_budget: int = 16
+    #: Enable the pull-back pass when the NIC is quiet.
+    enable_pullback: bool = True
+    pullback: PullbackConfig = field(default_factory=PullbackConfig)
+
+    def __post_init__(self) -> None:
+        if self.cooldown_s < 0 or self.flap_damp_s < 0:
+            raise ConfigurationError("windows must be >= 0")
+        if self.migration_budget < 1:
+            raise ConfigurationError("budget must be >= 1")
+
+
+class HardenedController:
+    """Cooldown + damping + budget + pull-back around a policy."""
+
+    def __init__(self, policy: Optional[SelectionPolicy] = None,
+                 config: HardeningConfig = HardeningConfig(),
+                 detector: Optional[OverloadDetector] = None,
+                 cost_model: MigrationCostModel = MigrationCostModel()) -> None:
+        self.policy = policy or PAMPolicy()
+        self.config = config
+        self.detector = detector or OverloadDetector()
+        self.cost_model = cost_model
+        self._executor: Optional[MigrationExecutor] = None
+        self._last_plan_s: Optional[float] = None
+        self._last_moved: Dict[str, float] = {}
+        #: NFs the forward policy pushed to the CPU — the only ones the
+        #: pull-back pass may return (restores the baseline placement).
+        self._pushed: set = set()
+        self.scaleout_events: List[float] = []
+        self.suppressed_plans: int = 0
+
+    # -- runner integration ------------------------------------------------
+
+    @property
+    def migrations(self) -> List[MigrationRecord]:
+        """Completed migration records."""
+        return self._executor.records if self._executor else []
+
+    @property
+    def budget_left(self) -> int:
+        """Migrations still allowed under the budget."""
+        return self.config.migration_budget - len(self.migrations)
+
+    def _executor_for(self, context: TickContext) -> MigrationExecutor:
+        if self._executor is None:
+            self._executor = MigrationExecutor(
+                context.server, context.network, context.engine,
+                cost_model=self.cost_model)
+        return self._executor
+
+    # -- guard rails --------------------------------------------------------
+
+    def _cooling_down(self, now_s: float) -> bool:
+        return (self._last_plan_s is not None
+                and now_s - self._last_plan_s < self.config.cooldown_s)
+
+    def _damped(self, plan: MigrationPlan, now_s: float) -> bool:
+        """Whether any NF in the plan migrated too recently."""
+        for name in plan.migrated_names:
+            moved_at = self._last_moved.get(name)
+            if moved_at is not None and \
+                    now_s - moved_at < self.config.flap_damp_s:
+                return True
+        return False
+
+    def _admit(self, plan: MigrationPlan, context: TickContext) -> bool:
+        """Apply guard rails; execute the plan if it passes."""
+        now = context.now_s
+        if plan.is_noop:
+            return False
+        if self._damped(plan, now):
+            self.suppressed_plans += 1
+            return False
+        if len(plan.actions) > self.budget_left:
+            self.suppressed_plans += 1
+            return False
+        executor = self._executor_for(context)
+        if executor.busy:
+            return False
+        executor.apply(plan, context.offered_bps)
+        self._last_plan_s = now
+        for action in plan.actions:
+            self._last_moved[action.nf_name] = now
+            if action.target is DeviceKind.CPU:
+                self._pushed.add(action.nf_name)
+            else:
+                self._pushed.discard(action.nf_name)
+        return True
+
+    # -- the loop --------------------------------------------------------------
+
+    def on_tick(self, context: TickContext) -> None:
+        """One hardened operator cycle."""
+        nic_util = context.load.nic_load().utilisation
+        overloaded = self.detector.update(nic_util)
+        if self._cooling_down(context.now_s):
+            return
+        if overloaded:
+            try:
+                plan = self.policy.select(context.server.placement,
+                                          context.offered_bps)
+            except ScaleOutRequired:
+                self.scaleout_events.append(context.now_s)
+                return
+            self._admit(plan, context)
+        elif self.config.enable_pullback and self._pushed:
+            plan = select_pullback(context.server.placement,
+                                   context.offered_bps,
+                                   self.config.pullback,
+                                   eligible=self._pushed)
+            self._admit(plan, context)

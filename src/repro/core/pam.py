@@ -1,0 +1,114 @@
+"""The PAM selection algorithm (paper S2, Steps 1-3).
+
+Given the current placement and measured chain throughput, PAM picks
+which SmartNIC vNFs to push aside onto the CPU so that the NIC's
+overload is alleviated **without adding PCIe crossings**:
+
+1. *Border identification* — compute ``B_L`` / ``B_R``
+   (:func:`repro.core.border.border_sets`).
+2. *Selection* — ``b0 = argmin_{b in B_L ∪ B_R} theta_b^S``: the border
+   NF with the smallest NIC capacity frees the largest utilisation
+   fraction per unit throughput.
+3. *Checks* — Eq. 2: the CPU must stay under capacity with b0 added,
+   else b0 is discarded from the border sets and selection repeats.
+   Eq. 3: if the NIC is under capacity with b0 gone, migrate b0 and
+   stop; otherwise migrate b0, refresh the border sets (the neighbour
+   NF slides into the border), and loop.
+
+When the border pool empties while the NIC is still overloaded, no
+push-aside schedule exists: per the paper's closing remark the operator
+must scale out, and :func:`select` raises
+:class:`~repro.errors.ScaleOutRequired` (or returns the partial plan
+when ``strict=False``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..errors import ScaleOutRequired
+from ..resources.model import LoadModel, ThroughputSpec
+from .border import BorderSets, border_sets, refreshed_border_sets
+from .feasibility import (FeasibilityConfig, cpu_can_host, nic_alleviated,
+                          nic_alleviated_without)
+from .plan import MigrationAction, MigrationPlan
+
+POLICY_NAME = "pam"
+
+
+@dataclass(frozen=True)
+class PAMConfig:
+    """Tunables of the selection loop."""
+
+    feasibility: FeasibilityConfig = field(default_factory=FeasibilityConfig)
+    #: Raise :class:`ScaleOutRequired` when migration cannot alleviate;
+    #: with False, return the partial plan marked ``alleviates=False``.
+    strict: bool = True
+    #: Upper bound on moves per invocation (a runaway-loop guard far
+    #: above any real chain length).
+    max_migrations: int = 64
+
+
+def _pick_b0(placement: Placement, borders: BorderSets) -> Optional[str]:
+    """Step 2: min-theta^S border NF; position breaks ties deterministically."""
+    candidates = sorted(
+        borders.all,
+        key=lambda name: (placement.chain.get(name).nic_capacity_bps,
+                          placement.chain.position(name)))
+    return candidates[0] if candidates else None
+
+
+def select(placement: Placement, throughput: ThroughputSpec,
+           config: PAMConfig = PAMConfig()) -> MigrationPlan:
+    """Run PAM and return the migration plan for one overload episode."""
+    load = LoadModel(placement, throughput)
+    if nic_alleviated(load, config.feasibility):
+        return MigrationPlan.empty(placement, POLICY_NAME,
+                                   notes=("smartnic not overloaded",))
+
+    borders = border_sets(placement)
+    actions: List[MigrationAction] = []
+    notes: List[str] = []
+    current = placement
+    alleviates = False
+
+    while len(actions) < config.max_migrations:
+        b0_name = _pick_b0(current, borders)
+        if b0_name is None:
+            notes.append("border pool exhausted before alleviation")
+            break
+        b0 = current.chain.get(b0_name)
+        if not cpu_can_host(load, b0, config.feasibility):
+            # Eq. 2 failed: migrating b0 would create a CPU hot spot.
+            notes.append(f"eq2 rejects {b0_name} (cpu would overload)")
+            borders = borders.without(b0_name)
+            continue
+        done = nic_alleviated_without(load, b0, config.feasibility)
+        was_left = b0_name in borders.left
+        actions.append(MigrationAction(
+            nf_name=b0_name,
+            source=DeviceKind.SMARTNIC,
+            target=DeviceKind.CPU,
+            crossing_delta=current.crossing_delta(b0_name, DeviceKind.CPU)))
+        current = current.moved(b0_name, DeviceKind.CPU)
+        load = LoadModel(current, throughput)
+        borders = refreshed_border_sets(current, borders, b0_name, was_left)
+        if done:
+            alleviates = True
+            notes.append(f"eq3 satisfied after migrating {b0_name}")
+            break
+
+    plan = MigrationPlan(
+        actions=tuple(actions), before=placement, after=current,
+        alleviates=alleviates, policy=POLICY_NAME, notes=tuple(notes))
+    plan.validate()
+    if not alleviates and config.strict:
+        raise ScaleOutRequired(
+            "PAM cannot alleviate the SmartNIC by border migration; "
+            "scale out per OpenNF",
+            nic_utilisation=load.nic_load().utilisation,
+            cpu_utilisation=load.cpu_load().utilisation)
+    return plan

@@ -1,0 +1,97 @@
+"""Migration plans: the output of a selection algorithm.
+
+A plan is an ordered list of single-NF moves plus the predicted
+before/after placements, so callers can inspect what a policy *intends*
+before the executor turns it into simulated pause/transfer/resume
+events.  Plans also carry the predicted PCIe-crossing delta — the
+quantity PAM minimises and the naive policy ignores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..errors import InfeasiblePlanError
+
+
+@dataclass(frozen=True)
+class MigrationAction:
+    """One NF move."""
+
+    nf_name: str
+    source: DeviceKind
+    target: DeviceKind
+    #: Change in end-to-end PCIe crossings this single move causes,
+    #: evaluated against the placement it applies to.
+    crossing_delta: int
+
+    def __post_init__(self) -> None:
+        if self.source is self.target:
+            raise InfeasiblePlanError(
+                f"action moves {self.nf_name!r} nowhere ({self.source.value})")
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """An ordered sequence of moves with predicted outcomes."""
+
+    actions: Tuple[MigrationAction, ...]
+    before: Placement
+    after: Placement
+    #: Whether the policy predicts the SmartNIC overload is resolved.
+    alleviates: bool
+    #: Policy that produced the plan ("pam", "naive", ...), for reports.
+    policy: str = "unspecified"
+    #: Free-form diagnostic notes appended during selection.
+    notes: Tuple[str, ...] = ()
+
+    @classmethod
+    def empty(cls, placement: Placement, policy: str,
+              alleviates: bool = True, notes: Tuple[str, ...] = ()) -> "MigrationPlan":
+        """The do-nothing plan (no overload, or policy declined to act)."""
+        return cls(actions=(), before=placement, after=placement,
+                   alleviates=alleviates, policy=policy, notes=notes)
+
+    @property
+    def is_noop(self) -> bool:
+        """Whether the plan moves nothing."""
+        return not self.actions
+
+    @property
+    def migrated_names(self) -> List[str]:
+        """Names of NFs the plan moves, in execution order."""
+        return [action.nf_name for action in self.actions]
+
+    @property
+    def total_crossing_delta(self) -> int:
+        """Net change in PCIe crossings over the whole plan.
+
+        Equivalent to ``after.pcie_crossings() - before.pcie_crossings()``;
+        kept as a sum of per-action deltas so tests can cross-check both.
+        """
+        return sum(action.crossing_delta for action in self.actions)
+
+    def validate(self) -> None:
+        """Check internal consistency (before + actions == after).
+
+        Raises :class:`InfeasiblePlanError` on any mismatch; the policy
+        implementations call this before returning a plan.
+        """
+        placement = self.before
+        for action in self.actions:
+            if placement.device_of(action.nf_name) is not action.source:
+                raise InfeasiblePlanError(
+                    f"action on {action.nf_name!r} expects source "
+                    f"{action.source.value}, placement disagrees")
+            predicted = placement.crossing_delta(action.nf_name, action.target)
+            if predicted != action.crossing_delta:
+                raise InfeasiblePlanError(
+                    f"action on {action.nf_name!r} claims crossing delta "
+                    f"{action.crossing_delta}, recomputation gives {predicted}")
+            placement = placement.moved(action.nf_name, action.target)
+        if placement != self.after:
+            raise InfeasiblePlanError(
+                "plan's after-placement does not match applying its actions")

@@ -1,0 +1,25 @@
+"""Simulated hardware: SmartNIC, CPU, PCIe link, and the server aggregate."""
+
+from .cpu import CPU
+from .device import Device
+from .fpga import (DEFAULT_RECONFIGURATION_S, FPGASmartNIC, fpga_cost_model)
+from .pcie import (DEFAULT_CROSSING_LATENCY_S, DEFAULT_PCIE_BANDWIDTH_BPS,
+                   PCIeLink, PCIeStats)
+from .server import PAPER_TESTBED, Server, ServerProfile
+from .smartnic import SmartNIC
+
+__all__ = [
+    "CPU",
+    "DEFAULT_CROSSING_LATENCY_S",
+    "DEFAULT_PCIE_BANDWIDTH_BPS",
+    "DEFAULT_RECONFIGURATION_S",
+    "Device",
+    "FPGASmartNIC",
+    "PAPER_TESTBED",
+    "PCIeLink",
+    "PCIeStats",
+    "Server",
+    "ServerProfile",
+    "SmartNIC",
+    "fpga_cost_model",
+]

@@ -1,0 +1,47 @@
+"""Host CPU device model.
+
+Stands in for the paper's two Intel Xeon E5-2620 v2 sockets (6 physical
+cores each, 2.10 GHz).  vNFs on the host run at capacities theta_i^C
+(Table 1).  Core counts are carried for reporting and the scale-out
+fallback (each extra replica pins a core) but, per the paper's linear
+model, aggregate capacity is expressed purely through per-NF thetas.
+"""
+
+from __future__ import annotations
+
+from ..chain.nf import DeviceKind
+from ..errors import ConfigurationError
+from .device import Device
+
+
+class CPU(Device):
+    """A host CPU complex running vNFs in software."""
+
+    kind = DeviceKind.CPU
+
+    def __init__(self, name: str = "cpu",
+                 num_sockets: int = 2,
+                 cores_per_socket: int = 6,
+                 frequency_ghz: float = 2.10,
+                 queue_capacity_packets: int = 4096) -> None:
+        super().__init__(name, queue_capacity_packets)
+        if num_sockets <= 0 or cores_per_socket <= 0:
+            raise ConfigurationError("CPU must have at least one core")
+        if frequency_ghz <= 0:
+            raise ConfigurationError("CPU frequency must be positive")
+        self.num_sockets = num_sockets
+        self.cores_per_socket = cores_per_socket
+        self.frequency_ghz = frequency_ghz
+
+    @property
+    def total_cores(self) -> int:
+        """Physical cores available for vNFs and replicas."""
+        return self.num_sockets * self.cores_per_socket
+
+    def replica_capacity(self) -> int:
+        """How many additional NF replicas scale-out can still pin.
+
+        One core per hosted NF instance, mirroring run-to-completion
+        DPDK deployments; the remainder is replica budget.
+        """
+        return max(0, self.total_cores - len(self.hosted_nfs()))

@@ -1,0 +1,86 @@
+"""FPGA-based SmartNIC model (paper S4 future work).
+
+The paper closes with "extend PAM to work in FPGA-based SmartNICs".
+From PAM's perspective an FPGA NIC differs from an NPU NIC in two ways:
+
+* **Slots, not shares** — vNFs occupy discrete partial-reconfiguration
+  regions, so the NIC can host at most ``num_slots`` NFs regardless of
+  their utilisation.
+* **Reconfiguration cost** — removing or installing an NF means partial
+  reconfiguration of its region, which takes *milliseconds* (three
+  orders of magnitude above a state DMA), during which the NF is
+  unavailable.  The selection algebra (borders, Eq. 2/3) is unchanged,
+  but migrations are vastly more expensive — exactly why the paper
+  flags it as an extension rather than a parameter tweak.
+
+:class:`FPGASmartNIC` plugs into the same :class:`~repro.devices.server.Server`
+and simulator; :func:`fpga_cost_model` derives a migration cost model
+whose pause phase includes the reconfiguration time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from typing import TYPE_CHECKING, Optional
+
+from ..chain.nf import NFProfile
+from ..errors import ConfigurationError, PlacementError
+from ..units import gbps, msec
+from .smartnic import SmartNIC
+
+if TYPE_CHECKING:  # devices must not import migration at module load
+    # (migration.cost imports devices.pcie, closing a cycle).
+    from ..migration.cost import MigrationCostModel
+
+#: Typical partial-reconfiguration time for one mid-size region.
+DEFAULT_RECONFIGURATION_S = msec(4.0)
+
+
+class FPGASmartNIC(SmartNIC):
+    """A SmartNIC whose vNFs live in partial-reconfiguration slots."""
+
+    def __init__(self, name: str = "fpga-nic",
+                 port_rate_bps: float = gbps(10.0),
+                 num_ports: int = 2,
+                 queue_capacity_packets: int = 1024,
+                 num_slots: int = 4,
+                 reconfiguration_s: float = DEFAULT_RECONFIGURATION_S) -> None:
+        super().__init__(name, port_rate_bps, num_ports,
+                         queue_capacity_packets)
+        if num_slots <= 0:
+            raise ConfigurationError("an FPGA NIC needs at least one slot")
+        if reconfiguration_s < 0:
+            raise ConfigurationError("reconfiguration time must be >= 0")
+        self.num_slots = num_slots
+        self.reconfiguration_s = reconfiguration_s
+
+    @property
+    def free_slots(self) -> int:
+        """Reconfiguration regions not currently holding an NF."""
+        return self.num_slots - len(self.hosted_nfs())
+
+    def host(self, nf: NFProfile) -> None:
+        """Install an NF, enforcing the slot budget."""
+        if self.free_slots <= 0:
+            raise PlacementError(
+                f"FPGA NIC {self.name!r} has no free slots "
+                f"({self.num_slots} total)")
+        super().host(nf)
+
+
+def fpga_cost_model(nic: FPGASmartNIC,
+                    base: "Optional[MigrationCostModel]" = None
+                    ) -> "MigrationCostModel":
+    """A migration cost model whose pause includes reconfiguration.
+
+    Moving an NF off (or onto) the FPGA requires reprogramming its
+    region; the NF buffers for the whole reconfiguration, so the pause
+    phase dominates every other cost term by ~1000x.
+    """
+    from ..migration.cost import MigrationCostModel
+    if base is None:
+        base = MigrationCostModel()
+    return replace(base,
+                   pause_overhead_s=base.pause_overhead_s
+                   + nic.reconfiguration_s)

@@ -1,0 +1,70 @@
+"""Exception hierarchy for the PAM reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing configuration mistakes from runtime conditions such
+as the scale-out fallback the paper describes for joint overload.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A chain, placement, device, or workload was configured inconsistently.
+
+    Raised eagerly at construction/validation time, never mid-simulation,
+    so a simulation that starts running has a self-consistent setup.
+    """
+
+
+class UnknownNFError(ConfigurationError):
+    """An NF name was referenced that the catalog or chain does not contain."""
+
+
+class CapacityError(ConfigurationError):
+    """A capacity table is missing an entry or holds a non-positive value."""
+
+
+class PlacementError(ConfigurationError):
+    """A placement maps an NF to a device that cannot host it, or omits an NF."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an internal inconsistency."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or after the engine horizon."""
+
+
+class MigrationError(ReproError):
+    """A migration plan could not be applied to the running system."""
+
+
+class InfeasiblePlanError(MigrationError):
+    """The selection algorithm produced a plan that violates its constraints.
+
+    This indicates a library bug (the feasibility checks in
+    :mod:`repro.core.feasibility` should prevent it) and is surfaced
+    loudly rather than silently ignored.
+    """
+
+
+class ScaleOutRequired(ReproError):
+    """Both SmartNIC and CPU are overloaded; no migration can help.
+
+    The paper (S2, last paragraph) notes that when both devices are
+    overloaded "the network operator must start another instance" per
+    OpenNF.  PAM signals that condition with this exception so the
+    operator layer (or :mod:`repro.baselines.scaleout`) can react.
+    """
+
+    def __init__(self, message: str, nic_utilisation: float = 0.0,
+                 cpu_utilisation: float = 0.0) -> None:
+        super().__init__(message)
+        self.nic_utilisation = nic_utilisation
+        self.cpu_utilisation = cpu_utilisation

@@ -1,0 +1,78 @@
+"""Experiment harness: scenarios, drivers, sweeps, and table rendering."""
+
+from .config import ExperimentSpec
+from .config import load as load_config
+from .config import parse as parse_config
+from .results import Mismatch, ResultRecord, compare
+from .curves import CurvePoint, LatencyCurve, latency_load_curve
+from .paper import ArtefactResult, ReproductionReport, reproduce_all
+from .stats import MetricSummary, ReplicationReport, replicate
+from .suite import (SuiteCheck, SuiteEntry, check_suite, discover,
+                    render_checks, run_suite)
+from .compare import (PolicyOutcome, compare_policies, default_policies,
+                      latency_gap)
+from .experiment import (DEFAULT_DURATION_S, ExperimentConfig, run_experiment,
+                         steady_state)
+from .scenarios import (FIGURE1_BASE_LOAD_BPS, FIGURE1_SATURATION_BPS,
+                        FIGURE1_THROUGHPUT_BPS, Scenario,
+                        datacenter_inline, enterprise_edge, figure1,
+                        long_chain, table1_chain)
+from .sweep import (PcieSweepPoint, SizeSweepPoint, measure_capacity,
+                    packet_size_sweep, pcie_latency_sweep,
+                    single_nf_scenario)
+from .tables import (render_capacity_table, render_figure1,
+                     render_figure2_latency, render_figure2_throughput,
+                     render_pcie_sweep, render_table)
+
+__all__ = [
+    "DEFAULT_DURATION_S",
+    "ExperimentConfig",
+    "ExperimentSpec",
+    "FIGURE1_BASE_LOAD_BPS",
+    "FIGURE1_SATURATION_BPS",
+    "FIGURE1_THROUGHPUT_BPS",
+    "PcieSweepPoint",
+    "MetricSummary",
+    "Mismatch",
+    "ArtefactResult",
+    "CurvePoint",
+    "LatencyCurve",
+    "PolicyOutcome",
+    "ReplicationReport",
+    "ReproductionReport",
+    "ResultRecord",
+    "Scenario",
+    "SuiteCheck",
+    "SuiteEntry",
+    "SizeSweepPoint",
+    "check_suite",
+    "compare",
+    "compare_policies",
+    "datacenter_inline",
+    "default_policies",
+    "enterprise_edge",
+    "discover",
+    "figure1",
+    "latency_gap",
+    "latency_load_curve",
+    "load_config",
+    "parse_config",
+    "long_chain",
+    "measure_capacity",
+    "packet_size_sweep",
+    "pcie_latency_sweep",
+    "render_capacity_table",
+    "replicate",
+    "render_figure1",
+    "render_figure2_latency",
+    "render_figure2_throughput",
+    "render_pcie_sweep",
+    "render_table",
+    "render_checks",
+    "reproduce_all",
+    "run_experiment",
+    "run_suite",
+    "single_nf_scenario",
+    "steady_state",
+    "table1_chain",
+]

@@ -1,0 +1,93 @@
+"""Latency-vs-load curves — the hockey stick and where migration moves it.
+
+Sweeping offered load through a fixed placement traces the classic
+open-loop curve: flat latency while the chain has headroom, then a
+queueing blow-up past the capacity knee.  PAM's effect in these terms
+is a *rightward shift of the knee* (from 1.51 to 2.0 Gbps on the
+canonical chain); the naive policy shifts it further right but raises
+the whole flat region by the two-crossing penalty.  Ablation A13
+regenerates both curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigurationError
+from ..telemetry.ascii_plots import sparkline
+from ..units import as_gbps, as_usec
+from .experiment import steady_state
+from .scenarios import Scenario
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """One (offered load, behaviour) sample of a latency-load curve."""
+
+    offered_bps: float
+    mean_latency_s: float
+    p99_latency_s: float
+    goodput_bps: float
+    drop_rate: float
+
+
+@dataclass(frozen=True)
+class LatencyCurve:
+    """A full sweep over one placement."""
+
+    label: str
+    points: Sequence[CurvePoint]
+
+    def knee_bps(self, latency_factor: float = 2.0) -> float:
+        """First load whose latency exceeds ``factor`` x the base latency.
+
+        Returns the last swept load if the curve never blows up.
+        """
+        if not self.points:
+            raise ConfigurationError("empty curve")
+        base = self.points[0].mean_latency_s
+        for point in self.points:
+            if point.mean_latency_s > latency_factor * base:
+                return point.offered_bps
+        return self.points[-1].offered_bps
+
+    def spark(self) -> str:
+        """Sparkline of mean latency across the sweep."""
+        return sparkline([point.mean_latency_s for point in self.points])
+
+    def render(self) -> str:
+        """Rows of the curve plus the sparkline."""
+        lines = [f"{self.label}:  {self.spark()}"]
+        for point in self.points:
+            lines.append(
+                f"  {as_gbps(point.offered_bps):5.2f} Gbps  "
+                f"mean {as_usec(point.mean_latency_s):8.1f} us  "
+                f"p99 {as_usec(point.p99_latency_s):8.1f} us  "
+                f"goodput {as_gbps(point.goodput_bps):5.2f} Gbps  "
+                f"drops {point.drop_rate:5.1%}")
+        return "\n".join(lines)
+
+
+def latency_load_curve(scenario: Scenario,
+                       loads_bps: Sequence[float],
+                       packet_size_bytes: int = 256,
+                       duration_s: float = 0.008,
+                       label: Optional[str] = None) -> LatencyCurve:
+    """Sweep offered load over a fixed placement (no controller)."""
+    if not loads_bps:
+        raise ConfigurationError("need at least one load")
+    points: List[CurvePoint] = []
+    for load in sorted(loads_bps):
+        result = steady_state(scenario, load, packet_size_bytes,
+                              duration_s)
+        if result.latency is None:
+            raise ConfigurationError(
+                f"no packets delivered at {as_gbps(load):.2f} Gbps")
+        points.append(CurvePoint(
+            offered_bps=load,
+            mean_latency_s=result.latency.mean_s,
+            p99_latency_s=result.latency.p99_s,
+            goodput_bps=result.goodput_bps,
+            drop_rate=result.dropped / result.injected))
+    return LatencyCurve(label=label or scenario.name, points=tuple(points))

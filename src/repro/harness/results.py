@@ -1,0 +1,148 @@
+"""Result persistence: serialise simulation results to JSON and back.
+
+Experiments worth citing are experiments you can diff.  This module
+flattens a :class:`~repro.sim.runner.SimulationResult` into a stable,
+versioned JSON document (only plain floats/ints/strings — no pickling),
+reloads it as a :class:`ResultRecord`, and compares two records field by
+field with tolerances, so a re-run on another machine can be checked
+against a committed baseline in one call.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..errors import ConfigurationError
+from ..sim.runner import SimulationResult
+
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """The persisted view of one simulation run."""
+
+    label: str
+    duration_s: float
+    injected: int
+    delivered: int
+    dropped: int
+    offered_bps: float
+    goodput_bps: float
+    mean_latency_s: Optional[float]
+    p50_latency_s: Optional[float]
+    p99_latency_s: Optional[float]
+    component_means_s: Dict[str, float]
+    pcie_crossings: int
+    placement: Dict[str, str]
+    migrated_nfs: List[str]
+    #: Packets consumed by filtering NFs (additive field; absent in
+    #: records written before it existed, hence the default).
+    filtered: int = 0
+    version: int = FORMAT_VERSION
+
+    @classmethod
+    def from_result(cls, result: SimulationResult,
+                    label: str = "run") -> "ResultRecord":
+        """Flatten a live result into a record."""
+        latency = result.latency
+        return cls(
+            label=label,
+            duration_s=result.duration_s,
+            injected=result.injected,
+            delivered=result.delivered,
+            dropped=result.dropped,
+            filtered=result.filtered,
+            offered_bps=result.offered_bps,
+            goodput_bps=result.goodput_bps,
+            mean_latency_s=latency.mean_s if latency else None,
+            p50_latency_s=latency.p50_s if latency else None,
+            p99_latency_s=latency.p99_s if latency else None,
+            component_means_s=dict(result.component_means_s),
+            pcie_crossings=result.final_placement.pcie_crossings(),
+            placement={name: device.value for name, device
+                       in result.final_placement.as_dict().items()},
+            migrated_nfs=list(result.migrated_nfs))
+
+    # -- persistence --------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialise to pretty-printed JSON."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "ResultRecord":
+        """Parse a record, checking the format version."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"not a result record: {exc}") from None
+        version = data.get("version")
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"result record version {version!r}, expected "
+                f"{FORMAT_VERSION}")
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ConfigurationError(f"malformed result record: {exc}") \
+                from None
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the record to ``path``."""
+        Path(path).write_text(self.dumps())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ResultRecord":
+        """Read a record from ``path``."""
+        return cls.loads(Path(path).read_text())
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One field that differs between two records."""
+
+    field_name: str
+    baseline: object
+    candidate: object
+
+
+def compare(baseline: ResultRecord, candidate: ResultRecord,
+            latency_rtol: float = 0.05,
+            goodput_rtol: float = 0.05) -> List[Mismatch]:
+    """Field-by-field comparison with tolerances; empty list == match.
+
+    Structural fields (placements, crossings, migrations, packet
+    counts) must match exactly; latency and goodput within the given
+    relative tolerances (a re-run with a different seed wiggles them).
+    """
+    mismatches: List[Mismatch] = []
+
+    def exact(name: str) -> None:
+        a, b = getattr(baseline, name), getattr(candidate, name)
+        if a != b:
+            mismatches.append(Mismatch(name, a, b))
+
+    def close(name: str, rtol: float) -> None:
+        a, b = getattr(baseline, name), getattr(candidate, name)
+        if a is None or b is None:
+            if a is not b:
+                mismatches.append(Mismatch(name, a, b))
+            return
+        if a == 0:
+            if b != 0:
+                mismatches.append(Mismatch(name, a, b))
+            return
+        if abs(a - b) / abs(a) > rtol:
+            mismatches.append(Mismatch(name, a, b))
+
+    for name in ("placement", "pcie_crossings", "migrated_nfs",
+                 "injected", "delivered", "dropped"):
+        exact(name)
+    close("mean_latency_s", latency_rtol)
+    close("p99_latency_s", latency_rtol)
+    close("goodput_bps", goodput_rtol)
+    return mismatches

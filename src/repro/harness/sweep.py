@@ -1,0 +1,134 @@
+"""Parameter sweeps: packet size (Figure 2), load ramps (Table 1), and
+the ablation axes (PCIe latency, chain length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chain.nf import DeviceKind, NFProfile
+from ..chain.chain import ServiceChain
+from ..chain.placement import Placement
+from ..core.planner import SelectionPolicy
+from ..devices.server import ServerProfile
+from ..errors import ConfigurationError
+from ..traffic.packet import PAPER_SIZE_SWEEP
+from .compare import PolicyOutcome, compare_policies
+from .experiment import steady_state
+from .scenarios import (FIGURE1_BASE_LOAD_BPS, FIGURE1_SATURATION_BPS,
+                        Scenario)
+
+
+@dataclass(frozen=True)
+class SizeSweepPoint:
+    """Comparison outcomes at one packet size (one x-value of Figure 2)."""
+
+    packet_size_bytes: int
+    outcomes: Dict[str, PolicyOutcome]
+
+    def mean_latency_usec(self, policy: str) -> float:
+        """Average latency of ``policy`` at this size, microseconds."""
+        return self.outcomes[policy].latency_run.latency.mean_usec
+
+    def goodput_gbps(self, policy: str) -> float:
+        """Saturated goodput of ``policy`` at this size, Gbps."""
+        return self.outcomes[policy].goodput_bps / 1e9
+
+
+def packet_size_sweep(scenario: Scenario,
+                      sizes: Sequence[int] = PAPER_SIZE_SWEEP,
+                      policies: Optional[Sequence[SelectionPolicy]] = None,
+                      latency_load_bps: float = FIGURE1_BASE_LOAD_BPS,
+                      throughput_load_bps: float = FIGURE1_SATURATION_BPS,
+                      duration_s: float = 0.02) -> List[SizeSweepPoint]:
+    """Figure 2's x-axis: the full policy comparison per packet size."""
+    points = []
+    for size in sizes:
+        outcomes = compare_policies(
+            scenario, policies=policies, packet_size_bytes=size,
+            latency_load_bps=latency_load_bps,
+            throughput_load_bps=throughput_load_bps,
+            duration_s=duration_s)
+        points.append(SizeSweepPoint(packet_size_bytes=size,
+                                     outcomes=outcomes))
+    return points
+
+
+def measure_capacity(scenario: Scenario,
+                     loads_bps: Sequence[float],
+                     packet_size_bytes: int = 512,
+                     duration_s: float = 0.01,
+                     goodput_tolerance: float = 0.05) -> float:
+    """Find the capacity knee by stepping offered load upward.
+
+    Returns the highest offered load whose delivered goodput stays
+    within ``goodput_tolerance`` of offered — i.e. the load just before
+    the chain starts shedding.  Used by the Table 1 bench to confirm
+    the simulator realises the configured capacities.
+    """
+    if not loads_bps:
+        raise ConfigurationError("need at least one load step")
+    knee = 0.0
+    for load in sorted(loads_bps):
+        result = steady_state(scenario, load, packet_size_bytes, duration_s)
+        achieved = result.goodput_bps
+        if achieved >= load * (1.0 - goodput_tolerance):
+            knee = load
+        else:
+            break
+    if knee == 0.0:
+        raise ConfigurationError(
+            "chain shed traffic even at the smallest load step")
+    return knee
+
+
+def single_nf_scenario(nf: NFProfile, device: DeviceKind,
+                       server_profile: ServerProfile = ServerProfile()
+                       ) -> Scenario:
+    """A one-NF chain on one device — the Table 1 measurement fixture."""
+    chain = ServiceChain([nf], name=f"solo-{nf.name}")
+    placement = Placement.all_on(
+        chain, device,
+        # Keep the packet on the measured device end to end so the knee
+        # reflects theta on that device alone, not PCIe serialisation.
+        ingress=device, egress=device)
+    return Scenario(name=f"table1/{nf.name}/{device.value}", chain=chain,
+                    placement=placement, server_profile=server_profile)
+
+
+@dataclass(frozen=True)
+class PcieSweepPoint:
+    """Naive-vs-PAM latency gap at one PCIe crossing latency."""
+
+    crossing_latency_s: float
+    naive_latency_s: float
+    pam_latency_s: float
+
+    @property
+    def gap(self) -> float:
+        """(naive - pam) / naive: the fraction of latency PAM saves."""
+        return (self.naive_latency_s - self.pam_latency_s) / self.naive_latency_s
+
+
+def pcie_latency_sweep(scenario_factory,
+                       crossing_latencies_s: Sequence[float],
+                       packet_size_bytes: int = 256,
+                       duration_s: float = 0.02) -> List[PcieSweepPoint]:
+    """Ablation A1: how the PAM advantage scales with PCIe cost.
+
+    ``scenario_factory(server_profile)`` must return the scenario built
+    against the given hardware profile.
+    """
+    points = []
+    for crossing in crossing_latencies_s:
+        profile = replace(ServerProfile(), pcie_crossing_latency_s=crossing)
+        scenario = scenario_factory(profile)
+        outcomes = compare_policies(scenario,
+                                    packet_size_bytes=packet_size_bytes,
+                                    duration_s=duration_s)
+        points.append(PcieSweepPoint(
+            crossing_latency_s=crossing,
+            naive_latency_s=outcomes["naive"].mean_latency_s,
+            pam_latency_s=outcomes["pam"].mean_latency_s))
+    return points

@@ -1,0 +1,117 @@
+"""Text renderers that print paper-style tables and figure series.
+
+Benchmarks call these to emit the same rows/series the paper reports,
+so `pytest benchmarks/ --benchmark-only -s` doubles as the experiment
+log recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..telemetry.metrics import relative_change
+from ..units import as_gbps, as_usec
+from .compare import PolicyOutcome
+from .sweep import PcieSweepPoint, SizeSweepPoint
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[str]],
+                 title: Optional[str] = None) -> str:
+    """A fixed-width text table."""
+    materialised = [list(map(str, row)) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in materialised)
+    return "\n".join(lines)
+
+
+def render_figure1(outcomes: Dict[str, PolicyOutcome]) -> str:
+    """Figure 1 as a table: migrations, crossings, latency per config."""
+    label = {"noop": "(a) before migration",
+             "naive": "(b) naive migration",
+             "pam": "(c) PAM"}
+    rows = []
+    for policy in ("noop", "naive", "pam"):
+        outcome = outcomes[policy]
+        moved = ", ".join(outcome.plan.migrated_names) or "-"
+        rows.append([
+            label.get(policy, policy),
+            moved,
+            str(outcome.pcie_crossings),
+            f"{outcome.plan.total_crossing_delta:+d}",
+            f"{as_usec(outcome.mean_latency_s):.1f}",
+        ])
+    return render_table(
+        ["configuration", "migrated vNFs", "PCIe crossings",
+         "crossing delta", "mean latency (us)"],
+        rows, title="Figure 1 — migration choices on the canonical chain")
+
+
+def render_figure2_latency(points: Sequence[SizeSweepPoint],
+                           policies: Sequence[str] = ("noop", "naive", "pam")
+                           ) -> str:
+    """Figure 2 latency series: one row per packet size."""
+    headers = ["packet size (B)"] + [f"{p} (us)" for p in policies] + \
+        ["pam vs naive"]
+    rows = []
+    for point in points:
+        row = [str(point.packet_size_bytes)]
+        row += [f"{point.mean_latency_usec(p):.1f}" for p in policies]
+        gap = relative_change(point.mean_latency_usec("pam"),
+                              point.mean_latency_usec("naive"))
+        row.append(f"{gap:+.1%}")
+        rows.append(row)
+    return render_table(headers, rows,
+                        title="Figure 2(a) — service chain latency")
+
+
+def render_figure2_throughput(points: Sequence[SizeSweepPoint],
+                              policies: Sequence[str] = ("noop", "naive", "pam")
+                              ) -> str:
+    """Figure 2 throughput series: one row per packet size."""
+    headers = ["packet size (B)"] + [f"{p} (Gbps)" for p in policies]
+    rows = []
+    for point in points:
+        row = [str(point.packet_size_bytes)]
+        row += [f"{point.goodput_gbps(p):.2f}" for p in policies]
+        rows.append(row)
+    return render_table(headers, rows,
+                        title="Figure 2(b) — service chain throughput")
+
+
+def render_capacity_table(rows: Sequence[Tuple[str, str, float, float]]) -> str:
+    """Table 1 reproduction: configured vs measured capacity.
+
+    ``rows`` are (nf, device, configured_bps, measured_bps).
+    """
+    formatted = []
+    for nf, device, configured, measured in rows:
+        err = abs(measured - configured) / configured
+        formatted.append([nf, device,
+                          f"{as_gbps(configured):.2f}",
+                          f"{as_gbps(measured):.2f}",
+                          f"{err:.1%}"])
+    return render_table(
+        ["vNF", "device", "configured (Gbps)", "measured (Gbps)", "error"],
+        formatted, title="Table 1 — vNF capacities, configured vs simulated")
+
+
+def render_pcie_sweep(points: Sequence[PcieSweepPoint]) -> str:
+    """Ablation A1: PAM's saving as a function of PCIe crossing cost."""
+    rows = [[f"{as_usec(p.crossing_latency_s):.0f}",
+             f"{as_usec(p.naive_latency_s):.1f}",
+             f"{as_usec(p.pam_latency_s):.1f}",
+             f"{p.gap:.1%}"] for p in points]
+    return render_table(
+        ["PCIe crossing (us)", "naive (us)", "pam (us)", "pam saves"],
+        rows, title="Ablation A1 — sensitivity to PCIe crossing latency")

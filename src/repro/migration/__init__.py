@@ -1,0 +1,19 @@
+"""Migration mechanism: state model, cost timeline, and the executor."""
+
+from .cost import MigrationCost, MigrationCostModel
+from .executor import MigrationExecutor, MigrationRecord
+from .incremental import IncrementalMigrator, IncrementalRecord
+from .state import (DEFAULT_FLOW_ENTRY_BYTES, STATELESS_BLOB_BYTES,
+                    StateModel)
+
+__all__ = [
+    "DEFAULT_FLOW_ENTRY_BYTES",
+    "IncrementalMigrator",
+    "IncrementalRecord",
+    "MigrationCost",
+    "MigrationCostModel",
+    "MigrationExecutor",
+    "MigrationRecord",
+    "STATELESS_BLOB_BYTES",
+    "StateModel",
+]

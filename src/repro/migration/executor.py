@@ -1,0 +1,143 @@
+"""Applies a migration plan to a live simulation.
+
+The executor turns each :class:`~repro.core.plan.MigrationAction` into
+the pause/transfer/resume timeline of :mod:`repro.migration.cost`:
+
+* pause the station (arrivals buffer, loss-free),
+* wait out the migration cost (and any in-flight packet still being
+  served on the old device — real migrations drain the pipeline),
+* re-host the NF on the target device, rebind and resume the station,
+* refresh both devices' demand so processor-sharing slowdowns reflect
+  the new placement.
+
+Actions execute **sequentially**: operators migrate one NF at a time so
+at most one chain element is buffering at any instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from ..devices.server import Server
+
+if TYPE_CHECKING:  # break the core <-> migration import cycle: the
+    # executor only consumes plan objects, it never constructs them.
+    from ..core.plan import MigrationAction, MigrationPlan
+from ..errors import MigrationError
+from ..sim.engine import Engine
+from ..sim.network import ChainNetwork
+from ..units import usec
+from .cost import MigrationCost, MigrationCostModel
+
+
+@dataclass
+class MigrationRecord:
+    """What one executed migration looked like."""
+
+    nf_name: str
+    started_s: float
+    completed_s: float
+    cost: MigrationCost
+    buffered_packets: int
+
+
+#: Poll interval while waiting for an in-flight packet to drain.
+_DRAIN_POLL_S = usec(5.0)
+
+
+class MigrationExecutor:
+    """Executes plans against one (server, network, engine) triple."""
+
+    def __init__(self, server: Server, network: ChainNetwork, engine: Engine,
+                 cost_model: MigrationCostModel = MigrationCostModel(),
+                 active_flows: int = 0,
+                 paced_replay_rate_bps: Optional[float] = None) -> None:
+        self.server = server
+        self.network = network
+        self.engine = engine
+        self.cost_model = cost_model
+        self.active_flows = active_flows
+        #: When set, resumed stations replay their pause buffer at this
+        #: bit rate instead of instantly — prevents the post-migration
+        #: burst from overflowing downstream queues after long pauses
+        #: (see NFStation.resume).
+        self.paced_replay_rate_bps = paced_replay_rate_bps
+        self.records: List[MigrationRecord] = []
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        """Whether a plan is currently executing."""
+        return self._busy
+
+    def apply(self, plan: "MigrationPlan", offered_bps: float,
+              on_done: Optional[Callable[[], None]] = None) -> None:
+        """Start executing ``plan``; returns immediately (event-driven).
+
+        ``offered_bps`` is the controller's current load estimate, used
+        to refresh device demand after each move.  ``on_done`` fires
+        once every action has completed.
+        """
+        if self._busy:
+            raise MigrationError("executor is already running a plan")
+        plan.validate()
+        if plan.is_noop:
+            if on_done is not None:
+                on_done()
+            return
+        self._busy = True
+        self._run_actions(list(plan.actions), offered_bps, on_done)
+
+    # -- internal, event-driven pipeline -----------------------------------
+
+    def _run_actions(self, remaining: "List[MigrationAction]",
+                     offered_bps: float,
+                     on_done: Optional[Callable[[], None]]) -> None:
+        if not remaining:
+            self._busy = False
+            if on_done is not None:
+                on_done()
+            return
+        action = remaining[0]
+        station = self.network.stations.get(action.nf_name)
+        if station is None:
+            raise MigrationError(f"no station for NF {action.nf_name!r}")
+        if station.device.kind is not action.source:
+            raise MigrationError(
+                f"NF {action.nf_name!r} is on {station.device.kind.value}, "
+                f"plan expects {action.source.value}")
+        started = self.engine.now_s
+        station.pause()
+        cost = self.cost_model.estimate(
+            station.profile, self.server.pcie,
+            active_flows=self.active_flows,
+            buffered_packets=station.buffered)
+        self.engine.after(
+            cost.total_s,
+            lambda: self._finish_action(action, station, started, cost,
+                                        remaining, offered_bps, on_done),
+            control=True)
+
+    def _finish_action(self, action, station, started, cost,
+                       remaining, offered_bps, on_done) -> None:
+        if station.busy:
+            # In-flight packet still draining on the old device; poll.
+            self.engine.after(
+                _DRAIN_POLL_S,
+                lambda: self._finish_action(action, station, started, cost,
+                                            remaining, offered_bps, on_done),
+                control=True)
+            return
+        self.server.apply_move(action.nf_name, action.target)
+        station.rebind(self.server.device(action.target))
+        buffered = station.buffered
+        station.resume(self.paced_replay_rate_bps)
+        self.server.refresh_demand(offered_bps)
+        self.records.append(MigrationRecord(
+            nf_name=action.nf_name,
+            started_s=started,
+            completed_s=self.engine.now_s,
+            cost=cost,
+            buffered_packets=buffered))
+        self._run_actions(remaining[1:], offered_bps, on_done)

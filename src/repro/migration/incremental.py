@@ -1,0 +1,148 @@
+"""Incremental (per-flow-batch) migration — the low-transient mode.
+
+The executor in :mod:`repro.migration.executor` moves an NF the simple
+OpenNF way: pause everything, DMA all state, resume.  The whole NF is
+unavailable for the full transfer, so the latency transient grows with
+state size (ablation A5) and becomes destructive at FPGA-scale pauses
+(A7).
+
+OpenNF's finer-grained mode moves state *per flow*: flows migrate in
+batches, and while a batch is in flight the NF keeps serving every
+other flow.  We model that timeline:
+
+* the NF's state splits into ``batches`` equal parts;
+* per batch: a short pause (steering-rule update for that batch's
+  flows), the batch's share of the state DMA, a short resume;
+* between batches the station runs normally — only packets belonging
+  to the batch being moved would buffer, which at equal flow weights is
+  a ``1/batches`` fraction; we approximate it by pausing the station
+  only for the per-batch control window, not the transfer.
+
+The trade: total control overhead grows linearly with the batch count,
+but the worst-case per-packet buffering shrinks by roughly the same
+factor.  Ablation A10 quantifies the frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..chain.nf import DeviceKind
+from ..devices.server import Server
+from ..errors import ConfigurationError, MigrationError
+from ..sim.engine import Engine
+from ..sim.network import ChainNetwork
+from ..units import usec
+from .cost import MigrationCostModel
+
+_DRAIN_POLL_S = usec(5.0)
+
+
+@dataclass
+class IncrementalRecord:
+    """Timeline of one incremental migration."""
+
+    nf_name: str
+    batches: int
+    started_s: float
+    completed_s: float
+    #: Summed time the station was actually paused (control windows).
+    paused_total_s: float
+
+
+class IncrementalMigrator:
+    """Executes single-NF moves in per-flow batches."""
+
+    def __init__(self, server: Server, network: ChainNetwork,
+                 engine: Engine,
+                 cost_model: MigrationCostModel = MigrationCostModel(),
+                 batches: int = 8,
+                 active_flows: int = 0) -> None:
+        if batches < 1:
+            raise ConfigurationError("need at least one batch")
+        self.server = server
+        self.network = network
+        self.engine = engine
+        self.cost_model = cost_model
+        self.batches = batches
+        self.active_flows = active_flows
+        self.records: List[IncrementalRecord] = []
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        """Whether a migration is in progress."""
+        return self._busy
+
+    def migrate(self, nf_name: str, target: DeviceKind,
+                offered_bps: float,
+                on_done: Optional[Callable[[], None]] = None) -> None:
+        """Move ``nf_name`` to ``target`` in per-flow batches."""
+        if self._busy:
+            raise MigrationError("incremental migrator already running")
+        station = self.network.stations.get(nf_name)
+        if station is None:
+            raise MigrationError(f"no station for NF {nf_name!r}")
+        if station.device.kind is target:
+            raise MigrationError(f"NF {nf_name!r} already on {target.value}")
+        self._busy = True
+        state_bytes = self.cost_model.state_model.transfer_bytes(
+            station.profile, self.active_flows)
+        batch_bytes = max(1, state_bytes // self.batches)
+        batch_transfer = self.server.pcie.bulk_transfer_time(batch_bytes)
+        context = {
+            "nf_name": nf_name, "target": target,
+            "offered_bps": offered_bps, "on_done": on_done,
+            "station": station, "batch_transfer_s": batch_transfer,
+            "started_s": self.engine.now_s, "paused_total_s": 0.0,
+        }
+        self._run_batch(0, context)
+
+    # -- per-batch timeline ----------------------------------------------------
+
+    def _run_batch(self, index: int, context: dict) -> None:
+        if index >= self.batches:
+            self._cutover(context)
+            return
+        station = context["station"]
+        # Per-batch control window: update steering for the batch's
+        # flows.  The station pauses only for this window; the DMA of
+        # the batch's state runs in the background while it serves.
+        station.pause()
+        window = self.cost_model.pause_overhead_s / self.batches + \
+            self.cost_model.resume_overhead_s / self.batches
+        context["paused_total_s"] += window
+
+        def end_window() -> None:
+            station.resume()
+            # The batch's state DMA completes in the background before
+            # the next control window may start.
+            self.engine.after(context["batch_transfer_s"],
+                              lambda: self._run_batch(index + 1, context),
+                              control=True)
+
+        self.engine.after(window, end_window, control=True)
+
+    def _cutover(self, context: dict) -> None:
+        """All state is across: flip the NF to the target device."""
+        station = context["station"]
+        if station.busy:
+            self.engine.after(_DRAIN_POLL_S,
+                              lambda: self._cutover(context),
+                              control=True)
+            return
+        station.pause()
+        self.server.apply_move(context["nf_name"], context["target"])
+        station.rebind(self.server.device(context["target"]))
+        station.resume()
+        self.server.refresh_demand(context["offered_bps"])
+        self.records.append(IncrementalRecord(
+            nf_name=context["nf_name"], batches=self.batches,
+            started_s=context["started_s"],
+            completed_s=self.engine.now_s,
+            paused_total_s=context["paused_total_s"]))
+        self._busy = False
+        on_done = context["on_done"]
+        if on_done is not None:
+            on_done()

@@ -1,0 +1,45 @@
+"""NF state model for migrations.
+
+UNO/OpenNF-style migration must move the NF's runtime state across
+PCIe.  The paper does not model state explicitly (its migrations are
+instantaneous in the analysis), but the mechanism's cost matters for the
+transient-latency ablation, so we model state size as
+
+``base state  +  per-flow entry * active flows``      (stateful NFs)
+
+and a fixed small blob for stateless NFs (configuration only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chain.nf import NFProfile
+from ..errors import ConfigurationError
+
+
+#: Bytes per tracked flow entry (5-tuple key + counters + timestamps),
+#: sized after typical connection-tracking records.
+DEFAULT_FLOW_ENTRY_BYTES = 128
+
+#: Configuration-only state moved for a stateless NF.
+STATELESS_BLOB_BYTES = 4 * 1024
+
+
+@dataclass(frozen=True)
+class StateModel:
+    """Computes how many bytes a migration must transfer."""
+
+    flow_entry_bytes: int = DEFAULT_FLOW_ENTRY_BYTES
+
+    def __post_init__(self) -> None:
+        if self.flow_entry_bytes <= 0:
+            raise ConfigurationError("flow entry size must be positive")
+
+    def transfer_bytes(self, nf: NFProfile, active_flows: int = 0) -> int:
+        """State bytes to move for ``nf`` with ``active_flows`` live flows."""
+        if active_flows < 0:
+            raise ConfigurationError("active flow count must be >= 0")
+        if not nf.stateful:
+            return STATELESS_BLOB_BYTES
+        return nf.state_bytes + self.flow_entry_bytes * active_flows

@@ -1,0 +1,19 @@
+"""Multiple co-located service chains sharing one SmartNIC + CPU."""
+
+from .controller import (MultiChainController, MultiChainMigrationRecord)
+from .model import ChainLoad, MultiChainLoadModel
+from .pam import MultiChainAction, MultiChainPlan
+from .pam import select as select_multichain
+from .sim import ChainResult, MultiChainRunner
+
+__all__ = [
+    "ChainLoad",
+    "ChainResult",
+    "MultiChainAction",
+    "MultiChainController",
+    "MultiChainLoadModel",
+    "MultiChainMigrationRecord",
+    "MultiChainPlan",
+    "MultiChainRunner",
+    "select_multichain",
+]

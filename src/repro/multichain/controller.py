@@ -1,0 +1,131 @@
+"""Closed-loop control for co-located chains.
+
+:class:`MultiChainController` is the multi-chain analogue of
+:class:`~repro.core.planner.MigrationController`: the runner ticks it
+periodically with per-chain offered-load estimates; on aggregate NIC
+overload it plans with :func:`repro.multichain.pam.select` and executes
+each move against the owning chain's network (pause / state transfer /
+rebind / resume, one NF at a time across the whole plan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..chain.nf import DeviceKind
+from ..core.feasibility import FeasibilityConfig
+from ..devices.server import Server
+from ..errors import MigrationError, ScaleOutRequired
+from ..migration.cost import MigrationCostModel
+from ..sim.engine import Engine
+from ..sim.network import ChainNetwork
+from ..telemetry.overload import OverloadDetector
+from ..units import usec
+from .model import ChainLoad, MultiChainLoadModel
+from .pam import MultiChainAction, MultiChainPlan, select
+
+_DRAIN_POLL_S = usec(5.0)
+
+
+@dataclass
+class MultiChainMigrationRecord:
+    """One executed cross-chain migration."""
+
+    chain_index: int
+    nf_name: str
+    started_s: float
+    completed_s: float
+
+
+class MultiChainController:
+    """Detects aggregate overload and executes multi-chain PAM plans."""
+
+    def __init__(self, server: Server, engine: Engine,
+                 networks: Sequence[ChainNetwork],
+                 detector: Optional[OverloadDetector] = None,
+                 cost_model: MigrationCostModel = MigrationCostModel(),
+                 feasibility: FeasibilityConfig = FeasibilityConfig()) -> None:
+        self.server = server
+        self.engine = engine
+        self.networks = list(networks)
+        self.detector = detector or OverloadDetector()
+        self.cost_model = cost_model
+        self.feasibility = feasibility
+        self.records: List[MultiChainMigrationRecord] = []
+        self.scaleout_events: List[float] = []
+        self._busy = False
+
+    def on_tick(self, chain_loads: Sequence[ChainLoad]) -> None:
+        """One operator cycle with fresh per-chain load estimates."""
+        model = MultiChainLoadModel(chain_loads)
+        self.server.nic.set_demand(model.nic_utilisation())
+        self.server.cpu.set_demand(model.cpu_utilisation())
+        overloaded = self.detector.update(model.nic_utilisation())
+        if not overloaded or self._busy:
+            return
+        try:
+            plan = select(list(chain_loads), feasibility=self.feasibility)
+        except ScaleOutRequired:
+            self.scaleout_events.append(self.engine.now_s)
+            return
+        if plan.is_noop:
+            return
+        self._busy = True
+        self._run_actions(list(plan.actions), list(chain_loads))
+
+    # -- event-driven execution ------------------------------------------------
+
+    def _run_actions(self, remaining: List[MultiChainAction],
+                     chain_loads: List[ChainLoad]) -> None:
+        if not remaining:
+            self._busy = False
+            return
+        action = remaining[0]
+        network = self.networks[action.chain_index]
+        station = network.stations.get(action.nf_name)
+        if station is None:
+            raise MigrationError(
+                f"chain {action.chain_index} has no NF "
+                f"{action.nf_name!r}")
+        started = self.engine.now_s
+        station.pause()
+        cost = self.cost_model.estimate(
+            station.profile, self.server.pcie,
+            buffered_packets=station.buffered)
+        self.engine.after(
+            cost.total_s,
+            lambda: self._finish(action, station, started, remaining,
+                                 chain_loads),
+            control=True)
+
+    def _finish(self, action, station, started, remaining,
+                chain_loads) -> None:
+        if station.busy:
+            self.engine.after(
+                _DRAIN_POLL_S,
+                lambda: self._finish(action, station, started,
+                                     remaining, chain_loads),
+                control=True)
+            return
+        source_device = self.server.device(station.device.kind)
+        target_device = self.server.device(action.target)
+        source_device.evict(action.nf_name)
+        target_device.host(station.profile)
+        station.rebind(target_device)
+        station.resume()
+        # Refresh aggregate demand against the post-move placements.
+        updated = []
+        for index, chain_load in enumerate(chain_loads):
+            placement = chain_load.placement
+            if index == action.chain_index:
+                placement = placement.moved(action.nf_name, action.target)
+            updated.append(ChainLoad(placement, chain_load.throughput))
+        chain_loads[:] = updated
+        model = MultiChainLoadModel(updated)
+        self.server.nic.set_demand(model.nic_utilisation())
+        self.server.cpu.set_demand(model.cpu_utilisation())
+        self.records.append(MultiChainMigrationRecord(
+            chain_index=action.chain_index, nf_name=action.nf_name,
+            started_s=started, completed_s=self.engine.now_s))
+        self._run_actions(remaining[1:], chain_loads)

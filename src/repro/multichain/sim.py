@@ -1,0 +1,149 @@
+"""Simulating several co-located chains on one server.
+
+One engine, one SmartNIC/CPU/PCIe triple, one
+:class:`~repro.sim.network.ChainNetwork` per chain, one traffic
+generator per chain.  Device demand (hence processor-sharing slowdown)
+is set from the *aggregate* :class:`~repro.multichain.model.MultiChainLoadModel`,
+so chains interfere with each other exactly as the summed linear model
+predicts — an overload caused by chain A slows chain B's NFs on the
+same device.
+
+Migration during a multi-chain run is out of scope here (the planning
+layer in :mod:`repro.multichain.pam` decides *what* to move; measuring
+before/after placements steady-state, as the benches do, captures the
+outcome).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..devices.server import Server, ServerProfile
+from ..errors import ConfigurationError
+from ..sim.engine import Engine
+from ..sim.network import ChainNetwork
+from ..telemetry.metrics import LatencySummary, ThroughputSummary
+from ..traffic.generators import TrafficGenerator
+from .model import ChainLoad, MultiChainLoadModel
+
+
+@dataclass
+class ChainResult:
+    """Per-chain aggregates of a multi-chain run."""
+
+    chain_name: str
+    injected: int
+    delivered: int
+    dropped: int
+    latency: Optional[LatencySummary]
+    throughput: ThroughputSummary
+
+
+class MultiChainRunner:
+    """Runs N (placement, generator) pairs on one shared server.
+
+    ``controller_factory`` (optional) builds a
+    :class:`~repro.multichain.controller.MultiChainController` from
+    (server, engine, networks); when present the runner ticks it every
+    ``monitor_period_s`` with measured per-chain offered loads, closing
+    the loop for live cross-chain migrations.
+    """
+
+    def __init__(self, pairs: Sequence[Tuple[Placement, TrafficGenerator]],
+                 server_profile: ServerProfile = ServerProfile(),
+                 controller_factory=None,
+                 monitor_period_s: float = 0.002) -> None:
+        if not pairs:
+            raise ConfigurationError("need at least one chain")
+        if monitor_period_s <= 0:
+            raise ConfigurationError("monitor period must be positive")
+        self.pairs = list(pairs)
+        self.monitor_period_s = monitor_period_s
+        self.server = server_profile.build()
+        # Host the union of every chain's NFs; uniqueness is enforced
+        # by the devices (duplicate names fail loudly at host()).
+        for placement, __ in self.pairs:
+            for nf in placement.chain:
+                self.server.device(placement.device_of(nf.name)).host(nf)
+        self.engine = Engine()
+        self.networks = [
+            ChainNetwork(self.server, self.engine, placement=placement)
+            for placement, __ in self.pairs]
+        self.controller = (controller_factory(self.server, self.engine,
+                                              self.networks)
+                           if controller_factory else None)
+        self._placements = [placement for placement, __ in self.pairs]
+        self._window_bytes = [0 for __ in self.pairs]
+
+    def _refresh_demand(self) -> None:
+        model = MultiChainLoadModel([
+            ChainLoad(placement, generator.mean_rate_bps())
+            for placement, generator in self.pairs])
+        self.server.nic.set_demand(model.nic_utilisation())
+        self.server.cpu.set_demand(model.cpu_utilisation())
+
+    def _tick(self, horizon_s: float) -> None:
+        """Estimate per-chain offered loads and drive the controller."""
+        if self.controller is not None:
+            loads = []
+            for index, network in enumerate(self.networks):
+                window = network.arrived_bytes - self._window_bytes[index]
+                self._window_bytes[index] = network.arrived_bytes
+                offered = window * 8.0 / self.monitor_period_s
+                loads.append(ChainLoad(self._placements[index], offered))
+            self.controller.on_tick(loads)
+            # Track placements the controller mutated.
+            for record in self.controller.records:
+                placement = self._placements[record.chain_index]
+                name = record.nf_name
+                actual = self.networks[record.chain_index] \
+                    .stations[name].device.kind
+                if placement.device_of(name) is not actual:
+                    self._placements[record.chain_index] = \
+                        placement.moved(name, actual)
+        if self.engine.now_s + self.monitor_period_s <= horizon_s:
+            self.engine.after(self.monitor_period_s,
+                              lambda: self._tick(horizon_s), control=True)
+
+    def final_placements(self) -> List[Placement]:
+        """Per-chain placements after any live migrations."""
+        return list(self._placements)
+
+    def run(self, drain_grace_s: float = 0.01) -> List[ChainResult]:
+        """Inject every chain's workload and run to completion."""
+        self._refresh_demand()
+        horizon = 0.0
+        for network, (placement, generator) in zip(self.networks,
+                                                   self.pairs):
+            horizon = max(horizon, generator.duration_s)
+            for packet in generator.packets():
+                network.inject(packet)
+        if self.controller is not None:
+            self.engine.after(self.monitor_period_s,
+                              lambda: self._tick(horizon), control=True)
+        self.engine.run(until_s=horizon + drain_grace_s)
+        results = []
+        for network, (placement, generator) in zip(self.networks,
+                                                   self.pairs):
+            network.check_conservation()
+            delivered = network.delivered
+            latencies = [p.latency_s for p in delivered
+                         if p.latency_s is not None]
+            in_window = [p for p in delivered
+                         if p.departure_s is not None
+                         and p.departure_s <= generator.duration_s]
+            results.append(ChainResult(
+                chain_name=placement.chain.name,
+                injected=network.injected,
+                delivered=len(delivered),
+                dropped=len(network.dropped),
+                latency=(LatencySummary.from_samples(latencies)
+                         if latencies else None),
+                throughput=ThroughputSummary(
+                    delivered_packets=len(in_window),
+                    delivered_bytes=sum(p.size_bytes for p in in_window),
+                    window_s=generator.duration_s)))
+        return results

@@ -1,0 +1,6 @@
+"""Resource model: linear utilisation (CoCo-style) and capacity tables."""
+
+from .capacity import CapacityTable
+from .model import DeviceLoad, LoadModel
+
+__all__ = ["CapacityTable", "DeviceLoad", "LoadModel"]

@@ -1,0 +1,89 @@
+"""Capacity tables: the theta_i^S / theta_i^C lookup the paper's Table 1 gives.
+
+:class:`CapacityTable` is a thin, validated view over a set of
+:class:`~repro.chain.nf.NFProfile` objects that renders and compares the
+way the paper presents capacities.  It also supports *calibration*: the
+Table 1 bench measures each NF's knee throughput in the simulator and
+checks it against the configured capacity via :meth:`relative_error`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..chain.nf import DeviceKind, NFProfile
+from ..errors import CapacityError, UnknownNFError
+from ..units import as_gbps
+
+
+class CapacityTable:
+    """Validated theta lookups for a set of NF profiles."""
+
+    def __init__(self, profiles: Iterable[NFProfile]) -> None:
+        self._profiles: Dict[str, NFProfile] = {}
+        for profile in profiles:
+            if profile.name in self._profiles:
+                raise CapacityError(
+                    f"duplicate NF {profile.name!r} in capacity table")
+            self._profiles[profile.name] = profile
+        if not self._profiles:
+            raise CapacityError("capacity table must not be empty")
+
+    @classmethod
+    def from_mapping(cls, profiles: Mapping[str, NFProfile]) -> "CapacityTable":
+        """Build from a catalog-style name -> profile mapping."""
+        return cls(profiles.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def names(self) -> List[str]:
+        """NF names in insertion order (Table 1 column order)."""
+        return list(self._profiles)
+
+    def profile(self, name: str) -> NFProfile:
+        """The profile for ``name``."""
+        try:
+            return self._profiles[name]
+        except KeyError:
+            raise UnknownNFError(f"no capacity entry for NF {name!r}") from None
+
+    def theta(self, name: str, device: DeviceKind) -> float:
+        """theta of NF ``name`` on ``device`` in bits/second."""
+        return self.profile(name).capacity_on(device)
+
+    # -- comparison/calibration helpers ------------------------------------
+
+    def relative_error(self, name: str, device: DeviceKind,
+                       measured_bps: float) -> float:
+        """``|measured - configured| / configured`` for one entry.
+
+        Used by the Table 1 reproduction bench to assert the simulated
+        knee matches the configured capacity.
+        """
+        configured = self.theta(name, device)
+        return abs(measured_bps - configured) / configured
+
+    # -- rendering -------------------------------------------------------------
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        """(name, theta^S in Gbps, theta^C in Gbps) rows; NaN when incapable."""
+        rows = []
+        for name, profile in self._profiles.items():
+            nic = as_gbps(profile.nic_capacity_bps) if profile.nic_capable else float("nan")
+            cpu = as_gbps(profile.cpu_capacity_bps) if profile.cpu_capable else float("nan")
+            rows.append((name, nic, cpu))
+        return rows
+
+    def render(self) -> str:
+        """A Table 1-style text table."""
+        header = f"{'vNF':<16}{'theta^S (Gbps)':>16}{'theta^C (Gbps)':>16}"
+        lines = [header, "-" * len(header)]
+        for name, nic, cpu in self.rows():
+            nic_s = f"{nic:.2f}" if nic == nic else "n/a"  # NaN != NaN
+            cpu_s = f"{cpu:.2f}" if cpu == cpu else "n/a"
+            lines.append(f"{name:<16}{nic_s:>16}{cpu_s:>16}")
+        return "\n".join(lines)

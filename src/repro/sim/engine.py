@@ -1,0 +1,79 @@
+"""The discrete-event engine: a clock and an event loop.
+
+Minimal by design — the engine advances a clock through a deterministic
+event queue.  Model logic (queues, NF servers, PCIe hops, migrations)
+lives in the modules that schedule events on it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import SchedulingError
+from .events import PRIORITY_CONTROL, PRIORITY_DATA, Event, EventQueue
+
+
+class Engine:
+    """Runs scheduled actions in timestamp order."""
+
+    def __init__(self) -> None:
+        self.now_s: float = 0.0
+        self._queue = EventQueue()
+        self._running = False
+        self.events_processed: int = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def at(self, time_s: float, action, control: bool = False) -> Event:
+        """Schedule ``action`` at absolute time ``time_s``.
+
+        ``control`` events (migrations, monitor ticks) run before data
+        events at the same timestamp.
+        """
+        if time_s < self.now_s:
+            raise SchedulingError(
+                f"cannot schedule at {time_s:.9f}, clock is at {self.now_s:.9f}")
+        priority = PRIORITY_CONTROL if control else PRIORITY_DATA
+        return self._queue.push(time_s, action, priority)
+
+    def after(self, delay_s: float, action, control: bool = False) -> Event:
+        """Schedule ``action`` ``delay_s`` seconds from now."""
+        if delay_s < 0:
+            raise SchedulingError(f"negative delay {delay_s}")
+        return self.at(self.now_s + delay_s, action, control)
+
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until_s: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        """Drain the queue, optionally stopping at a horizon or event cap.
+
+        Events at exactly ``until_s`` still execute; later events remain
+        queued (so a paused simulation can be resumed).
+        """
+        if self._running:
+            raise SchedulingError("engine is already running (re-entrant run())")
+        self._running = True
+        processed_this_run = 0
+        try:
+            while True:
+                if max_events is not None and processed_this_run >= max_events:
+                    return
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    return
+                if until_s is not None and next_time > until_s:
+                    self.now_s = until_s
+                    return
+                event = self._queue.pop()
+                assert event is not None  # peek said non-empty
+                self.now_s = event.time_s
+                event.action()
+                self.events_processed += 1
+                processed_this_run += 1
+        finally:
+            self._running = False

@@ -1,0 +1,76 @@
+"""Event primitives for the discrete-event engine.
+
+Events are ``(time, priority, seq, action)`` tuples ordered by time,
+then priority, then insertion order, so simultaneous events execute
+deterministically.  ``action`` is any zero-argument callable; the engine
+knows nothing about packets or NFs, which keeps it reusable for the
+migration and telemetry machinery.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..errors import SchedulingError
+
+Action = Callable[[], None]
+
+
+#: Priority classes: control actions (migrations, monitor ticks) run
+#: before data-plane completions at the same timestamp so a migration
+#: decision made "now" affects packets processed "now".
+PRIORITY_CONTROL = 0
+PRIORITY_DATA = 1
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled action.  Ordering fields come first for the heap."""
+
+    time_s: float
+    priority: int
+    seq: int
+    action: Action = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time_s: float, action: Action,
+             priority: int = PRIORITY_DATA) -> Event:
+        """Schedule ``action`` at ``time_s`` and return the Event handle."""
+        if time_s < 0:
+            raise SchedulingError(f"cannot schedule at negative time {time_s}")
+        event = Event(time_s=time_s, priority=priority,
+                      seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """The next non-cancelled event, or None when empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event without removing it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time_s if self._heap else None

@@ -1,0 +1,130 @@
+"""Failure injection for the simulated data plane.
+
+Production NFV control planes are judged by how they behave when things
+break, so the test suite injects faults:
+
+* **NF crash** — a station fails at a chosen time; packets reaching it
+  are dropped (a crashed NF forwards nothing) until a restart after
+  ``downtime_s``.  Restart discards whatever sat in the queue, like a
+  process respawn.
+* **Random loss** — Bernoulli packet loss at ingress (a flaky optic or
+  overrun RX ring), seeded for reproducibility.
+
+Faults compose with controllers: a crash on an overloaded NIC looks to
+the monitor like load relief, and the tests pin down that the planner
+does not misread it (utilisation is computed from *offered* load, not
+from the survivors).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import ConfigurationError, SimulationError
+from ..sim.engine import Engine
+from ..sim.network import ChainNetwork
+from ..traffic.packet import Packet
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, for post-run inspection."""
+
+    kind: str
+    nf_name: Optional[str]
+    at_s: float
+    until_s: Optional[float] = None
+    packets_lost: int = 0
+
+
+class FaultInjector:
+    """Schedules crashes and loss against one live network."""
+
+    def __init__(self, network: ChainNetwork, engine: Engine,
+                 seed: int = 99) -> None:
+        self.network = network
+        self.engine = engine
+        self.rng = random.Random(seed)
+        self.events: List[FaultEvent] = []
+        self._failed: set = set()
+
+    # -- NF crash ------------------------------------------------------------
+
+    def crash_nf(self, nf_name: str, at_s: float,
+                 downtime_s: float) -> FaultEvent:
+        """Crash ``nf_name`` at ``at_s``; restart after ``downtime_s``."""
+        if nf_name not in self.network.stations:
+            raise ConfigurationError(f"no station named {nf_name!r}")
+        if downtime_s <= 0:
+            raise ConfigurationError("downtime must be positive")
+        event = FaultEvent(kind="crash", nf_name=nf_name, at_s=at_s,
+                           until_s=at_s + downtime_s)
+        self.events.append(event)
+        self.engine.at(at_s, lambda: self._fail(nf_name, event),
+                       control=True)
+        self.engine.at(at_s + downtime_s, lambda: self._restore(nf_name),
+                       control=True)
+        return event
+
+    def _fail(self, nf_name: str, event: FaultEvent) -> None:
+        if nf_name in self._failed:
+            raise SimulationError(f"{nf_name!r} crashed twice")
+        self._failed.add(nf_name)
+        station = self.network.stations[nf_name]
+        # A crash loses the queue contents: drain and count them lost.
+        lost = station.queue.drain()
+        for packet, __ in lost:
+            packet.dropped_at = nf_name
+            self.network.dropped.append(packet)
+        event.packets_lost += len(lost)
+        original_accept = station.accept
+
+        def dropping_accept(packet: Packet) -> bool:
+            if nf_name in self._failed:
+                # Returning False lets ChainNetwork._arrive do the
+                # drop accounting, exactly like a queue overflow.
+                packet.dropped_at = nf_name
+                event.packets_lost += 1
+                return False
+            return original_accept(packet)
+
+        station.accept = dropping_accept  # type: ignore[method-assign]
+        self._accept_backup = original_accept
+
+    def _restore(self, nf_name: str) -> None:
+        self._failed.discard(nf_name)
+        # The wrapped accept() checks _failed, so nothing else to undo:
+        # once the name leaves the failed set, packets flow again.
+
+    def is_failed(self, nf_name: str) -> bool:
+        """Whether ``nf_name`` is currently down."""
+        return nf_name in self._failed
+
+    # -- random loss ------------------------------------------------------------
+
+    def random_loss(self, probability: float) -> FaultEvent:
+        """Drop each arriving packet with ``probability`` at ingress."""
+        if not (0.0 < probability < 1.0):
+            raise ConfigurationError("loss probability must be in (0, 1)")
+        event = FaultEvent(kind="loss", nf_name=None, at_s=0.0)
+        self.events.append(event)
+        original_ingress = self.network._ingress
+
+        def lossy_ingress(packet: Packet) -> None:
+            if self.rng.random() < probability:
+                packet.dropped_at = "wire"
+                self.network.arrived_bytes += packet.size_bytes
+                self.network.dropped.append(packet)
+                event.packets_lost += 1
+                return
+            original_ingress(packet)
+
+        self.network._ingress = lossy_ingress  # type: ignore[method-assign]
+        return event
+
+    @property
+    def total_lost(self) -> int:
+        """Packets destroyed by all injected faults so far."""
+        return sum(event.packets_lost for event in self.events)

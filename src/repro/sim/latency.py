@@ -1,0 +1,85 @@
+"""Per-packet latency decomposition.
+
+The paper argues about *where* latency comes from (PCIe crossings vs.
+NF processing), so the simulator attributes every microsecond of each
+packet's life to one of four components:
+
+* ``wire`` — ingress/egress serialisation on the Ethernet port,
+* ``processing`` — time being served inside NFs,
+* ``queueing`` — time waiting in NF ingress queues (and migration buffers),
+* ``pcie`` — NIC<->CPU transfers.
+
+:class:`LatencyRecord` accumulates the components for one packet;
+:class:`LatencyLedger` owns the records for a run and provides the
+aggregations the harness reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..errors import SimulationError
+
+COMPONENTS = ("wire", "processing", "queueing", "pcie")
+
+
+@dataclass
+class LatencyRecord:
+    """Component-attributed latency for one packet."""
+
+    seq: int
+    wire: float = 0.0
+    processing: float = 0.0
+    queueing: float = 0.0
+    pcie: float = 0.0
+
+    def add(self, component: str, seconds: float) -> None:
+        """Attribute ``seconds`` to ``component``."""
+        if seconds < 0:
+            raise SimulationError(
+                f"negative latency contribution {seconds} to {component}")
+        if component not in COMPONENTS:
+            raise SimulationError(f"unknown latency component {component!r}")
+        setattr(self, component, getattr(self, component) + seconds)
+
+    @property
+    def total(self) -> float:
+        """Sum of all components (equals end-to-end latency)."""
+        return self.wire + self.processing + self.queueing + self.pcie
+
+
+class LatencyLedger:
+    """Collects per-packet records and aggregates them."""
+
+    def __init__(self) -> None:
+        self._records: Dict[int, LatencyRecord] = {}
+
+    def record_for(self, seq: int) -> LatencyRecord:
+        """The (possibly new) record for packet ``seq``."""
+        record = self._records.get(seq)
+        if record is None:
+            record = LatencyRecord(seq=seq)
+            self._records[seq] = record
+        return record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> List[LatencyRecord]:
+        """All records in packet order."""
+        return [self._records[k] for k in sorted(self._records)]
+
+    def component_means(self, seqs: Optional[Iterable[int]] = None) -> Dict[str, float]:
+        """Mean seconds per component over ``seqs`` (default: all packets)."""
+        chosen = (self._records[s] for s in seqs) if seqs is not None \
+            else iter(self._records.values())
+        totals = dict.fromkeys(COMPONENTS, 0.0)
+        count = 0
+        for record in chosen:
+            for component in COMPONENTS:
+                totals[component] += getattr(record, component)
+            count += 1
+        if count == 0:
+            return dict.fromkeys(COMPONENTS, 0.0)
+        return {c: v / count for c, v in totals.items()}

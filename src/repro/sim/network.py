@@ -1,0 +1,174 @@
+"""Wiring a placed service chain into the simulated server.
+
+:class:`ChainNetwork` creates one :class:`~repro.sim.nfinstance.NFStation`
+per NF, hosted on its placement's device, and forwards packets along the
+chain.  Whenever two consecutive hops live on different devices the
+packet pays a PCIe crossing (recorded on the server's link, attributed
+to the packet's ``pcie`` latency component).  Traffic enters and leaves
+through the SmartNIC's Ethernet port, paying wire serialisation each
+way, so a CPU-resident head or tail NF also costs crossings — exactly
+the geometry behind Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..devices.server import Server
+from ..errors import SimulationError
+from ..traffic.packet import Packet
+from .engine import Engine
+from .latency import LatencyLedger
+from .nfinstance import NFStation
+
+
+class ChainNetwork:
+    """The data plane: stations plus inter-station forwarding."""
+
+    def __init__(self, server: Server, engine: Engine,
+                 ledger: Optional[LatencyLedger] = None,
+                 placement: Optional[Placement] = None) -> None:
+        """Wire one chain onto ``server``.
+
+        ``placement`` defaults to the server's installed placement; the
+        multi-chain runner passes each co-located chain's placement
+        explicitly (the server then hosts the union of their NFs).
+        """
+        self.server = server
+        self.engine = engine
+        self.ledger = ledger or LatencyLedger()
+        if placement is None:
+            placement = server.placement
+        self.chain = placement.chain
+        # Endpoints are fixed for the lifetime of the chain; migrations
+        # move NFs, never the wire or the host application.
+        self.ingress_device = placement.ingress
+        self.egress_device = placement.egress
+        self.stations: Dict[str, NFStation] = {}
+        for nf in self.chain:
+            device = server.device(placement.device_of(nf.name))
+            self.stations[nf.name] = NFStation(
+                nf, device, engine, self.ledger, self._on_nf_complete,
+                on_filtered=self._on_nf_filtered)
+        self.delivered: List[Packet] = []
+        self.dropped: List[Packet] = []
+        #: Packets consumed on purpose by filtering NFs (not losses).
+        self.filtered: List[Packet] = []
+        self.injected: int = 0
+        self.injected_bytes: int = 0
+        #: Bytes that have actually arrived on the wire so far (advances
+        #: with the simulation clock; the monitor's rate estimator reads it).
+        self.arrived_bytes: int = 0
+
+    # -- ingress ------------------------------------------------------------
+
+    def inject(self, packet: Packet) -> None:
+        """Schedule a packet's wire arrival (call before engine.run)."""
+        self.injected += 1
+        self.injected_bytes += packet.size_bytes
+        self.engine.at(packet.arrival_s, lambda: self._ingress(packet))
+
+    def _ingress(self, packet: Packet) -> None:
+        """Enter the chain at the ingress endpoint.
+
+        Wire-attached ingress (SmartNIC) pays Ethernet serialisation;
+        host-side ingress (CPU: traffic originating from a local
+        application) does not touch the wire.
+        """
+        self.arrived_bytes += packet.size_bytes
+        first_nf = self.chain[0].name
+        if self.ingress_device is DeviceKind.SMARTNIC:
+            t_wire = self.server.nic.rx_time(packet.size_bytes,
+                                             self.engine.now_s)
+            self.ledger.record_for(packet.seq).add("wire", t_wire)
+            self.engine.after(
+                t_wire, lambda: self._forward(packet, DeviceKind.SMARTNIC,
+                                              first_nf))
+        else:
+            self._forward(packet, DeviceKind.CPU, first_nf)
+
+    # -- forwarding -------------------------------------------------------------
+
+    def _forward(self, packet: Packet, from_device: DeviceKind,
+                 nf_name: str) -> None:
+        """Move a packet from ``from_device`` to NF ``nf_name``."""
+        station = self.stations[nf_name]
+        to_device = station.device.kind
+        if to_device is not from_device:
+            t_pcie = self.server.pcie.record_crossing(packet.size_bytes,
+                                                      self.engine.now_s)
+            self.ledger.record_for(packet.seq).add("pcie", t_pcie)
+            self.engine.after(t_pcie, lambda: self._arrive(packet, nf_name))
+        else:
+            self._arrive(packet, nf_name)
+
+    def _arrive(self, packet: Packet, nf_name: str) -> None:
+        # The station's device may have changed while the packet was in
+        # flight over PCIe (migration completed); that is fine — the
+        # packet is delivered to wherever the NF lives *now*, matching
+        # how flow re-steering behaves in UNO/OpenNF.
+        station = self.stations[nf_name]
+        if not station.accept(packet):
+            self.dropped.append(packet)
+
+    def _on_nf_filtered(self, packet: Packet, nf_name: str,
+                        now_s: float) -> None:
+        """An NF consumed the packet (firewall block etc.)."""
+        self.filtered.append(packet)
+
+    def _on_nf_complete(self, packet: Packet, nf_name: str, now_s: float) -> None:
+        """Station finished serving; route to next NF or egress."""
+        position = self.chain.position(nf_name)
+        here = self.stations[nf_name].device.kind
+        if position + 1 < len(self.chain):
+            packet.hop = position + 1
+            self._forward(packet, here, self.chain[position + 1].name)
+        else:
+            self._egress(packet, here)
+
+    # -- egress -------------------------------------------------------------
+
+    def _egress(self, packet: Packet, from_device: DeviceKind) -> None:
+        """Leave the chain at the egress endpoint.
+
+        Crossing PCIe first if the last NF is on the other device, then
+        paying wire serialisation only when the egress endpoint is the
+        NIC (host-terminated chains hand the packet to an application).
+        """
+        record = self.ledger.record_for(packet.seq)
+        if from_device is not self.egress_device:
+            t_pcie = self.server.pcie.record_crossing(packet.size_bytes,
+                                                      self.engine.now_s)
+            record.add("pcie", t_pcie)
+            self.engine.after(
+                t_pcie, lambda: self._egress(packet, self.egress_device))
+            return
+
+        def depart() -> None:
+            packet.departure_s = self.engine.now_s
+            self.delivered.append(packet)
+
+        if self.egress_device is DeviceKind.SMARTNIC:
+            t_wire = self.server.nic.tx_time(packet.size_bytes,
+                                             self.engine.now_s)
+            record.add("wire", t_wire)
+            self.engine.after(t_wire, depart)
+        else:
+            depart()
+
+    # -- accounting --------------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Packets injected with no final outcome yet."""
+        return (self.injected - len(self.delivered)
+                - len(self.dropped) - len(self.filtered))
+
+    def check_conservation(self) -> None:
+        """Assert injected == delivered + dropped + in-flight (>= 0)."""
+        if self.in_flight() < 0:
+            raise SimulationError(
+                f"packet conservation violated: injected={self.injected}, "
+                f"delivered={len(self.delivered)}, dropped={len(self.dropped)}, "
+                f"filtered={len(self.filtered)}")

@@ -1,0 +1,220 @@
+"""Simulated NF instance: a single-server FIFO queueing station.
+
+Each NF in the chain is one station: a bounded ingress queue feeding a
+server whose per-packet service time comes from the hosting device
+(``device.service_time`` — capacity-derived work stretched by the
+device's processor-sharing slowdown, plus the NF's fixed pipeline
+latency).
+
+Stations support **pausing** for migrations: while paused, arriving
+packets accumulate in an unbounded side buffer (OpenNF's loss-free
+buffering), and :meth:`resume` re-admits them in order on the new
+device.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, List, Optional, Tuple
+
+from ..chain.nf import NFProfile
+from ..devices.device import Device
+from ..errors import MigrationError, SimulationError
+from ..traffic.packet import Packet
+from .engine import Engine
+from .latency import LatencyLedger
+from .queues import PacketQueue
+
+#: Signature of the completion callback the network installs:
+#: (packet, nf_name, completion_time_s) -> None
+CompletionFn = Callable[[Packet, str, float], None]
+
+
+def _filter_token(nf_name: str, seq: int) -> float:
+    """Deterministic per-(NF, packet) uniform variate in [0, 1).
+
+    CRC-based so filtering decisions are stable across processes and
+    runs (unlike the built-in ``hash``, which is salted per process).
+    """
+    digest = zlib.crc32(f"{nf_name}:{seq}".encode())
+    return digest / 0x1_0000_0000
+
+
+class NFStation:
+    """One NF's queue + server, bound to whichever device hosts it."""
+
+    def __init__(self, profile: NFProfile, device: Device,
+                 engine: Engine, ledger: LatencyLedger,
+                 on_complete: CompletionFn,
+                 on_filtered: Optional[CompletionFn] = None) -> None:
+        self.profile = profile
+        self.device = device
+        self.engine = engine
+        self.ledger = ledger
+        self.on_complete = on_complete
+        self.on_filtered = on_filtered
+        self.queue = PacketQueue(device.queue_capacity_packets,
+                                 name=f"{profile.name}@{device.name}")
+        self._busy = False
+        self._paused = False
+        #: True while a paced resume is replaying the pause buffer: the
+        #: station still buffers new arrivals (order preservation) but
+        #: the server is allowed to run on already-readmitted packets.
+        self._draining = False
+        self._pause_buffer: List[Tuple[Packet, float]] = []
+        self.served_packets: int = 0
+        self.served_bytes: int = 0
+        self.filtered_packets: int = 0
+
+    # -- state inspection ---------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """Whether the server is mid-service."""
+        return self._busy
+
+    @property
+    def paused(self) -> bool:
+        """Whether the station is paused for migration."""
+        return self._paused
+
+    @property
+    def buffered(self) -> int:
+        """Packets held in the migration pause buffer."""
+        return len(self._pause_buffer)
+
+    # -- data path -----------------------------------------------------------
+
+    def accept(self, packet: Packet) -> bool:
+        """Packet arrives at this NF now.  Returns False when dropped."""
+        now = self.engine.now_s
+        if self._paused:
+            # Loss-free migration: buffer instead of dropping.
+            self._pause_buffer.append((packet, now))
+            return True
+        if not self.queue.enqueue(packet, now):
+            packet.dropped_at = self.profile.name
+            return False
+        self._try_start_service()
+        return True
+
+    def _try_start_service(self) -> None:
+        if self._busy or (self._paused and not self._draining):
+            return
+        item = self.queue.dequeue()
+        if item is None:
+            return
+        packet, enqueued_at = item
+        now = self.engine.now_s
+        record = self.ledger.record_for(packet.seq)
+        record.add("queueing", now - enqueued_at)
+        # Occupancy gates throughput (the server frees after it); the
+        # NF's fixed pipeline latency delays the packet further without
+        # blocking the next one — NFs are pipelined (see Device docs).
+        occupancy = self.device.occupancy_time(self.profile, packet.size_bytes)
+        pipeline = self.profile.base_latency_s
+        record.add("processing", occupancy + pipeline)
+        self._busy = True
+        self.engine.after(occupancy, self._free_server)
+        self.engine.after(occupancy + pipeline,
+                          lambda p=packet: self._emit(p))
+
+    def _free_server(self) -> None:
+        if not self._busy:
+            raise SimulationError(
+                f"server-free fired on idle station {self.profile.name}")
+        self._busy = False
+        self._try_start_service()
+
+    def _emit(self, packet: Packet) -> None:
+        self.served_packets += 1
+        self.served_bytes += packet.size_bytes
+        if self.profile.pass_rate < 1.0 and \
+                _filter_token(self.profile.name, packet.seq) >= \
+                self.profile.pass_rate:
+            # Policy decision, not a loss: consume the packet here.
+            packet.filtered_at = self.profile.name
+            self.filtered_packets += 1
+            if self.on_filtered is not None:
+                self.on_filtered(packet, self.profile.name,
+                                 self.engine.now_s)
+            return
+        self.on_complete(packet, self.profile.name, self.engine.now_s)
+
+    # -- migration support ----------------------------------------------------
+
+    def pause(self) -> List[Tuple[Packet, float]]:
+        """Stop admitting packets; return queued work for the move.
+
+        The in-flight packet (if any) finishes on the old device — real
+        migrations drain the pipeline before moving state.  Queued
+        packets are handed back so the executor can re-buffer them.
+        """
+        if self._paused:
+            raise MigrationError(f"station {self.profile.name} already paused")
+        self._paused = True
+        drained = self.queue.drain()
+        self._pause_buffer = drained + self._pause_buffer
+        return drained
+
+    def rebind(self, device: Device) -> None:
+        """Attach the station to its new hosting device (while paused)."""
+        if not self._paused:
+            raise MigrationError(
+                f"station {self.profile.name} must be paused to rebind")
+        if self._busy:
+            raise MigrationError(
+                f"station {self.profile.name} still serving; drain first")
+        self.device = device
+        # A new queue bound to the new device's capacity; stats of the
+        # old queue remain with the old object for post-run inspection.
+        self.queue = PacketQueue(device.queue_capacity_packets,
+                                 name=f"{self.profile.name}@{device.name}")
+
+    def resume(self, paced_rate_bps: Optional[float] = None) -> None:
+        """Re-admit buffered packets in arrival order and restart service.
+
+        With ``paced_rate_bps`` unset, the whole buffer re-enqueues
+        instantly — which is what an unpaced OpenNF replay does, and
+        which can overflow *downstream* queues after a long pause (the
+        FPGA-reconfiguration case).  A paced resume spaces the replayed
+        packets at the given bit rate, trading a slightly longer
+        transient for loss-freedom end to end.
+        """
+        if not self._paused:
+            raise MigrationError(f"station {self.profile.name} is not paused")
+        if paced_rate_bps is not None and paced_rate_bps <= 0:
+            raise MigrationError("paced replay rate must be positive")
+        if paced_rate_bps is None:
+            self._paused = False
+            buffered, self._pause_buffer = self._pause_buffer, []
+            for packet, buffered_at in buffered:
+                self._readmit(packet, buffered_at)
+            self._try_start_service()
+        else:
+            # Stay in buffering mode (new arrivals keep queueing behind
+            # the replayed ones, preserving order) and drain the buffer
+            # one packet per pacing interval until it is empty.
+            self._draining = True
+            self._drain_tick(paced_rate_bps)
+
+    def _drain_tick(self, paced_rate_bps: float) -> None:
+        if not self._pause_buffer:
+            self._paused = False
+            self._draining = False
+            self._try_start_service()
+            return
+        packet, buffered_at = self._pause_buffer.pop(0)
+        self._readmit(packet, buffered_at)
+        self.engine.after((packet.size_bytes * 8.0) / paced_rate_bps,
+                          lambda: self._drain_tick(paced_rate_bps))
+
+    def _readmit(self, packet: Packet, buffered_at: float) -> None:
+        """Move one packet from the migration buffer into the queue."""
+        now = self.engine.now_s
+        # Waiting in the migration buffer is queueing time.
+        self.ledger.record_for(packet.seq).add("queueing", now - buffered_at)
+        if not self.queue.enqueue(packet, now):
+            packet.dropped_at = self.profile.name
+            return
+        self._try_start_service()

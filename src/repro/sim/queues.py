@@ -1,0 +1,80 @@
+"""Bounded FIFO packet queues with drop-tail accounting.
+
+Every NF instance owns one ingress queue.  The queue tracks occupancy,
+drops, and per-packet enqueue timestamps so the latency decomposition
+can attribute waiting time separately from service time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..traffic.packet import Packet
+
+
+@dataclass
+class QueueStats:
+    """Counters for one FIFO queue."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    peak_depth: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered packets dropped at this queue."""
+        offered = self.enqueued + self.dropped
+        return self.dropped / offered if offered else 0.0
+
+
+class PacketQueue:
+    """A drop-tail FIFO of (packet, enqueue_time) with bounded depth."""
+
+    def __init__(self, capacity_packets: int, name: str = "queue") -> None:
+        if capacity_packets <= 0:
+            raise ConfigurationError("queue capacity must be positive")
+        self.capacity_packets = capacity_packets
+        self.name = name
+        self._items: Deque[Tuple[Packet, float]] = deque()
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """Whether the next enqueue would be dropped."""
+        return len(self._items) >= self.capacity_packets
+
+    def enqueue(self, packet: Packet, now_s: float) -> bool:
+        """Append a packet; returns False (and counts a drop) when full."""
+        if self.full:
+            self.stats.dropped += 1
+            return False
+        self._items.append((packet, now_s))
+        self.stats.enqueued += 1
+        self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+        return True
+
+    def dequeue(self) -> Optional[Tuple[Packet, float]]:
+        """Pop the oldest (packet, enqueue_time), or None when empty."""
+        if not self._items:
+            return None
+        self.stats.dequeued += 1
+        return self._items.popleft()
+
+    def drain(self):
+        """Remove and return all queued (packet, enqueue_time) pairs.
+
+        Used by the migration executor when it moves an NF: queued
+        packets are carried to the buffer, not lost (OpenNF loss-free
+        semantics).
+        """
+        items = list(self._items)
+        self._items.clear()
+        self.stats.dequeued += len(items)
+        return items

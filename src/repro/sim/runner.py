@@ -1,0 +1,175 @@
+"""End-to-end simulation driver.
+
+:class:`SimulationRunner` connects a traffic generator to a placed chain
+on a server, optionally runs a control loop (the paper's "periodically
+query the load ... and execute the PAM algorithm"), and produces a
+:class:`SimulationResult` with the latency/throughput aggregates the
+benchmarks report.
+
+The control loop is pluggable: anything with an ``on_tick(context)``
+method works.  :mod:`repro.core.planner` provides the PAM controller and
+:mod:`repro.baselines` the comparison policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+from ..chain.placement import Placement
+from ..devices.pcie import PCIeStats
+from ..devices.server import Server
+from ..errors import ConfigurationError
+from ..resources.model import LoadModel
+from ..telemetry.metrics import LatencySummary, ThroughputSummary
+from ..traffic.generators import TrafficGenerator
+from .engine import Engine
+from .latency import LatencyLedger
+from .network import ChainNetwork
+
+
+@dataclass
+class TickContext:
+    """What a controller sees on each monitor tick."""
+
+    now_s: float
+    #: Offered-load estimate over the last monitor window, bits/second.
+    offered_bps: float
+    #: Utilisation model at the estimated offered load.
+    load: LoadModel
+    #: The server, so controllers can apply migrations.
+    server: Server
+    #: The live network (controllers pause/resume stations through it).
+    network: ChainNetwork
+    #: The engine, for scheduling migration completion events.
+    engine: Engine
+
+
+class Controller(Protocol):
+    """A control-plane policy invoked on every monitor tick."""
+
+    def on_tick(self, context: TickContext) -> None:
+        """Inspect load and, if needed, start migrations."""
+
+
+@dataclass
+class SimulationResult:
+    """Aggregates of one simulation run."""
+
+    duration_s: float
+    injected: int
+    delivered: int
+    dropped: int
+    #: Packets consumed on purpose by filtering NFs (firewall blocks).
+    filtered: int
+    offered_bps: float
+    latency: Optional[LatencySummary]
+    throughput: ThroughputSummary
+    component_means_s: Dict[str, float]
+    pcie: PCIeStats
+    final_placement: Placement
+    #: Times at which controller-initiated migrations completed.
+    migration_times_s: List[float] = field(default_factory=list)
+    #: Names of NFs migrated, in order.
+    migrated_nfs: List[str] = field(default_factory=list)
+
+    @property
+    def delivery_rate(self) -> float:
+        """Fraction of injected packets delivered."""
+        return self.delivered / self.injected if self.injected else 0.0
+
+    @property
+    def goodput_bps(self) -> float:
+        """Delivered bits/second over the run."""
+        return self.throughput.goodput_bps
+
+
+class SimulationRunner:
+    """Runs one (server, placement, workload[, controller]) experiment."""
+
+    def __init__(self, server: Server, generator: TrafficGenerator,
+                 controller: Optional[Controller] = None,
+                 monitor_period_s: float = 0.002,
+                 drain_grace_s: float = 0.01) -> None:
+        if monitor_period_s <= 0:
+            raise ConfigurationError("monitor period must be positive")
+        if drain_grace_s < 0:
+            raise ConfigurationError("drain grace must be >= 0")
+        self.server = server
+        self.generator = generator
+        self.controller = controller
+        self.monitor_period_s = monitor_period_s
+        self.drain_grace_s = drain_grace_s
+        self.engine = Engine()
+        self.network = ChainNetwork(server, self.engine)
+        self._last_window_bytes = 0
+
+    # -- control loop ---------------------------------------------------------
+
+    def _tick(self) -> None:
+        now = self.engine.now_s
+        window_bytes = self.network.arrived_bytes - self._last_window_bytes
+        self._last_window_bytes = self.network.arrived_bytes
+        offered_bps = window_bytes * 8.0 / self.monitor_period_s
+        # Keep device slowdowns tracking the measured load even when no
+        # controller is installed.
+        load = self.server.refresh_demand(offered_bps)
+        if self.controller is not None:
+            self.controller.on_tick(TickContext(
+                now_s=now, offered_bps=offered_bps, load=load,
+                server=self.server, network=self.network, engine=self.engine))
+        horizon = self.generator.duration_s
+        if now + self.monitor_period_s <= horizon:
+            self.engine.after(self.monitor_period_s, self._tick, control=True)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Inject the workload, run to completion, and aggregate."""
+        offered_mean = self.generator.mean_rate_bps()
+        self.server.refresh_demand(offered_mean)
+        for packet in self.generator.packets():
+            self.network.inject(packet)
+        self.engine.after(self.monitor_period_s, self._tick, control=True)
+        self.engine.run(until_s=self.generator.duration_s + self.drain_grace_s)
+        self.network.check_conservation()
+        return self._collect(offered_mean)
+
+    def _collect(self, offered_bps: float) -> SimulationResult:
+        delivered = self.network.delivered
+        latencies = [p.latency_s for p in delivered if p.latency_s is not None]
+        latency = LatencySummary.from_samples(latencies) if latencies else None
+        # Goodput counts only packets that left within the workload
+        # horizon; backlog drained during the grace period would
+        # otherwise inflate an overloaded chain's apparent throughput.
+        horizon = self.generator.duration_s
+        in_window = [p for p in delivered
+                     if p.departure_s is not None and p.departure_s <= horizon]
+        throughput = ThroughputSummary(
+            delivered_packets=len(in_window),
+            delivered_bytes=sum(p.size_bytes for p in in_window),
+            window_s=horizon)
+        delivered_seqs = [p.seq for p in delivered]
+        migrations = getattr(self.controller, "migrations", [])
+        return SimulationResult(
+            duration_s=self.generator.duration_s,
+            injected=self.network.injected,
+            delivered=len(delivered),
+            dropped=len(self.network.dropped),
+            filtered=len(self.network.filtered),
+            offered_bps=offered_bps,
+            latency=latency,
+            throughput=throughput,
+            component_means_s=self.network.ledger.component_means(delivered_seqs),
+            pcie=self.server.pcie.stats,
+            final_placement=self.server.placement,
+            migration_times_s=[m.completed_s for m in migrations],
+            migrated_nfs=[m.nf_name for m in migrations])
+
+
+def simulate(server: Server, generator: TrafficGenerator,
+             controller: Optional[Controller] = None,
+             monitor_period_s: float = 0.002) -> SimulationResult:
+    """One-call convenience wrapper around :class:`SimulationRunner`."""
+    return SimulationRunner(server, generator, controller,
+                            monitor_period_s).run()

@@ -1,0 +1,39 @@
+"""Operator-side telemetry: metrics, overload detection, monitors."""
+
+from .ascii_plots import bar_chart, sparkline, utilisation_timeline
+from .accounting import ResourceBill, bill_from_monitor, integrate_series
+from .estimator import EwmaEstimator, HoltEstimator, SmoothedController
+from .export import load_packets_jsonl, packets_to_jsonl, series_to_csv
+from .histogram import LatencyHistogram
+from .metrics import (LatencySummary, ThroughputSummary, percentile,
+                      relative_change)
+from .monitor import SERIES_CPU, SERIES_NIC, SERIES_OFFERED, LoadMonitor
+from .overload import OverloadDetector
+from .recorder import Sample, TimeSeriesRecorder
+
+__all__ = [
+    "EwmaEstimator",
+    "ResourceBill",
+    "HoltEstimator",
+    "LatencyHistogram",
+    "LatencySummary",
+    "LoadMonitor",
+    "OverloadDetector",
+    "Sample",
+    "SERIES_CPU",
+    "SERIES_NIC",
+    "SERIES_OFFERED",
+    "ThroughputSummary",
+    "TimeSeriesRecorder",
+    "SmoothedController",
+    "bar_chart",
+    "bill_from_monitor",
+    "load_packets_jsonl",
+    "integrate_series",
+    "packets_to_jsonl",
+    "percentile",
+    "series_to_csv",
+    "sparkline",
+    "relative_change",
+    "utilisation_timeline",
+]

@@ -1,0 +1,74 @@
+"""Resource accounting: device-seconds consumed over a run.
+
+The paper's stopping rule exists because "migrating too many vNFs may
+waste CPU resource".  Ablation A3 shows that waste as a post-migration
+utilisation snapshot; accounting turns it into a *bill*: the integral
+of utilisation over time (device-seconds), computed from the load
+monitor's series by trapezoidal rule.  Two policies can then be
+compared by what they actually consumed across a whole episode —
+including the transient — not just where they ended up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ConfigurationError
+from .monitor import SERIES_CPU, SERIES_NIC
+from .recorder import TimeSeriesRecorder
+
+
+def integrate_series(recorder: TimeSeriesRecorder, name: str) -> float:
+    """Trapezoidal integral of a recorded series over its time span.
+
+    For a utilisation series the result is *device-seconds*: 1.0 means
+    one fully-busy device for one second.
+    """
+    samples = recorder.series(name)
+    if len(samples) < 2:
+        raise ConfigurationError(
+            f"series {name!r} needs at least two samples to integrate")
+    total = 0.0
+    for a, b in zip(samples, samples[1:]):
+        total += 0.5 * (a.value + b.value) * (b.time_s - a.time_s)
+    return total
+
+
+@dataclass(frozen=True)
+class ResourceBill:
+    """Device-seconds consumed over one run's monitored span."""
+
+    nic_device_seconds: float
+    cpu_device_seconds: float
+    span_s: float
+
+    @property
+    def nic_mean_utilisation(self) -> float:
+        """Time-averaged SmartNIC utilisation."""
+        return self.nic_device_seconds / self.span_s
+
+    @property
+    def cpu_mean_utilisation(self) -> float:
+        """Time-averaged CPU utilisation."""
+        return self.cpu_device_seconds / self.span_s
+
+    def describe(self) -> str:
+        """One-line summary of the bill."""
+        return (f"over {self.span_s * 1e3:.1f} ms: "
+                f"NIC {self.nic_device_seconds * 1e3:.2f} dev-ms "
+                f"(mean {self.nic_mean_utilisation:.2f}), "
+                f"CPU {self.cpu_device_seconds * 1e3:.2f} dev-ms "
+                f"(mean {self.cpu_mean_utilisation:.2f})")
+
+
+def bill_from_monitor(recorder: TimeSeriesRecorder) -> ResourceBill:
+    """Compute the bill from a :class:`LoadMonitor`'s recorder."""
+    nic_samples = recorder.series(SERIES_NIC)
+    if len(nic_samples) < 2:
+        raise ConfigurationError("monitor recorded fewer than two ticks")
+    span = nic_samples[-1].time_s - nic_samples[0].time_s
+    return ResourceBill(
+        nic_device_seconds=integrate_series(recorder, SERIES_NIC),
+        cpu_device_seconds=integrate_series(recorder, SERIES_CPU),
+        span_s=span)

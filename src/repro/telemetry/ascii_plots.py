@@ -1,0 +1,79 @@
+"""Dependency-free ASCII charts for terminal output.
+
+The examples print load traces and latency series; with no plotting
+stack available offline, these renderers produce compact unicode
+sparklines and labelled horizontal bar charts that read well in a
+terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+
+#: Eight-level block characters, lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float],
+              lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """One-line sparkline of ``values``.
+
+    ``lo``/``hi`` pin the scale (e.g. 0..1 for utilisation); by default
+    the data's own range is used.  Constant data renders mid-scale.
+    """
+    if not values:
+        raise ConfigurationError("sparkline of empty series")
+    low = min(values) if lo is None else lo
+    high = max(values) if hi is None else hi
+    if high < low:
+        raise ConfigurationError("sparkline scale inverted")
+    span = high - low
+    if span == 0:
+        return _SPARK_LEVELS[3] * len(values)
+    chars = []
+    for value in values:
+        clamped = min(max(value, low), high)
+        index = int((clamped - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(rows: Iterable[Tuple[str, float]],
+              width: int = 40,
+              unit: str = "") -> str:
+    """Labelled horizontal bars, scaled to the largest value."""
+    materialised = list(rows)
+    if not materialised:
+        raise ConfigurationError("bar chart with no rows")
+    if width < 1:
+        raise ConfigurationError("bar width must be >= 1")
+    peak = max(value for __, value in materialised)
+    if peak < 0:
+        raise ConfigurationError("bar chart needs non-negative values")
+    label_width = max(len(label) for label, __ in materialised)
+    lines = []
+    for label, value in materialised:
+        filled = 0 if peak == 0 else round(value / peak * width)
+        bar = "█" * filled or "▏"
+        lines.append(f"{label:<{label_width}}  {bar} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def utilisation_timeline(times_s: Sequence[float],
+                         values: Sequence[float],
+                         threshold: float = 1.0,
+                         label: str = "util") -> str:
+    """A sparkline annotated with the overload threshold crossings."""
+    if len(times_s) != len(values):
+        raise ConfigurationError("times and values must align")
+    line = sparkline(values, lo=0.0, hi=max(max(values), threshold))
+    markers = "".join("^" if value > threshold else " "
+                      for value in values)
+    start = times_s[0] * 1e3 if times_s else 0.0
+    end = times_s[-1] * 1e3 if times_s else 0.0
+    header = (f"{label}: {start:.0f}ms..{end:.0f}ms  "
+              f"(^ marks samples above {threshold:g})")
+    return f"{header}\n{line}\n{markers}"

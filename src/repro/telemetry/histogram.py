@@ -1,0 +1,130 @@
+"""Latency histograms with logarithmic buckets.
+
+Percentile summaries compress away multi-modal structure — a chain with
+a migration transient has a *bimodal* latency distribution that a p99
+alone misrepresents.  :class:`LatencyHistogram` buckets samples
+logarithmically (covering 1 µs .. 1 s by default), supports quantile
+queries off the buckets, and renders as an ASCII bar chart.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..units import as_usec
+from .ascii_plots import bar_chart
+
+
+class LatencyHistogram:
+    """Log-bucketed histogram of latency samples (seconds)."""
+
+    def __init__(self, lo_s: float = 1e-6, hi_s: float = 1.0,
+                 buckets_per_decade: int = 5) -> None:
+        if not (0 < lo_s < hi_s):
+            raise ConfigurationError("need 0 < lo < hi")
+        if buckets_per_decade < 1:
+            raise ConfigurationError("need at least one bucket per decade")
+        self.lo_s = lo_s
+        self.hi_s = hi_s
+        self.buckets_per_decade = buckets_per_decade
+        decades = math.log10(hi_s / lo_s)
+        self._bucket_count = max(1, math.ceil(decades * buckets_per_decade))
+        self._counts = [0] * (self._bucket_count + 2)  # +under/overflow
+        self.total = 0
+
+    # -- bucket arithmetic ---------------------------------------------------
+
+    def _bucket_index(self, value_s: float) -> int:
+        """0 = underflow, 1..n = log buckets, n+1 = overflow."""
+        if value_s < self.lo_s:
+            return 0
+        if value_s >= self.hi_s:
+            return self._bucket_count + 1
+        position = math.log10(value_s / self.lo_s) * self.buckets_per_decade
+        return 1 + min(int(position), self._bucket_count - 1)
+
+    def bucket_bounds(self, index: int) -> Tuple[float, float]:
+        """(lower, upper) seconds of a non-overflow bucket."""
+        if not (1 <= index <= self._bucket_count):
+            raise ConfigurationError(f"bucket {index} out of range")
+        step = 10 ** (1.0 / self.buckets_per_decade)
+        lower = self.lo_s * step ** (index - 1)
+        return lower, lower * step
+
+    # -- accumulation -------------------------------------------------------------
+
+    def add(self, value_s: float) -> None:
+        """Record one latency sample."""
+        if value_s < 0:
+            raise ConfigurationError("latency must be >= 0")
+        self._counts[self._bucket_index(value_s)] += 1
+        self.total += 1
+
+    def extend(self, values_s) -> None:
+        """Record many samples."""
+        for value in values_s:
+            self.add(value)
+
+    # -- queries --------------------------------------------------------------------
+
+    def quantile(self, fraction: float) -> float:
+        """Approximate quantile (upper bound of the covering bucket)."""
+        if not (0.0 <= fraction <= 1.0):
+            raise ConfigurationError("fraction must be in [0, 1]")
+        if self.total == 0:
+            raise ConfigurationError("empty histogram")
+        target = fraction * self.total
+        running = 0
+        for index, count in enumerate(self._counts):
+            running += count
+            if running >= target and count > 0:
+                if index == 0:
+                    return self.lo_s
+                if index == self._bucket_count + 1:
+                    return self.hi_s
+                return self.bucket_bounds(index)[1]
+        return self.hi_s
+
+    def nonzero_buckets(self) -> List[Tuple[float, float, int]]:
+        """(lower_s, upper_s, count) for every populated bucket."""
+        rows = []
+        for index in range(1, self._bucket_count + 1):
+            count = self._counts[index]
+            if count:
+                lower, upper = self.bucket_bounds(index)
+                rows.append((lower, upper, count))
+        return rows
+
+    @property
+    def underflow(self) -> int:
+        """Samples below the histogram range."""
+        return self._counts[0]
+
+    @property
+    def overflow(self) -> int:
+        """Samples at or above the histogram range."""
+        return self._counts[-1]
+
+    def is_multimodal(self, gap_buckets: int = 2) -> bool:
+        """Whether populated buckets are separated by an empty gap.
+
+        A crude but effective modality test: a migration transient
+        shows up as a second cluster of buckets well above the steady
+        state, separated by empty buckets.
+        """
+        populated = [index for index in range(1, self._bucket_count + 1)
+                     if self._counts[index]]
+        for a, b in zip(populated, populated[1:]):
+            if b - a > gap_buckets:
+                return True
+        return False
+
+    def render(self, width: int = 40) -> str:
+        """ASCII bar chart of the populated buckets (labels in µs)."""
+        rows = [(f"{as_usec(lower):7.1f}-{as_usec(upper):7.1f}us", count)
+                for lower, upper, count in self.nonzero_buckets()]
+        if not rows:
+            return "(empty histogram)"
+        return bar_chart(rows, width=width)

@@ -1,0 +1,64 @@
+"""Generic time-series recording for experiments.
+
+:class:`TimeSeriesRecorder` accumulates named (time, value) samples —
+device utilisation, queue depths, offered load — so examples and benches
+can print load traces around migration events.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One (time, value) observation."""
+
+    time_s: float
+    value: float
+
+
+class TimeSeriesRecorder:
+    """Named append-only series of samples."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, List[Sample]] = defaultdict(list)
+
+    def record(self, series: str, time_s: float, value: float) -> None:
+        """Append one sample; times within a series must be non-decreasing."""
+        samples = self._series[series]
+        if samples and time_s < samples[-1].time_s:
+            raise ConfigurationError(
+                f"series {series!r}: time went backwards "
+                f"({time_s} < {samples[-1].time_s})")
+        samples.append(Sample(time_s, value))
+
+    def series(self, name: str) -> List[Sample]:
+        """All samples of ``name`` (empty list if never recorded)."""
+        return list(self._series.get(name, ()))
+
+    def names(self) -> List[str]:
+        """Recorded series names, sorted."""
+        return sorted(self._series)
+
+    def last(self, name: str) -> Sample:
+        """Most recent sample of ``name``."""
+        samples = self._series.get(name)
+        if not samples:
+            raise ConfigurationError(f"series {name!r} has no samples")
+        return samples[-1]
+
+    def values(self, name: str) -> List[float]:
+        """Just the values of ``name`` in time order."""
+        return [s.value for s in self.series(name)]
+
+    def max(self, name: str) -> float:
+        """Maximum value observed in ``name``."""
+        values = self.values(name)
+        if not values:
+            raise ConfigurationError(f"series {name!r} has no samples")
+        return max(values)

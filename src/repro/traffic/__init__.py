@@ -1,0 +1,37 @@
+"""Workload substrate: packets, flows, arrival processes, load profiles."""
+
+from .flows import FiveTuple, FlowTable
+from .generators import (ConstantBitRate, OnOffBursts, PoissonArrivals,
+                         RampArrivals, TrafficGenerator, cbr_64_to_1500)
+from .packet import (PAPER_SIZE_SWEEP, FixedSize, IMixSize, Packet,
+                     SizeDistribution, UniformSize)
+from .trace import PacketTrace, TraceEntry, TraceReplay, record
+from .patterns import (ProfiledArrivals, RateProfile, constant, diurnal,
+                       sawtooth, spike)
+
+__all__ = [
+    "ConstantBitRate",
+    "FiveTuple",
+    "FixedSize",
+    "FlowTable",
+    "IMixSize",
+    "OnOffBursts",
+    "PAPER_SIZE_SWEEP",
+    "PacketTrace",
+    "Packet",
+    "PoissonArrivals",
+    "ProfiledArrivals",
+    "RampArrivals",
+    "RateProfile",
+    "SizeDistribution",
+    "TraceEntry",
+    "TraceReplay",
+    "TrafficGenerator",
+    "UniformSize",
+    "cbr_64_to_1500",
+    "constant",
+    "diurnal",
+    "record",
+    "sawtooth",
+    "spike",
+]

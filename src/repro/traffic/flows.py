@@ -1,0 +1,79 @@
+"""Flow-level model.
+
+Stateful NFs (firewall, NAT, monitor) keep per-flow state; the migration
+mechanism's cost model scales with active flow count, and the scale-out
+fallback splits traffic by flow hash.  :class:`FlowTable` generates a
+stable population of 5-tuples and maps packets onto flows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Classic transport 5-tuple identifying one flow."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: str = "tcp"
+
+    def hash_bucket(self, buckets: int) -> int:
+        """Deterministic hash split used by scale-out load balancing."""
+        if buckets <= 0:
+            raise ConfigurationError("bucket count must be positive")
+        return hash(self) % buckets
+
+
+class FlowTable:
+    """A fixed population of flows with weighted packet assignment.
+
+    Packet-to-flow assignment is Zipf-like (a few heavy flows, many
+    mice) to mirror real traffic, which matters for scale-out: hash
+    splits of skewed traffic are uneven, and the simulator should show
+    that.
+    """
+
+    def __init__(self, num_flows: int = 128, seed: int = 7,
+                 zipf_s: float = 1.1) -> None:
+        if num_flows <= 0:
+            raise ConfigurationError("need at least one flow")
+        if zipf_s <= 0:
+            raise ConfigurationError("zipf exponent must be positive")
+        rng = random.Random(seed)
+        self.flows: List[FiveTuple] = [
+            FiveTuple(
+                src_ip=f"10.0.{rng.randint(0, 255)}.{rng.randint(1, 254)}",
+                dst_ip=f"192.168.{rng.randint(0, 255)}.{rng.randint(1, 254)}",
+                src_port=rng.randint(1024, 65535),
+                dst_port=rng.choice([80, 443, 53, 8080, 22]),
+                protocol=rng.choice(["tcp", "tcp", "tcp", "udp"]))
+            for _ in range(num_flows)]
+        # Zipf weights over flow ranks.
+        self._weights = [1.0 / (rank ** zipf_s)
+                         for rank in range(1, num_flows + 1)]
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def pick_flow(self, rng: random.Random) -> int:
+        """Flow id for the next packet, Zipf-weighted."""
+        return rng.choices(range(len(self.flows)), weights=self._weights, k=1)[0]
+
+    def flow(self, flow_id: int) -> FiveTuple:
+        """The 5-tuple of ``flow_id``."""
+        return self.flows[flow_id]
+
+    def split(self, buckets: int) -> List[List[int]]:
+        """Partition flow ids by hash bucket (scale-out flow steering)."""
+        out: List[List[int]] = [[] for _ in range(buckets)]
+        for fid, ft in enumerate(self.flows):
+            out[ft.hash_bucket(buckets)].append(fid)
+        return out

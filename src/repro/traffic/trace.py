@@ -1,0 +1,174 @@
+"""Packet-trace capture and replay.
+
+The paper drives its testbed with a DPDK sender; production evaluations
+replay captured traces instead.  We have no production traces (and no
+pcap tooling offline), so this module defines a minimal, versioned
+CSV trace format —
+
+``arrival_s,size_bytes,flow_id`` per line, after a ``#repro-trace v1``
+header —
+
+plus :func:`record` to capture any generator's output and
+:class:`TraceReplay` to play a trace back through the simulator.  A
+replayed trace is byte-for-byte identical to its source workload, which
+makes cross-machine reproduction of a specific run trivial.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, List, Sequence, Union
+
+from ..errors import ConfigurationError
+from ..units import bits
+from .generators import TrafficGenerator
+from .packet import Packet, SizeDistribution
+
+HEADER = "#repro-trace v1"
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded packet arrival."""
+
+    arrival_s: float
+    size_bytes: int
+    flow_id: int = 0
+
+
+class PacketTrace:
+    """An ordered, validated sequence of packet arrivals."""
+
+    def __init__(self, entries: Iterable[TraceEntry]) -> None:
+        self.entries: List[TraceEntry] = list(entries)
+        if not self.entries:
+            raise ConfigurationError("a trace needs at least one packet")
+        last = -1.0
+        for index, entry in enumerate(self.entries):
+            if entry.arrival_s < 0:
+                raise ConfigurationError(
+                    f"trace entry {index}: negative arrival time")
+            if entry.arrival_s < last:
+                raise ConfigurationError(
+                    f"trace entry {index}: arrivals must be non-decreasing")
+            if entry.size_bytes <= 0:
+                raise ConfigurationError(
+                    f"trace entry {index}: size must be positive")
+            last = entry.arrival_s
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def duration_s(self) -> float:
+        """Time of the last arrival (the replay horizon)."""
+        return self.entries[-1].arrival_s
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all packet sizes."""
+        return sum(e.size_bytes for e in self.entries)
+
+    def mean_rate_bps(self) -> float:
+        """Average offered rate over the trace duration."""
+        if self.duration_s == 0:
+            raise ConfigurationError("trace spans zero time")
+        return bits(self.total_bytes) / self.duration_s
+
+    # -- persistence ---------------------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialise to the v1 CSV text format."""
+        lines = [HEADER]
+        lines += [f"{e.arrival_s!r},{e.size_bytes},{e.flow_id}"
+                  for e in self.entries]
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def loads(cls, text: str) -> "PacketTrace":
+        """Parse the v1 CSV text format."""
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines or lines[0].strip() != HEADER:
+            raise ConfigurationError(
+                f"not a repro trace (expected leading {HEADER!r})")
+        entries = []
+        for number, line in enumerate(lines[1:], start=2):
+            parts = line.split(",")
+            if len(parts) != 3:
+                raise ConfigurationError(
+                    f"trace line {number}: expected 3 fields, got "
+                    f"{len(parts)}")
+            try:
+                entries.append(TraceEntry(arrival_s=float(parts[0]),
+                                          size_bytes=int(parts[1]),
+                                          flow_id=int(parts[2])))
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"trace line {number}: {exc}") from None
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the trace to ``path``."""
+        Path(path).write_text(self.dumps())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "PacketTrace":
+        """Read a trace from ``path``."""
+        return cls.loads(Path(path).read_text())
+
+
+def record(generator: TrafficGenerator) -> PacketTrace:
+    """Capture a generator's full output as a trace."""
+    return PacketTrace(TraceEntry(arrival_s=p.arrival_s,
+                                  size_bytes=p.size_bytes,
+                                  flow_id=p.flow_id)
+                       for p in generator.packets())
+
+
+class _TraceSizes(SizeDistribution):
+    """Size distribution facade over a trace (for rate conversions)."""
+
+    def __init__(self, trace: PacketTrace) -> None:
+        self._mean = trace.total_bytes / len(trace)
+
+    def sample(self, rng) -> int:  # pragma: no cover - replay never samples
+        raise ConfigurationError("trace replay does not sample sizes")
+
+    def mean_bytes(self) -> float:
+        return self._mean
+
+
+class TraceReplay(TrafficGenerator):
+    """Replays a :class:`PacketTrace` verbatim.
+
+    ``time_scale`` compresses (< 1) or stretches (> 1) interarrival
+    gaps, letting one trace drive a load sweep; sizes are untouched.
+    """
+
+    def __init__(self, trace: PacketTrace, time_scale: float = 1.0) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError("time scale must be positive")
+        duration = trace.duration_s * time_scale
+        # Guard the degenerate single-instant trace.
+        super().__init__(_TraceSizes(trace),
+                         duration_s=max(duration, 1e-12) * (1 + 1e-9),
+                         seed=0)
+        self.trace = trace
+        self.time_scale = time_scale
+
+    def packets(self) -> Iterator[Packet]:
+        """Replay the trace entries verbatim (scaled in time)."""
+        for seq, entry in enumerate(self.trace.entries):
+            yield Packet(seq=seq,
+                         size_bytes=entry.size_bytes,
+                         arrival_s=entry.arrival_s * self.time_scale,
+                         flow_id=entry.flow_id)
+
+    def mean_rate_bps(self) -> float:
+        """The trace's average rate adjusted for the time scale."""
+        return self.trace.mean_rate_bps() / self.time_scale
+
+    def _interarrival(self, rng, now_s, frame_bytes):  # pragma: no cover
+        raise ConfigurationError("trace replay overrides packets() directly")

@@ -1,0 +1,84 @@
+"""Resource accounting: device-seconds bills."""
+
+import pytest
+
+from repro.baselines.noop import NoopPolicy
+from repro.core.planner import MigrationController, PAMPolicy
+from repro.core.operator import HardenedController, HardeningConfig
+from repro.errors import ConfigurationError
+from repro.harness.scenarios import figure1
+from repro.sim.runner import SimulationRunner
+from repro.telemetry.accounting import (ResourceBill, bill_from_monitor,
+                                        integrate_series)
+from repro.telemetry.monitor import LoadMonitor
+from repro.telemetry.recorder import TimeSeriesRecorder
+from repro.traffic.generators import ConstantBitRate
+from repro.traffic.packet import FixedSize
+from repro.traffic.patterns import ProfiledArrivals, spike
+from repro.units import gbps
+
+
+class TestIntegration:
+    def test_rectangle(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("u", 0.0, 0.5)
+        recorder.record("u", 2.0, 0.5)
+        assert integrate_series(recorder, "u") == pytest.approx(1.0)
+
+    def test_triangle(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("u", 0.0, 0.0)
+        recorder.record("u", 2.0, 1.0)
+        assert integrate_series(recorder, "u") == pytest.approx(1.0)
+
+    def test_needs_two_samples(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("u", 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            integrate_series(recorder, "u")
+
+
+class TestBill:
+    def run_billed(self, controller):
+        monitor = LoadMonitor(inner=controller)
+        server = figure1().build_server()
+        generator = ConstantBitRate(gbps(1.8), FixedSize(256), 0.02)
+        SimulationRunner(server, generator, monitor,
+                         monitor_period_s=0.002).run()
+        return bill_from_monitor(monitor.recorder)
+
+    def test_bill_fields_consistent(self):
+        bill = self.run_billed(MigrationController(PAMPolicy()))
+        assert bill.span_s > 0
+        assert bill.nic_mean_utilisation == pytest.approx(
+            bill.nic_device_seconds / bill.span_s)
+        assert "dev-ms" in bill.describe()
+
+    def test_pam_moves_load_from_nic_to_cpu(self):
+        noop_bill = self.run_billed(MigrationController(NoopPolicy()))
+        pam_bill = self.run_billed(MigrationController(PAMPolicy()))
+        # After PAM the NIC bill shrinks and the CPU bill grows.
+        assert pam_bill.nic_device_seconds < noop_bill.nic_device_seconds
+        assert pam_bill.cpu_device_seconds > noop_bill.cpu_device_seconds
+
+    def test_pullback_reduces_the_cpu_bill(self):
+        """Quantify the pull-back's point: after the spike, leaving the
+        logger on the CPU keeps paying; pulling it back stops the bill."""
+        profile = spike(base_bps=gbps(0.9), peak_bps=gbps(1.8),
+                        start_s=0.005, duration_s=0.01)
+
+        def run(controller):
+            monitor = LoadMonitor(inner=controller)
+            server = figure1().build_server()
+            generator = ProfiledArrivals(profile, FixedSize(256), 0.05,
+                                         seed=11, jitter=False)
+            SimulationRunner(server, generator, monitor,
+                             monitor_period_s=0.002).run()
+            return bill_from_monitor(monitor.recorder)
+
+        sticky = run(HardenedController(config=HardeningConfig(
+            cooldown_s=0.0, flap_damp_s=0.0, enable_pullback=False)))
+        pulled = run(HardenedController(config=HardeningConfig(
+            cooldown_s=0.0, flap_damp_s=0.0, enable_pullback=True)))
+        assert pulled.cpu_device_seconds < sticky.cpu_device_seconds
+        assert pulled.nic_device_seconds > sticky.nic_device_seconds

@@ -1,0 +1,115 @@
+"""Closed-form analysis, cross-validated against the simulator."""
+
+import pytest
+
+from repro.analysis import (Regime, capacity_report, headroom_gained,
+                            predict_crossing_penalty, predict_latency,
+                            predict_policy_gap, rank_migration_candidates)
+from repro.baselines.naive import select as naive_select
+from repro.chain.nf import DeviceKind
+from repro.core.pam import select as pam_select
+from repro.errors import ConfigurationError
+from repro.harness.experiment import steady_state
+from repro.harness.scenarios import figure1
+from repro.units import gbps
+
+C = DeviceKind.CPU
+S = DeviceKind.SMARTNIC
+
+
+class TestPredictLatency:
+    def test_breakdown_sums_to_total(self, fig1_placement):
+        prediction = predict_latency(fig1_placement, 256)
+        assert prediction.total_s == pytest.approx(
+            prediction.wire_s + prediction.processing_s +
+            prediction.pcie_s)
+
+    def test_crossings_match_placement(self, fig1_placement):
+        assert predict_latency(fig1_placement, 256).crossings == \
+            fig1_placement.pcie_crossings()
+
+    def test_monotone_in_packet_size(self, fig1_placement):
+        small = predict_latency(fig1_placement, 64).total_s
+        large = predict_latency(fig1_placement, 1500).total_s
+        assert large > small
+
+    def test_invalid_size(self, fig1_placement):
+        with pytest.raises(ConfigurationError):
+            predict_latency(fig1_placement, 0)
+
+    @pytest.mark.parametrize("size", [64, 256, 1500])
+    def test_simulator_matches_closed_form_exactly(self, size):
+        """THE cross-validation: below the knee, under CBR, the
+        discrete-event simulator must reproduce the closed form."""
+        scenario = figure1()
+        prediction = predict_latency(scenario.placement, size)
+        result = steady_state(scenario, gbps(1.2), size,
+                              duration_s=0.004)
+        assert result.latency.mean_s == pytest.approx(
+            prediction.total_s, rel=1e-9)
+
+    def test_naive_penalty_is_two_crossings(self, fig1_placement,
+                                            fig1_throughput):
+        naive = naive_select(fig1_placement, fig1_throughput)
+        pam = pam_select(fig1_placement, fig1_throughput)
+        naive_latency = predict_latency(naive.after, 256).total_s
+        pam_latency = predict_latency(pam.after, 256).total_s
+        # PAM moved the logger (same theta both sides, so no processing
+        # change); naive moved the monitor, whose CPU form is faster
+        # (theta 3.2 -> 10).  The analytic gap is therefore the two
+        # extra crossings minus the monitor's processing speed-up.
+        monitor = fig1_placement.chain.get("monitor")
+        speedup = 256 * 8 * (1 / monitor.nic_capacity_bps
+                             - 1 / monitor.cpu_capacity_bps)
+        assert naive_latency - pam_latency == pytest.approx(
+            predict_crossing_penalty(256) - speedup, rel=1e-6)
+
+    def test_policy_gap_reproduces_headline(self, fig1_placement,
+                                            fig1_throughput):
+        naive = naive_select(fig1_placement, fig1_throughput)
+        pam = pam_select(fig1_placement, fig1_throughput)
+        gap = predict_policy_gap(fig1_placement, naive.after, pam.after,
+                                 256)
+        assert 0.15 < gap < 0.25  # naive ~18% above PAM
+
+
+class TestCapacityReport:
+    def test_figure1_knees(self, fig1_placement):
+        report = capacity_report(fig1_placement)
+        assert report.nic_knee_bps == pytest.approx(gbps(1 / 0.6625))
+        assert report.cpu_knee_bps == pytest.approx(gbps(4.0))
+        assert report.binding_device is S
+
+    def test_regimes(self, fig1_placement):
+        report = capacity_report(fig1_placement)
+        assert report.regime_at(gbps(1.0)) is Regime.NOMINAL
+        assert report.regime_at(gbps(1.8)) is Regime.NIC_OVERLOADED
+        assert report.regime_at(gbps(8.0)) is Regime.BOTH_OVERLOADED
+
+    def test_cpu_overload_regime(self, fig1_placement):
+        # All NFs on the CPU: the CPU knee binds.
+        all_cpu = fig1_placement.moved("logger", C).moved("monitor", C) \
+                                .moved("firewall", C)
+        report = capacity_report(all_cpu)
+        assert report.binding_device is C
+        assert report.regime_at(gbps(2.0)) is Regime.CPU_OVERLOADED
+
+    def test_negative_load_rejected(self, fig1_placement):
+        with pytest.raises(ConfigurationError):
+            capacity_report(fig1_placement).regime_at(-1.0)
+
+
+class TestHeadroom:
+    def test_gain_positive_for_nic_nfs(self, fig1_placement):
+        assert headroom_gained(fig1_placement, "monitor") > 0
+
+    def test_gain_zero_for_cpu_nfs(self, fig1_placement):
+        assert headroom_gained(fig1_placement, "load_balancer") == 0.0
+
+    def test_min_theta_gains_most(self, fig1_placement):
+        # The paper's Step 2 rule in capacity terms: the smallest
+        # theta^S NF yields the largest NIC-knee gain.
+        ranked = rank_migration_candidates(fig1_placement)
+        assert ranked[0][0] == "monitor"  # theta^S = 3.2, the minimum
+        gains = [gain for _, gain in ranked]
+        assert gains == sorted(gains, reverse=True)

@@ -1,0 +1,82 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.ascii_plots import (bar_chart, sparkline,
+                                         utilisation_timeline)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_data_monotone_glyphs(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_data_mid_scale(self):
+        assert sparkline([5.0, 5.0]) == "▄▄"
+
+    def test_pinned_scale(self):
+        # With a 0..10 scale, a 5 is mid-level even if it is the max.
+        line = sparkline([5.0], lo=0.0, hi=10.0)
+        assert line in "▃▄▅"
+
+    def test_values_clamped_to_scale(self):
+        line = sparkline([99.0], lo=0.0, hi=1.0)
+        assert line == "█"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([])
+
+    def test_inverted_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sparkline([1.0], lo=5.0, hi=0.0)
+
+
+class TestBarChart:
+    def test_longest_bar_is_full_width(self):
+        chart = bar_chart([("a", 10.0), ("b", 5.0)], width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("█") == 10
+        assert lines[1].count("█") == 5
+
+    def test_zero_value_renders_stub(self):
+        chart = bar_chart([("a", 0.0), ("b", 1.0)])
+        assert "▏" in chart.splitlines()[0]
+
+    def test_unit_suffix(self):
+        assert "us" in bar_chart([("a", 3.0)], unit="us")
+
+    def test_labels_aligned(self):
+        chart = bar_chart([("short", 1.0), ("a-long-label", 2.0)])
+        lines = chart.splitlines()
+        # Bars start at the same column for both labels.
+        assert lines[0].index("█") == lines[1].index("█")
+        assert lines[0].startswith("short        ")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart([("a", -1.0)])
+
+
+class TestUtilisationTimeline:
+    def test_markers_flag_overload_samples(self):
+        text = utilisation_timeline([0.0, 0.001, 0.002],
+                                    [0.5, 1.2, 0.7])
+        marker_line = text.splitlines()[-1]
+        assert marker_line == " ^ "
+
+    def test_header_mentions_range(self):
+        text = utilisation_timeline([0.0, 0.01], [0.5, 0.6])
+        assert "0ms..10ms" in text
+
+    def test_misaligned_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            utilisation_timeline([0.0], [1.0, 2.0])

@@ -1,0 +1,57 @@
+"""ChainBuilder fluent API."""
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.builder import ChainBuilder
+from repro.chain.nf import DeviceKind, NFProfile
+from repro.errors import ConfigurationError, UnknownNFError
+from repro.units import gbps
+
+
+class TestBuilder:
+    def test_builds_chain_and_placement(self):
+        chain, placement = (ChainBuilder("t")
+                            .cpu("load_balancer")
+                            .nic("monitor")
+                            .build())
+        assert chain.names() == ["load_balancer", "monitor"]
+        assert placement.device_of("monitor") is DeviceKind.SMARTNIC
+        assert placement.device_of("load_balancer") is DeviceKind.CPU
+
+    def test_unknown_catalog_name_raises(self):
+        with pytest.raises(UnknownNFError):
+            ChainBuilder("t").nic("warp_drive")
+
+    def test_duplicate_requires_rename(self):
+        builder = ChainBuilder("t").nic("monitor")
+        with pytest.raises(ConfigurationError, match="rename"):
+            builder.nic("monitor")
+
+    def test_rename_allows_duplicates(self):
+        chain, _ = (ChainBuilder("t")
+                    .nic("monitor")
+                    .nic("monitor", rename="monitor-egress")
+                    .build())
+        assert chain.names() == ["monitor", "monitor-egress"]
+
+    def test_accepts_explicit_profile(self):
+        custom = NFProfile(name="custom", nic_capacity_bps=gbps(1.0),
+                           cpu_capacity_bps=gbps(1.0))
+        chain, _ = ChainBuilder("t").nic(custom).build()
+        assert chain.get("custom").nic_capacity_bps == gbps(1.0)
+
+    def test_build_endpoints_default_to_nic(self):
+        _, placement = ChainBuilder("t").nic("monitor").build()
+        assert placement.ingress is DeviceKind.SMARTNIC
+        assert placement.egress is DeviceKind.SMARTNIC
+
+    def test_build_endpoints_override(self):
+        _, placement = ChainBuilder("t").nic("monitor").build(
+            egress=DeviceKind.CPU)
+        assert placement.egress is DeviceKind.CPU
+
+    def test_profiles_parameter_scopes_lookup(self):
+        builder = ChainBuilder("t", profiles=catalog.TABLE1)
+        with pytest.raises(UnknownNFError):
+            builder.nic("nat")  # nat only exists in EXTENDED

@@ -1,0 +1,74 @@
+"""CapacityTable lookups, calibration helpers, rendering."""
+
+import math
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.nf import DeviceKind
+from repro.resources.capacity import CapacityTable
+from repro.errors import CapacityError, UnknownNFError
+from repro.units import gbps
+
+
+@pytest.fixture
+def table():
+    return CapacityTable.from_mapping(catalog.TABLE1)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(CapacityError):
+            CapacityTable([])
+
+    def test_duplicates_rejected(self):
+        nf = catalog.get("monitor")
+        with pytest.raises(CapacityError):
+            CapacityTable([nf, nf])
+
+    def test_len_and_contains(self, table):
+        assert len(table) == 4
+        assert "monitor" in table
+        assert "nat" not in table
+
+
+class TestLookups:
+    def test_theta_on_both_devices(self, table):
+        assert table.theta("monitor", DeviceKind.SMARTNIC) == gbps(3.2)
+        assert table.theta("monitor", DeviceKind.CPU) == gbps(10.0)
+
+    def test_unknown_raises(self, table):
+        with pytest.raises(UnknownNFError):
+            table.theta("nat", DeviceKind.CPU)
+
+    def test_names_in_insertion_order(self, table):
+        assert table.names() == ["firewall", "logger", "monitor",
+                                 "load_balancer"]
+
+
+class TestCalibration:
+    def test_relative_error_zero_for_exact(self, table):
+        assert table.relative_error("logger", DeviceKind.SMARTNIC,
+                                    gbps(2.0)) == 0.0
+
+    def test_relative_error_symmetric(self, table):
+        over = table.relative_error("logger", DeviceKind.SMARTNIC, gbps(2.2))
+        under = table.relative_error("logger", DeviceKind.SMARTNIC, gbps(1.8))
+        assert over == pytest.approx(under) == pytest.approx(0.1)
+
+
+class TestRendering:
+    def test_rows_report_gbps(self, table):
+        rows = {name: (nic, cpu) for name, nic, cpu in table.rows()}
+        assert rows["monitor"] == (pytest.approx(3.2), pytest.approx(10.0))
+
+    def test_incapable_rendered_as_nan_then_na(self):
+        table = CapacityTable([catalog.get("dpi")])
+        __, nic, __ = table.rows()[0]
+        assert math.isnan(nic)
+        assert "n/a" in table.render()
+
+    def test_render_contains_all_nfs(self, table):
+        text = table.render()
+        for name in table.names():
+            assert name in text

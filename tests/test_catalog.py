@@ -1,0 +1,82 @@
+"""Built-in NF profile catalogs against the paper's Table 1."""
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.nf import DeviceKind
+from repro.errors import UnknownNFError
+from repro.units import as_gbps, gbps
+
+
+class TestTable1Literal:
+    """The TABLE1 set must carry the paper's exact numbers."""
+
+    @pytest.mark.parametrize("name,nic,cpu", [
+        ("firewall", 10.0, 4.0),
+        ("logger", 2.0, 4.0),
+        ("monitor", 3.2, 10.0),
+        ("load_balancer", 20.0, 4.0),  # paper: "> 10 Gbps" on the NIC
+    ])
+    def test_capacities(self, name, nic, cpu):
+        profile = catalog.TABLE1[name]
+        assert as_gbps(profile.nic_capacity_bps) == pytest.approx(nic)
+        assert as_gbps(profile.cpu_capacity_bps) == pytest.approx(cpu)
+
+    def test_contains_exactly_the_four_paper_nfs(self):
+        assert sorted(catalog.TABLE1) == \
+            ["firewall", "load_balancer", "logger", "monitor"]
+
+    def test_logger_is_nic_bottleneck_in_table1(self):
+        nic_caps = {n: p.nic_capacity_bps for n, p in catalog.TABLE1.items()}
+        assert min(nic_caps, key=nic_caps.get) == "logger"
+
+
+class TestFigure1Scenario:
+    def test_monitor_is_nic_bottleneck(self):
+        nic_caps = {n: p.nic_capacity_bps
+                    for n, p in catalog.FIGURE1_SCENARIO.items()}
+        assert min(nic_caps, key=nic_caps.get) == "monitor"
+
+    def test_only_logger_differs_from_table1(self):
+        for name, profile in catalog.FIGURE1_SCENARIO.items():
+            if name == "logger":
+                assert profile.nic_capacity_bps == gbps(4.0)
+            else:
+                assert profile == catalog.TABLE1[name]
+
+
+class TestExtended:
+    def test_extended_superset_of_table1(self):
+        for name in catalog.TABLE1:
+            assert name in catalog.EXTENDED
+
+    def test_dpi_is_cpu_only(self):
+        assert not catalog.EXTENDED["dpi"].nic_capable
+        assert catalog.EXTENDED["dpi"].cpu_capable
+
+    def test_all_profiles_have_positive_base_latency(self):
+        for profile in catalog.EXTENDED.values():
+            assert profile.base_latency_s > 0
+
+    def test_stateless_nfs_marked(self):
+        assert not catalog.EXTENDED["logger"].stateful
+        assert not catalog.EXTENDED["gateway"].stateful
+        assert catalog.EXTENDED["firewall"].stateful
+
+
+class TestLookups:
+    def test_get_known(self):
+        assert catalog.get("monitor").name == "monitor"
+
+    def test_get_unknown_raises_with_suggestions(self):
+        with pytest.raises(UnknownNFError, match="known NFs"):
+            catalog.get("quantum_router")
+
+    def test_get_respects_profile_set(self):
+        with pytest.raises(UnknownNFError):
+            catalog.get("dpi", catalog.TABLE1)
+
+    def test_names_sorted(self):
+        names = catalog.names()
+        assert names == sorted(names)
+        assert "firewall" in names

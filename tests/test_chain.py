@@ -1,0 +1,109 @@
+"""ServiceChain: ordering, lookup, neighbourhood, derived chains."""
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.chain import ServiceChain
+from repro.chain.nf import DeviceKind
+from repro.errors import ConfigurationError, UnknownNFError
+
+
+@pytest.fixture
+def chain():
+    return ServiceChain([catalog.get("load_balancer"), catalog.get("logger"),
+                         catalog.get("monitor"), catalog.get("firewall")],
+                        name="t")
+
+
+class TestConstruction:
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServiceChain([])
+
+    def test_duplicate_names_rejected(self):
+        nf = catalog.get("monitor")
+        with pytest.raises(ConfigurationError, match="renamed"):
+            ServiceChain([nf, nf])
+
+    def test_same_profile_twice_via_rename(self):
+        nf = catalog.get("monitor")
+        chain = ServiceChain([nf, nf.renamed("monitor2")])
+        assert chain.names() == ["monitor", "monitor2"]
+
+    def test_len_and_iteration_order(self, chain):
+        assert len(chain) == 4
+        assert [nf.name for nf in chain] == \
+            ["load_balancer", "logger", "monitor", "firewall"]
+
+
+class TestLookup:
+    def test_getitem(self, chain):
+        assert chain[1].name == "logger"
+
+    def test_contains(self, chain):
+        assert "monitor" in chain
+        assert "nat" not in chain
+
+    def test_get_unknown_raises(self, chain):
+        with pytest.raises(UnknownNFError, match="it contains"):
+            chain.get("nat")
+
+    def test_position(self, chain):
+        assert chain.position("load_balancer") == 0
+        assert chain.position("firewall") == 3
+
+    def test_position_unknown_raises(self, chain):
+        with pytest.raises(UnknownNFError):
+            chain.position("nat")
+
+
+class TestNeighbourhood:
+    def test_upstream_of_head_is_none(self, chain):
+        assert chain.upstream("load_balancer") is None
+
+    def test_downstream_of_tail_is_none(self, chain):
+        assert chain.downstream("firewall") is None
+
+    def test_upstream_downstream_mid_chain(self, chain):
+        assert chain.upstream("monitor").name == "logger"
+        assert chain.downstream("monitor").name == "firewall"
+
+    def test_head_tail_predicates(self, chain):
+        assert chain.is_head("load_balancer")
+        assert chain.is_tail("firewall")
+        assert not chain.is_head("monitor")
+        assert not chain.is_tail("monitor")
+
+
+class TestDerived:
+    def test_subchain(self, chain):
+        sub = chain.subchain(1, 3)
+        assert sub.names() == ["logger", "monitor"]
+
+    def test_subchain_invalid_bounds(self, chain):
+        with pytest.raises(ConfigurationError):
+            chain.subchain(3, 3)
+        with pytest.raises(ConfigurationError):
+            chain.subchain(0, 99)
+
+    def test_min_capacity_nf_on_nic(self, chain):
+        # Table 1: logger (2 Gbps) is the NIC minimum of these four.
+        assert chain.min_capacity_nf(DeviceKind.SMARTNIC).name == "logger"
+
+    def test_min_capacity_nf_skips_incapable(self):
+        chain = ServiceChain([catalog.get("dpi"), catalog.get("monitor")])
+        assert chain.min_capacity_nf(DeviceKind.SMARTNIC).name == "monitor"
+
+    def test_min_capacity_no_candidates_raises(self):
+        chain = ServiceChain([catalog.get("dpi")])
+        with pytest.raises(ConfigurationError):
+            chain.min_capacity_nf(DeviceKind.SMARTNIC)
+
+
+class TestEquality:
+    def test_equal_chains(self, chain):
+        other = ServiceChain(list(chain.nfs), name="other-name")
+        assert chain == other  # name is cosmetic
+
+    def test_hashable(self, chain):
+        assert chain in {chain}

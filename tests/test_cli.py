@@ -1,0 +1,125 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTable1:
+    def test_prints_capacities(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "monitor" in out
+        assert "3.20" in out
+
+
+class TestFigure1:
+    def test_prints_comparison(self, capsys):
+        assert main(["figure1", "--duration", "0.004"]) == 0
+        out = capsys.readouterr().out
+        assert "(c) PAM" in out
+        assert "PAM vs naive latency" in out
+
+
+class TestFigure2:
+    def test_custom_sizes(self, capsys):
+        assert main(["figure2", "--sizes", "64", "--duration",
+                     "0.004"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(a)" in out
+        assert "Figure 2(b)" in out
+        assert "64" in out
+
+
+class TestPlan:
+    def test_pam_plan(self, capsys):
+        assert main(["plan", "--policy", "pam", "--load", "1.8"]) == 0
+        out = capsys.readouterr().out
+        assert "logger" in out
+        assert "alleviates: True" in out
+
+    def test_naive_plan(self, capsys):
+        assert main(["plan", "--policy", "naive", "--load", "1.8"]) == 0
+        assert "monitor" in capsys.readouterr().out
+
+    def test_no_overload(self, capsys):
+        assert main(["plan", "--load", "1.0"]) == 0
+        assert "no migration needed" in capsys.readouterr().out
+
+    def test_scaleout_exit_code(self, capsys):
+        assert main(["plan", "--policy", "pam", "--load", "2.4"]) == 1
+        assert "scale out" in capsys.readouterr().out
+
+
+class TestSpike:
+    def test_closed_loop_run(self, capsys):
+        assert main(["spike", "--duration", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated=['logger']" in out
+        assert "dropped 0" in out
+
+
+class TestErrors:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["warp"])
+
+    def test_unknown_policy_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "--policy", "quantum"])
+
+
+class TestRunConfig:
+    CONFIG = {
+        "name": "cli-test",
+        "chain": [
+            {"nf": "load_balancer", "device": "cpu"},
+            {"nf": "logger", "device": "smartnic"},
+            {"nf": "monitor", "device": "smartnic"},
+            {"nf": "firewall", "device": "smartnic"},
+        ],
+        "egress": "cpu",
+        "workload": {"kind": "cbr", "rate_gbps": 1.8,
+                     "packet_bytes": 256, "duration_s": 0.006},
+        "policy": "pam",
+    }
+
+    def test_runs_and_writes_record(self, tmp_path, capsys):
+        import json
+        from repro.harness.results import ResultRecord
+        config_path = tmp_path / "exp.json"
+        config_path.write_text(json.dumps(self.CONFIG))
+        out_path = tmp_path / "result.json"
+        assert main(["run-config", str(config_path),
+                     "--output", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "migrated: logger" in out
+        record = ResultRecord.load(out_path)
+        assert record.migrated_nfs == ["logger"]
+
+    def test_config_error_reported(self, tmp_path, capsys):
+        config_path = tmp_path / "bad.json"
+        config_path.write_text("{}")
+        assert main(["run-config", str(config_path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOptimise:
+    def test_prints_optimal_placement(self, capsys):
+        assert main(["optimise", "--load", "1.8"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal placement" in out
+        assert "predicted latency" in out
+
+    def test_infeasible_load(self, capsys):
+        assert main(["optimise", "--load", "8.0"]) == 1
+        assert "scale out" in capsys.readouterr().out
+
+
+class TestFigure2Chart:
+    def test_chart_flag_appends_bars(self, capsys):
+        assert main(["figure2", "--sizes", "64", "--duration", "0.004",
+                     "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "64B pam" in out
+        assert "█" in out

@@ -1,0 +1,92 @@
+"""SFC ordering constraints."""
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.chain import ServiceChain
+from repro.chain.constraints import (DEFAULT_SFC_RULES, AtMostOne,
+                                     MustBeEdge, MustPrecede, check_chain,
+                                     validate_chain)
+from repro.chain.nf import NFKind
+from repro.errors import ConfigurationError
+
+
+def chain_of(*names):
+    return ServiceChain([catalog.get(name) for name in names])
+
+
+class TestMustPrecede:
+    rule = MustPrecede(NFKind.VPN, NFKind.IDS, reason="ciphertext")
+
+    def test_correct_order_passes(self):
+        assert self.rule.check(chain_of("vpn", "ids")) == []
+
+    def test_reversed_order_flagged(self):
+        violations = self.rule.check(chain_of("ids", "vpn"))
+        assert len(violations) == 1
+        assert "ciphertext" in violations[0].detail
+
+    def test_absent_kinds_pass(self):
+        assert self.rule.check(chain_of("monitor", "firewall")) == []
+
+    def test_applies_to_renamed_instances(self):
+        vpn = catalog.get("vpn").renamed("tunnel-endpoint")
+        ids = catalog.get("ids").renamed("snort")
+        violations = self.rule.check(ServiceChain([ids, vpn]))
+        assert violations
+        assert "tunnel-endpoint" in violations[0].detail
+
+
+class TestAtMostOne:
+    def test_single_passes(self):
+        assert AtMostOne(NFKind.NAT).check(chain_of("nat", "monitor")) == []
+
+    def test_duplicates_flagged(self):
+        nat = catalog.get("nat")
+        chain = ServiceChain([nat, nat.renamed("nat2")])
+        violations = AtMostOne(NFKind.NAT).check(chain)
+        assert violations
+        assert "nat2" in violations[0].detail
+
+
+class TestMustBeEdge:
+    def test_head_and_tail_pass(self):
+        rule = MustBeEdge(NFKind.LOAD_BALANCER)
+        assert rule.check(chain_of("load_balancer", "monitor")) == []
+        assert rule.check(chain_of("monitor", "load_balancer")) == []
+
+    def test_mid_chain_flagged(self):
+        rule = MustBeEdge(NFKind.LOAD_BALANCER)
+        violations = rule.check(
+            chain_of("monitor", "load_balancer", "firewall"))
+        assert violations
+
+
+class TestDefaultRules:
+    def test_figure1_chain_is_compliant(self, fig1_chain):
+        assert check_chain(fig1_chain) == []
+
+    def test_preset_scenarios_are_compliant(self):
+        from repro.harness.scenarios import (datacenter_inline,
+                                             enterprise_edge, long_chain)
+        for scenario in (datacenter_inline(), enterprise_edge(),
+                         long_chain(6)):
+            assert check_chain(scenario.chain) == [], scenario.name
+
+    def test_ciphertext_inspection_rejected(self):
+        chain = chain_of("ids", "vpn")
+        violations = check_chain(chain)
+        assert any("ciphertext" in v.detail for v in violations)
+
+    def test_validate_raises_with_every_violation(self):
+        chain = chain_of("ids", "vpn", "cache", "firewall")
+        with pytest.raises(ConfigurationError) as excinfo:
+            validate_chain(chain)
+        message = str(excinfo.value)
+        assert "ciphertext" in message
+        assert "cache" in message
+
+    def test_custom_rule_list(self):
+        chain = chain_of("ids", "vpn")
+        # With no rules, anything goes.
+        assert check_chain(chain, rules=()) == []

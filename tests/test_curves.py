@@ -1,0 +1,53 @@
+"""Latency-vs-load curve sweeps."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.curves import LatencyCurve, CurvePoint, latency_load_curve
+from repro.harness.scenarios import figure1
+from repro.units import gbps
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return latency_load_curve(figure1(),
+                              [gbps(v) for v in (0.8, 1.3, 1.9)],
+                              duration_s=0.005)
+
+
+class TestSweep:
+    def test_points_sorted_by_load(self, curve):
+        loads = [point.offered_bps for point in curve.points]
+        assert loads == sorted(loads)
+
+    def test_hockey_stick_shape(self, curve):
+        # Flat at 0.8 and 1.3 (both under the 1.509 knee), blow-up at 1.9.
+        assert curve.points[1].mean_latency_s == pytest.approx(
+            curve.points[0].mean_latency_s, rel=0.01)
+        assert curve.points[2].mean_latency_s > \
+            2 * curve.points[0].mean_latency_s
+
+    def test_goodput_saturates(self, curve):
+        assert curve.points[2].goodput_bps < gbps(1.6)
+
+    def test_knee_detection(self, curve):
+        assert curve.knee_bps() == pytest.approx(gbps(1.9))
+
+    def test_knee_of_flat_curve_is_last_load(self):
+        flat = latency_load_curve(figure1(),
+                                  [gbps(0.5), gbps(0.8)],
+                                  duration_s=0.004)
+        assert flat.knee_bps() == pytest.approx(gbps(0.8))
+
+    def test_render_and_spark(self, curve):
+        text = curve.render()
+        assert "Gbps" in text and "p99" in text
+        assert len(curve.spark()) == len(curve.points)
+
+    def test_empty_loads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            latency_load_curve(figure1(), [])
+
+    def test_empty_curve_knee_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyCurve(label="x", points=()).knee_bps()

@@ -1,0 +1,161 @@
+"""Device base model: hosting, demand, processor-sharing rates."""
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.nf import DeviceKind
+from repro.devices.cpu import CPU
+from repro.devices.smartnic import SmartNIC
+from repro.errors import ConfigurationError, PlacementError
+from repro.units import gbps
+
+
+@pytest.fixture
+def nic():
+    return SmartNIC("nic")
+
+
+@pytest.fixture
+def cpu():
+    return CPU("cpu")
+
+
+class TestHosting:
+    def test_host_and_evict(self, nic):
+        monitor = catalog.get("monitor")
+        nic.host(monitor)
+        assert nic.hosts("monitor")
+        assert nic.evict("monitor") == monitor
+        assert not nic.hosts("monitor")
+
+    def test_double_host_rejected(self, nic):
+        nic.host(catalog.get("monitor"))
+        with pytest.raises(PlacementError, match="already"):
+            nic.host(catalog.get("monitor"))
+
+    def test_evict_absent_rejected(self, nic):
+        with pytest.raises(PlacementError):
+            nic.evict("monitor")
+
+    def test_incapable_nf_rejected(self, nic):
+        with pytest.raises(PlacementError):
+            nic.host(catalog.get("dpi"))  # dpi is CPU-only
+
+    def test_hosted_nfs_order(self, nic):
+        nic.host(catalog.get("monitor"))
+        nic.host(catalog.get("logger"))
+        assert [nf.name for nf in nic.hosted_nfs()] == ["monitor", "logger"]
+
+    def test_queue_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            SmartNIC("nic", queue_capacity_packets=0)
+
+
+class TestDemand:
+    def test_demand_default_zero(self, nic):
+        assert nic.demand == 0.0
+        assert not nic.overloaded
+
+    def test_overloaded_above_one(self, nic):
+        nic.set_demand(1.2)
+        assert nic.overloaded
+
+    def test_exactly_one_is_not_overloaded(self, nic):
+        nic.set_demand(1.0)
+        assert not nic.overloaded
+
+    def test_negative_demand_rejected(self, nic):
+        with pytest.raises(ConfigurationError):
+            nic.set_demand(-0.1)
+
+
+class TestEffectiveRate:
+    def test_native_rate_under_headroom(self, nic):
+        monitor = catalog.get("monitor")
+        nic.host(monitor)
+        nic.set_demand(0.8)
+        assert nic.effective_rate(monitor) == monitor.nic_capacity_bps
+
+    def test_shared_rate_when_overloaded(self, nic):
+        monitor = catalog.get("monitor")  # 3.2 Gbps on NIC
+        logger = catalog.get("logger")    # 2.0 Gbps on NIC
+        nic.host(monitor)
+        nic.host(logger)
+        nic.set_demand(1.5)
+        shared = 1.0 / (1 / gbps(3.2) + 1 / gbps(2.0))
+        assert nic.effective_rate(monitor) == pytest.approx(shared)
+        assert nic.effective_rate(logger) == pytest.approx(shared)
+
+    def test_explicit_shared_capacity_honoured(self, nic):
+        monitor = catalog.get("monitor")
+        nic.host(monitor)
+        nic.set_demand(2.0, shared_capacity_bps=gbps(1.0))
+        assert nic.effective_rate(monitor) == gbps(1.0)
+
+    def test_shared_capacity_never_exceeds_native(self, nic):
+        monitor = catalog.get("monitor")
+        nic.host(monitor)
+        nic.set_demand(1.1, shared_capacity_bps=gbps(100.0))
+        assert nic.effective_rate(monitor) == monitor.nic_capacity_bps
+
+
+class TestOccupancyAndServiceTime:
+    def test_occupancy_is_bits_over_rate(self, nic):
+        monitor = catalog.get("monitor")
+        nic.host(monitor)
+        assert nic.occupancy_time(monitor, 256) == \
+            pytest.approx(2048 / gbps(3.2))
+
+    def test_occupancy_requires_hosting(self, nic):
+        with pytest.raises(PlacementError):
+            nic.occupancy_time(catalog.get("monitor"), 256)
+
+    def test_service_time_adds_pipeline_latency(self, nic):
+        monitor = catalog.get("monitor")
+        nic.host(monitor)
+        assert nic.service_time(monitor, 256) == pytest.approx(
+            nic.occupancy_time(monitor, 256) + monitor.base_latency_s)
+
+    def test_overload_stretches_occupancy(self, nic):
+        monitor = catalog.get("monitor")
+        logger = catalog.get("logger")
+        nic.host(monitor)
+        nic.host(logger)
+        before = nic.occupancy_time(monitor, 256)
+        nic.set_demand(1.5)
+        assert nic.occupancy_time(monitor, 256) > before
+
+
+class TestSmartNICSpecifics:
+    def test_line_rate_is_one_port(self, nic):
+        assert nic.line_rate_bps == gbps(10.0)
+
+    def test_clamp_offered_load(self, nic):
+        assert nic.clamp_offered_load(gbps(25.0)) == gbps(10.0)
+        assert nic.clamp_offered_load(gbps(2.0)) == gbps(2.0)
+
+    def test_clamp_negative_rejected(self, nic):
+        with pytest.raises(ConfigurationError):
+            nic.clamp_offered_load(-1.0)
+
+    def test_port_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            SmartNIC("nic", port_rate_bps=0.0)
+        with pytest.raises(ConfigurationError):
+            SmartNIC("nic", num_ports=0)
+
+
+class TestCPUSpecifics:
+    def test_total_cores(self, cpu):
+        assert cpu.total_cores == 12  # 2 sockets x 6 cores (paper testbed)
+
+    def test_replica_capacity_decreases_with_hosting(self, cpu):
+        assert cpu.replica_capacity() == 12
+        cpu.host(catalog.get("monitor"))
+        assert cpu.replica_capacity() == 11
+
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            CPU("cpu", num_sockets=0)
+        with pytest.raises(ConfigurationError):
+            CPU("cpu", frequency_ghz=0.0)

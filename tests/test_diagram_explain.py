@@ -1,0 +1,71 @@
+"""Placement diagrams and the explain report."""
+
+import pytest
+
+from repro.analysis.explain import explain_placement
+from repro.chain.diagram import render_placement
+from repro.chain.nf import DeviceKind
+from repro.cli import main
+from repro.units import gbps
+
+C = DeviceKind.CPU
+
+
+class TestDiagram:
+    def test_lanes_and_footer(self, fig1_placement):
+        text = render_placement(fig1_placement)
+        lines = text.splitlines()
+        assert lines[0].startswith("NIC")
+        assert any(line.startswith("CPU") for line in lines)
+        assert "PCIe crossings: 3" in text
+
+    def test_every_nf_appears_once(self, fig1_placement):
+        text = render_placement(fig1_placement)
+        for name in fig1_placement.chain.names():
+            assert text.count(f"[{name}]") == 1
+
+    def test_crossing_marks_match_count(self, fig1_placement):
+        text = render_placement(fig1_placement)
+        marks_line = text.splitlines()[1]
+        assert marks_line.count("X") == fig1_placement.pcie_crossings()
+
+    def test_nfs_drawn_on_their_lane(self, fig1_placement):
+        text = render_placement(fig1_placement)
+        nic_line, __, cpu_line, __ = text.splitlines()
+        assert "[monitor]" in nic_line
+        assert "[load_balancer]" in cpu_line
+
+    def test_endpoints_labelled(self, fig1_placement):
+        text = render_placement(fig1_placement)
+        assert "wire>" in text
+        assert ">host" in text  # host-terminated egress
+
+    def test_migration_redraws(self, fig1_placement):
+        before = render_placement(fig1_placement)
+        after = render_placement(fig1_placement.moved("monitor", C))
+        assert "PCIe crossings: 5" in after
+        assert before != after
+
+
+class TestExplain:
+    def test_overloaded_report_sections(self, fig1_placement):
+        text = explain_placement(fig1_placement, gbps(1.8))
+        assert "nic_overloaded" in text
+        assert "push logger aside" in text
+        assert "closed-form latency" in text
+        assert "border vNFs" in text
+
+    def test_healthy_report(self, fig1_placement):
+        text = explain_placement(fig1_placement, gbps(1.0))
+        assert "nominal" in text
+        assert "nothing to do" in text
+
+    def test_scaleout_report(self, fig1_placement):
+        text = explain_placement(fig1_placement, gbps(2.4))
+        assert "scale out" in text
+
+    def test_cli_explain(self, capsys):
+        assert main(["explain", "--load", "1.8"]) == 0
+        out = capsys.readouterr().out
+        assert "PCIe crossings: 3" in out
+        assert "push logger aside" in out

@@ -1,0 +1,117 @@
+"""Load-estimate smoothing (EWMA / Holt) and the smoothed controller."""
+
+import pytest
+
+from repro.core.planner import MigrationController, PAMPolicy
+from repro.errors import ConfigurationError
+from repro.harness.scenarios import figure1
+from repro.sim.runner import SimulationRunner
+from repro.telemetry.estimator import (EwmaEstimator, HoltEstimator,
+                                       SmoothedController)
+from repro.traffic.packet import FixedSize
+from repro.traffic.patterns import ProfiledArrivals, sawtooth
+from repro.units import gbps
+
+
+class TestEwma:
+    def test_first_sample_is_the_level(self):
+        estimator = EwmaEstimator()
+        assert estimator.update(5.0) == 5.0
+
+    def test_smooths_toward_new_samples(self):
+        estimator = EwmaEstimator(alpha=0.5)
+        estimator.update(0.0)
+        assert estimator.update(10.0) == 5.0
+        assert estimator.update(10.0) == 7.5
+
+    def test_alpha_one_is_passthrough(self):
+        estimator = EwmaEstimator(alpha=1.0)
+        estimator.update(1.0)
+        assert estimator.update(42.0) == 42.0
+
+    def test_damps_a_spike(self):
+        estimator = EwmaEstimator(alpha=0.2)
+        for _ in range(10):
+            estimator.update(1.0)
+        assert estimator.update(10.0) < 3.0
+
+    def test_value_before_samples_raises(self):
+        with pytest.raises(ConfigurationError):
+            EwmaEstimator().value
+
+    def test_reset(self):
+        estimator = EwmaEstimator()
+        estimator.update(5.0)
+        estimator.reset()
+        with pytest.raises(ConfigurationError):
+            estimator.value
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            EwmaEstimator(alpha=0.0)
+
+
+class TestHolt:
+    def test_tracks_a_ramp_with_less_lag_than_ewma(self):
+        holt = HoltEstimator(alpha=0.4, beta=0.3)
+        ewma = EwmaEstimator(alpha=0.4)
+        samples = [float(i) for i in range(20)]
+        for sample in samples:
+            holt.update(sample)
+            ewma.update(sample)
+        true_value = samples[-1]
+        assert abs(holt.value - true_value) < abs(ewma.value - true_value)
+
+    def test_forecast_leads_a_ramp(self):
+        holt = HoltEstimator()
+        for i in range(20):
+            holt.update(float(i))
+        assert holt.forecast(1) > holt.value
+
+    def test_forecast_zero_steps_is_level(self):
+        holt = HoltEstimator()
+        holt.update(3.0)
+        assert holt.forecast(0) == holt.value
+
+    def test_flat_series_has_no_trend(self):
+        holt = HoltEstimator()
+        for _ in range(10):
+            holt.update(7.0)
+        assert holt.forecast(5) == pytest.approx(7.0)
+
+    def test_negative_steps_rejected(self):
+        holt = HoltEstimator()
+        holt.update(1.0)
+        with pytest.raises(ConfigurationError):
+            holt.forecast(-1)
+
+
+class TestSmoothedController:
+    def run_sawtooth(self, controller, duration=0.04):
+        # Load oscillating 1.3..2.0 Gbps every 4 ms: raw windows flap
+        # around the 1.509 knee.
+        profile = sawtooth(gbps(1.3), gbps(2.0), period_s=0.004)
+        generator = ProfiledArrivals(profile, FixedSize(256), duration,
+                                     seed=9, jitter=False)
+        server = figure1().build_server()
+        return SimulationRunner(server, generator, controller,
+                                monitor_period_s=0.002).run()
+
+    def test_smoothing_reduces_scaleout_noise(self):
+        # Raw control: every tooth's peak window exceeds even the CPU's
+        # ability (2.0 Gbps fails Eq. 2), spamming scale-out events.
+        raw_controller = MigrationController(PAMPolicy())
+        self.run_sawtooth(raw_controller)
+        smoothed_inner = MigrationController(PAMPolicy())
+        smoothed = SmoothedController(smoothed_inner,
+                                      EwmaEstimator(alpha=0.2))
+        self.run_sawtooth(smoothed)
+        assert len(smoothed_inner.scaleout_events) <= \
+            len(raw_controller.scaleout_events)
+
+    def test_migrations_visible_through_wrapper(self):
+        inner = MigrationController(PAMPolicy())
+        smoothed = SmoothedController(inner, EwmaEstimator(alpha=0.5))
+        result = self.run_sawtooth(smoothed)
+        assert result.migrated_nfs == [r.nf_name
+                                       for r in smoothed.migrations]

@@ -1,0 +1,71 @@
+"""Experiment driver and the policy comparison harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.compare import (compare_policies, default_policies,
+                                   latency_gap)
+from repro.harness.experiment import (ExperimentConfig, run_experiment,
+                                      steady_state)
+from repro.harness.scenarios import figure1
+from repro.units import gbps
+
+
+class TestExperiment:
+    def test_steady_state_result(self, fig1_scenario):
+        result = steady_state(fig1_scenario, gbps(1.0), duration_s=0.005)
+        assert result.delivered > 0
+        assert result.dropped == 0
+
+    def test_offered_defaults_to_scenario_throughput(self, fig1_scenario):
+        config = ExperimentConfig(scenario=fig1_scenario, duration_s=0.005)
+        generator = config.build_generator()
+        assert generator.mean_rate_bps() == fig1_scenario.throughput_bps
+
+    def test_custom_generator_overrides(self, fig1_scenario):
+        from repro.traffic.generators import PoissonArrivals
+        from repro.traffic.packet import FixedSize
+        generator = PoissonArrivals(gbps(1.0), FixedSize(64), 0.004)
+        config = ExperimentConfig(scenario=fig1_scenario,
+                                  generator=generator)
+        assert config.build_generator() is generator
+
+    def test_invalid_offered_rejected(self, fig1_scenario):
+        config = ExperimentConfig(scenario=fig1_scenario, offered_bps=0.0)
+        with pytest.raises(ConfigurationError):
+            config.build_generator()
+
+
+class TestComparePolicies:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return compare_policies(figure1(), duration_s=0.008)
+
+    def test_three_default_arms(self, outcomes):
+        assert set(outcomes) == {"noop", "naive", "pam"}
+
+    def test_pam_latency_below_naive(self, outcomes):
+        assert outcomes["pam"].mean_latency_s < \
+            outcomes["naive"].mean_latency_s
+
+    def test_pam_latency_equals_before(self, outcomes):
+        # "almost unchanged compared to the latency before migration"
+        assert outcomes["pam"].mean_latency_s == pytest.approx(
+            outcomes["noop"].mean_latency_s, rel=0.02)
+
+    def test_gap_in_paper_band(self, outcomes):
+        gap = latency_gap(outcomes)  # pam vs naive
+        assert -0.25 < gap < -0.12   # paper: -18%
+
+    def test_crossing_counts(self, outcomes):
+        assert outcomes["noop"].pcie_crossings == 3
+        assert outcomes["pam"].pcie_crossings == 3
+        assert outcomes["naive"].pcie_crossings == 5
+
+    def test_migration_restores_throughput(self, outcomes):
+        assert outcomes["pam"].goodput_bps > outcomes["noop"].goodput_bps
+        assert outcomes["naive"].goodput_bps > outcomes["noop"].goodput_bps
+
+    def test_default_policies_names(self):
+        assert [p.name for p in default_policies()] == \
+            ["noop", "naive", "pam"]

@@ -1,0 +1,121 @@
+"""Failure injection: NF crashes and random loss."""
+
+import pytest
+
+from repro.core.planner import MigrationController, PAMPolicy
+from repro.errors import ConfigurationError
+from repro.harness.scenarios import figure1
+from repro.sim.engine import Engine
+from repro.sim.faults import FaultInjector
+from repro.sim.network import ChainNetwork
+from repro.sim.runner import SimulationRunner
+from repro.traffic.generators import ConstantBitRate
+from repro.traffic.packet import FixedSize, Packet
+from repro.units import gbps
+
+
+def live_network(offered=gbps(1.0)):
+    server = figure1().build_server()
+    server.refresh_demand(offered)
+    engine = Engine()
+    network = ChainNetwork(server, engine)
+    return server, engine, network
+
+
+def inject_cbr(network, count, gap_s=2e-6):
+    for i in range(count):
+        network.inject(Packet(seq=i, size_bytes=256, arrival_s=i * gap_s))
+
+
+class TestCrash:
+    def test_packets_dropped_during_downtime(self):
+        __, engine, network = live_network()
+        injector = FaultInjector(network, engine)
+        inject_cbr(network, 500)
+        event = injector.crash_nf("monitor", at_s=2e-4, downtime_s=3e-4)
+        engine.run()
+        network.check_conservation()
+        assert event.packets_lost > 0
+        assert len(network.dropped) == event.packets_lost
+        assert all(p.dropped_at == "monitor" for p in network.dropped)
+
+    def test_traffic_resumes_after_restart(self):
+        __, engine, network = live_network()
+        injector = FaultInjector(network, engine)
+        inject_cbr(network, 500)
+        injector.crash_nf("monitor", at_s=2e-4, downtime_s=2e-4)
+        engine.run()
+        # Packets arriving after the restart complete the chain.
+        late_delivered = [p for p in network.delivered
+                          if p.arrival_s > 4.5e-4]
+        assert late_delivered
+        assert not injector.is_failed("monitor")
+
+    def test_queue_contents_lost_on_crash(self):
+        # Saturate monitor so its queue is non-empty when the crash hits.
+        __, engine, network = live_network(offered=gbps(3.0))
+        network.server.refresh_demand(gbps(3.0))
+        injector = FaultInjector(network, engine)
+        inject_cbr(network, 1000, gap_s=6e-7)
+        event = injector.crash_nf("monitor", at_s=3e-4, downtime_s=1e-4)
+        engine.run()
+        assert event.packets_lost > 0
+
+    def test_unknown_nf_rejected(self):
+        __, engine, network = live_network()
+        injector = FaultInjector(network, engine)
+        with pytest.raises(ConfigurationError):
+            injector.crash_nf("ghost", at_s=0.0, downtime_s=1e-3)
+
+    def test_invalid_downtime_rejected(self):
+        __, engine, network = live_network()
+        injector = FaultInjector(network, engine)
+        with pytest.raises(ConfigurationError):
+            injector.crash_nf("monitor", at_s=0.0, downtime_s=0.0)
+
+
+class TestRandomLoss:
+    def test_loss_rate_approximates_probability(self):
+        __, engine, network = live_network()
+        injector = FaultInjector(network, engine, seed=5)
+        inject_cbr(network, 2000)
+        injector.random_loss(0.1)
+        engine.run()
+        network.check_conservation()
+        rate = len(network.dropped) / network.injected
+        assert rate == pytest.approx(0.1, abs=0.03)
+
+    def test_loss_is_seeded(self):
+        losses = []
+        for _ in range(2):
+            __, engine, network = live_network()
+            injector = FaultInjector(network, engine, seed=5)
+            inject_cbr(network, 500)
+            injector.random_loss(0.2)
+            engine.run()
+            losses.append(len(network.dropped))
+        assert losses[0] == losses[1]
+
+    def test_probability_bounds(self):
+        __, engine, network = live_network()
+        injector = FaultInjector(network, engine)
+        with pytest.raises(ConfigurationError):
+            injector.random_loss(0.0)
+        with pytest.raises(ConfigurationError):
+            injector.random_loss(1.0)
+
+
+class TestFaultsDoNotConfuseThePlanner:
+    def test_pam_still_fires_with_loss_upstream(self):
+        # 10% ingress loss thins the measured load; at 1.8 Gbps offered
+        # the surviving ~1.62 Gbps still overloads the NIC (knee 1.51),
+        # so the controller must still migrate.
+        server = figure1().build_server()
+        generator = ConstantBitRate(gbps(1.8), FixedSize(256), 0.02)
+        controller = MigrationController(PAMPolicy())
+        runner = SimulationRunner(server, generator, controller,
+                                  monitor_period_s=0.002)
+        FaultInjector(runner.network, runner.engine, seed=7) \
+            .random_loss(0.1)
+        result = runner.run()
+        assert result.migrated_nfs == ["logger"]

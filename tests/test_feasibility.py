@@ -1,0 +1,77 @@
+"""Eq. 2 / Eq. 3 constraint checks."""
+
+import pytest
+
+from repro.core.feasibility import (FeasibilityConfig, both_overloaded,
+                                    cpu_can_host, nic_alleviated,
+                                    nic_alleviated_without)
+from repro.errors import ConfigurationError
+from repro.resources.model import LoadModel
+from repro.units import gbps
+
+
+@pytest.fixture
+def load(fig1_placement):
+    return LoadModel(fig1_placement, gbps(1.8))
+
+
+class TestEq2:
+    def test_logger_fits_on_cpu(self, load, fig1_chain):
+        # 0.45 + 0.45 = 0.9 < 1
+        assert cpu_can_host(load, fig1_chain.get("logger"))
+
+    def test_strict_inequality_at_exactly_one(self, fig1_placement,
+                                               fig1_chain):
+        # At 2.0 Gbps: 0.5 + 0.5 = 1.0, which the paper's strict
+        # inequality rejects.
+        load = LoadModel(fig1_placement, gbps(2.0))
+        assert not cpu_can_host(load, fig1_chain.get("logger"))
+
+    def test_cpu_incapable_nf_rejected(self, fig1_placement):
+        from repro.chain import catalog
+        load = LoadModel(fig1_placement, gbps(0.1))
+        nf = catalog.get("dpi").renamed("x")
+        # dpi can't run on NIC; build a cpu-incapable probe instead.
+        from repro.chain.nf import NFProfile
+        probe = NFProfile(name="logger", cpu_capable=False)
+        assert not cpu_can_host(load, probe)
+
+    def test_epsilon_margin(self, load, fig1_chain):
+        # 0.9 < 1 passes plainly but fails with a 15% margin.
+        tight = FeasibilityConfig(epsilon=0.15)
+        assert not cpu_can_host(load, fig1_chain.get("logger"), tight)
+
+
+class TestEq3:
+    def test_removing_logger_alleviates(self, load, fig1_chain):
+        # 1.8 * (1/3.2 + 1/10) = 0.7425 < 1
+        assert nic_alleviated_without(load, fig1_chain.get("logger"))
+
+    def test_removing_firewall_does_not(self, load, fig1_chain):
+        # 1.8 * (1/4 + 1/3.2) = 1.0125 >= 1
+        assert not nic_alleviated_without(load, fig1_chain.get("firewall"))
+
+    def test_nic_alleviated_current_state(self, fig1_placement):
+        assert not nic_alleviated(LoadModel(fig1_placement, gbps(1.8)))
+        assert nic_alleviated(LoadModel(fig1_placement, gbps(1.0)))
+
+
+class TestJointOverload:
+    def test_not_both_at_canonical_load(self, load):
+        assert not both_overloaded(load)
+
+    def test_both_at_extreme_load(self, fig1_placement):
+        load = LoadModel(fig1_placement, gbps(8.0))
+        assert both_overloaded(load)
+
+
+class TestConfig:
+    def test_epsilon_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FeasibilityConfig(epsilon=1.0)
+        with pytest.raises(ConfigurationError):
+            FeasibilityConfig(epsilon=-0.1)
+
+    def test_threshold(self):
+        assert FeasibilityConfig(epsilon=0.1).threshold == pytest.approx(0.9)
+        assert FeasibilityConfig().threshold == 1.0

@@ -1,0 +1,120 @@
+"""NF filtering (pass_rate < 1): planning maths and simulation."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.chain import catalog
+from repro.chain.builder import ChainBuilder
+from repro.chain.nf import DeviceKind, NFProfile
+from repro.errors import CapacityError
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.scenarios import Scenario
+from repro.resources.model import LoadModel, filtered_throughput
+from repro.units import gbps
+
+C = DeviceKind.CPU
+S = DeviceKind.SMARTNIC
+
+
+def filtering_scenario(pass_rate=0.8):
+    """firewall (filters) -> monitor -> logger, host-terminated."""
+    profiles = dict(catalog.FIGURE1_SCENARIO)
+    profiles["firewall"] = replace(profiles["firewall"],
+                                   pass_rate=pass_rate)
+    chain, placement = (ChainBuilder("filter", profiles=profiles)
+                        .nic("firewall")
+                        .nic("monitor")
+                        .nic("logger")
+                        .build(egress=C))
+    return Scenario(name="filter", chain=chain, placement=placement)
+
+
+class TestProfileValidation:
+    def test_pass_rate_bounds(self):
+        with pytest.raises(CapacityError):
+            NFProfile(name="x", pass_rate=0.0)
+        with pytest.raises(CapacityError):
+            NFProfile(name="x", pass_rate=1.1)
+
+    def test_default_is_transparent(self):
+        assert NFProfile(name="x").pass_rate == 1.0
+
+
+class TestFilteredThroughput:
+    def test_thinning_is_cumulative(self):
+        scenario = filtering_scenario(pass_rate=0.5)
+        spec = filtered_throughput(scenario.chain, gbps(2.0))
+        assert spec["firewall"] == gbps(2.0)
+        assert spec["monitor"] == gbps(1.0)
+        assert spec["logger"] == gbps(1.0)  # logger passes everything
+
+    def test_transparent_chain_is_uniform(self, fig1_chain):
+        spec = filtered_throughput(fig1_chain, gbps(1.0))
+        assert set(spec.values()) == {gbps(1.0)}
+
+    def test_negative_load_rejected(self, fig1_chain):
+        with pytest.raises(CapacityError):
+            filtered_throughput(fig1_chain, -1.0)
+
+    def test_scalar_loads_are_thinned_automatically(self):
+        scenario = filtering_scenario(pass_rate=0.5)
+        spec = filtered_throughput(scenario.chain, gbps(2.0))
+        from_map = LoadModel(scenario.placement, spec)
+        from_scalar = LoadModel(scenario.placement, gbps(2.0))
+        assert from_scalar.nic_load().utilisation == pytest.approx(
+            from_map.nic_load().utilisation)
+
+
+class TestSimulatedFiltering:
+    def run(self, pass_rate, offered=gbps(1.0), duration=0.01):
+        scenario = filtering_scenario(pass_rate)
+        return run_experiment(ExperimentConfig(
+            scenario=scenario, offered_bps=offered,
+            duration_s=duration))
+
+    def test_filtered_fraction_matches_pass_rate(self):
+        result = self.run(pass_rate=0.8)
+        fraction = result.filtered / result.injected
+        assert fraction == pytest.approx(0.2, abs=0.02)
+
+    def test_conservation_includes_filtered(self):
+        result = self.run(pass_rate=0.8)
+        assert result.delivered + result.dropped + result.filtered == \
+            result.injected
+
+    def test_transparent_chain_filters_nothing(self):
+        result = self.run(pass_rate=1.0)
+        assert result.filtered == 0
+
+    def test_filtering_is_deterministic(self):
+        first = self.run(pass_rate=0.7)
+        second = self.run(pass_rate=0.7)
+        assert first.filtered == second.filtered
+
+    def test_goodput_thinned_by_filtering(self):
+        transparent = self.run(pass_rate=1.0)
+        thinned = self.run(pass_rate=0.5)
+        assert thinned.goodput_bps == pytest.approx(
+            0.5 * transparent.goodput_bps, rel=0.05)
+
+    def test_downstream_sees_less_load_than_uniform_model(self):
+        # With heavy filtering, the chain survives an offered load that
+        # the uniform model calls infeasible: at 2.5 Gbps the uniform
+        # sum is 1.66 but the thinned one is 0.95, and the simulation
+        # sheds nothing.
+        result = self.run(pass_rate=0.5, offered=gbps(2.5),
+                          duration=0.008)
+        assert result.dropped == 0
+        load = LoadModel(filtering_scenario(0.5).placement, gbps(2.5))
+        assert load.nic_load().utilisation == pytest.approx(0.953125)
+
+    def test_planning_with_filtered_map_matches_sim(self):
+        # PAM fed the filtered map should not fire at 4 Gbps offered
+        # (NIC util with thinning: fw 0.4 + monitor 0.625 + logger 0.5
+        # = 1.525 -> overloaded! verify the map arithmetic instead).
+        scenario = filtering_scenario(pass_rate=0.5)
+        spec = filtered_throughput(scenario.chain, gbps(4.0))
+        load = LoadModel(scenario.placement, spec)
+        expected = 4 / 10 + 2 / 3.2 + 2 / 4
+        assert load.nic_load().utilisation == pytest.approx(expected)

@@ -1,0 +1,64 @@
+"""Flow table: determinism, Zipf weighting, hash splits."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.flows import FiveTuple, FlowTable
+
+
+class TestFiveTuple:
+    def test_hash_bucket_deterministic(self):
+        ft = FiveTuple("10.0.0.1", "192.168.0.1", 1234, 80)
+        assert ft.hash_bucket(4) == ft.hash_bucket(4)
+
+    def test_hash_bucket_in_range(self):
+        ft = FiveTuple("10.0.0.1", "192.168.0.1", 1234, 80)
+        assert 0 <= ft.hash_bucket(7) < 7
+
+    def test_invalid_bucket_count(self):
+        ft = FiveTuple("10.0.0.1", "192.168.0.1", 1234, 80)
+        with pytest.raises(ConfigurationError):
+            ft.hash_bucket(0)
+
+
+class TestFlowTable:
+    def test_deterministic_for_seed(self):
+        assert FlowTable(seed=3).flows == FlowTable(seed=3).flows
+
+    def test_different_seeds_differ(self):
+        assert FlowTable(seed=3).flows != FlowTable(seed=4).flows
+
+    def test_len(self):
+        assert len(FlowTable(num_flows=17)) == 17
+
+    def test_needs_flows(self):
+        with pytest.raises(ConfigurationError):
+            FlowTable(num_flows=0)
+
+    def test_zipf_exponent_validated(self):
+        with pytest.raises(ConfigurationError):
+            FlowTable(zipf_s=0.0)
+
+    def test_pick_flow_in_range(self):
+        table = FlowTable(num_flows=8)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 0 <= table.pick_flow(rng) < 8
+
+    def test_pick_flow_skewed_toward_low_ranks(self):
+        table = FlowTable(num_flows=64, zipf_s=1.2)
+        rng = random.Random(1)
+        picks = [table.pick_flow(rng) for _ in range(4000)]
+        assert picks.count(0) > picks.count(63)
+
+    def test_split_partitions_all_flows(self):
+        table = FlowTable(num_flows=50)
+        buckets = table.split(4)
+        assert sum(len(b) for b in buckets) == 50
+        assert sorted(f for b in buckets for f in b) == list(range(50))
+
+    def test_flow_lookup(self):
+        table = FlowTable(num_flows=5)
+        assert isinstance(table.flow(2), FiveTuple)

@@ -1,0 +1,91 @@
+"""FPGA SmartNIC extension (paper S4 future work)."""
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.nf import DeviceKind
+from repro.core.pam import select as pam_select
+from repro.devices.cpu import CPU
+from repro.devices.fpga import (DEFAULT_RECONFIGURATION_S, FPGASmartNIC,
+                                fpga_cost_model)
+from repro.devices.pcie import PCIeLink
+from repro.devices.server import Server
+from repro.errors import ConfigurationError, PlacementError
+from repro.migration.cost import MigrationCostModel
+from repro.units import gbps, msec
+
+
+class TestSlots:
+    def test_free_slots_decrease_with_hosting(self):
+        nic = FPGASmartNIC(num_slots=2)
+        assert nic.free_slots == 2
+        nic.host(catalog.get("monitor"))
+        assert nic.free_slots == 1
+
+    def test_slot_budget_enforced(self):
+        nic = FPGASmartNIC(num_slots=1)
+        nic.host(catalog.get("monitor"))
+        with pytest.raises(PlacementError, match="slots"):
+            nic.host(catalog.get("firewall"))
+
+    def test_evict_frees_slot(self):
+        nic = FPGASmartNIC(num_slots=1)
+        nic.host(catalog.get("monitor"))
+        nic.evict("monitor")
+        nic.host(catalog.get("firewall"))  # fits again
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FPGASmartNIC(num_slots=0)
+        with pytest.raises(ConfigurationError):
+            FPGASmartNIC(reconfiguration_s=-1.0)
+
+
+class TestCostModel:
+    def test_reconfiguration_dominates_pause(self):
+        nic = FPGASmartNIC(reconfiguration_s=msec(4.0))
+        model = fpga_cost_model(nic)
+        base = MigrationCostModel()
+        cost = model.estimate(catalog.get("monitor"), PCIeLink(),
+                              active_flows=100)
+        base_cost = base.estimate(catalog.get("monitor"), PCIeLink(),
+                                  active_flows=100)
+        assert cost.pause_s == pytest.approx(
+            base.pause_overhead_s + msec(4.0))
+        # Reconfiguration is ~an order of magnitude above everything else.
+        assert cost.total_s > 10 * base_cost.total_s
+
+    def test_default_reconfiguration_in_milliseconds(self):
+        assert DEFAULT_RECONFIGURATION_S >= msec(1.0)
+
+
+class TestPAMOnFPGA:
+    """PAM's selection algebra is device-agnostic: it works unchanged
+    on an FPGA NIC; only the migration *cost* differs."""
+
+    def build_server(self):
+        server = Server(nic=FPGASmartNIC(num_slots=4), cpu=CPU("cpu"))
+        from repro.chain.builder import ChainBuilder
+        _, placement = (
+            ChainBuilder("fpga", profiles=catalog.FIGURE1_SCENARIO)
+            .cpu("load_balancer").nic("logger").nic("monitor")
+            .nic("firewall").build(egress=DeviceKind.CPU))
+        server.install(placement)
+        return server
+
+    def test_install_within_slots(self):
+        server = self.build_server()
+        assert server.nic.free_slots == 1
+
+    def test_pam_selects_same_border_nf(self):
+        server = self.build_server()
+        plan = pam_select(server.placement, gbps(1.8))
+        assert plan.migrated_names == ["logger"]
+        assert plan.total_crossing_delta == 0
+
+    def test_migration_frees_a_slot(self):
+        server = self.build_server()
+        plan = pam_select(server.placement, gbps(1.8))
+        for action in plan.actions:
+            server.apply_move(action.nf_name, action.target)
+        assert server.nic.free_slots == 2

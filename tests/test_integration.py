@@ -1,0 +1,116 @@
+"""End-to-end integration: the full overload -> detect -> migrate ->
+recover loop, and the headline paper numbers."""
+
+import pytest
+
+from repro.baselines.naive import NaivePolicy
+from repro.core.planner import MigrationController, PAMPolicy
+from repro.harness.compare import compare_policies, latency_gap
+from repro.harness.scenarios import figure1
+from repro.sim.runner import SimulationRunner
+from repro.telemetry.monitor import SERIES_CPU, SERIES_NIC, LoadMonitor
+from repro.traffic.generators import ConstantBitRate
+from repro.traffic.packet import FixedSize
+from repro.traffic.patterns import ProfiledArrivals, spike
+from repro.units import gbps
+
+
+class TestHeadlineNumbers:
+    """The paper's S3 claims, as assertions."""
+
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return compare_policies(figure1(), duration_s=0.01)
+
+    def test_pam_latency_15_to_25_percent_below_naive(self, outcomes):
+        gap = latency_gap(outcomes)
+        assert -0.25 <= gap <= -0.15  # paper: -18% average
+
+    def test_pam_latency_within_2_percent_of_before(self, outcomes):
+        # "almost unchanged compared to the latency before migration"
+        before = outcomes["noop"].mean_latency_s
+        pam = outcomes["pam"].mean_latency_s
+        assert abs(pam - before) / before < 0.02
+
+    def test_throughput_improved_after_migration(self, outcomes):
+        # "the throughput of the service chain of PAM is improved"
+        assert outcomes["pam"].goodput_bps > \
+            1.2 * outcomes["noop"].goodput_bps
+
+    def test_naive_pays_exactly_two_extra_crossings(self, outcomes):
+        assert outcomes["naive"].pcie_crossings - \
+            outcomes["noop"].pcie_crossings == 2
+
+    def test_pam_pcie_component_unchanged(self, outcomes):
+        noop_pcie = outcomes["noop"].latency_run.component_means_s["pcie"]
+        pam_pcie = outcomes["pam"].latency_run.component_means_s["pcie"]
+        naive_pcie = outcomes["naive"].latency_run.component_means_s["pcie"]
+        assert pam_pcie == pytest.approx(noop_pcie, rel=0.01)
+        assert naive_pcie > pam_pcie * 1.5
+
+
+class TestTrafficSpikeClosedLoop:
+    """A load spike overloads the NIC mid-run; PAM reacts live."""
+
+    def run_spike(self, policy):
+        profile = spike(base_bps=gbps(1.3), peak_bps=gbps(1.8),
+                        start_s=0.01, duration_s=0.05)
+        generator = ProfiledArrivals(profile, FixedSize(256),
+                                     duration_s=0.04, seed=11,
+                                     jitter=False)
+        server = figure1().build_server()
+        controller = MigrationController(policy)
+        monitor = LoadMonitor(inner=controller)
+        runner = SimulationRunner(server, generator, monitor,
+                                  monitor_period_s=0.002)
+        return runner.run(), monitor
+
+    def test_pam_reacts_after_spike_onset(self):
+        result, _ = self.run_spike(PAMPolicy())
+        assert result.migrated_nfs == ["logger"]
+        assert result.migration_times_s[0] > 0.01
+
+    def test_nic_utilisation_recovers(self):
+        result, monitor = self.run_spike(PAMPolicy())
+        nic = monitor.recorder.values(SERIES_NIC)
+        assert max(nic) > 1.0
+        assert nic[-1] < 1.0
+
+    def test_cpu_takes_on_the_pushed_nf(self):
+        __, monitor = self.run_spike(PAMPolicy())
+        cpu = monitor.recorder.values(SERIES_CPU)
+        assert cpu[-1] > cpu[0]  # CPU absorbed the logger
+        assert cpu[-1] < 1.0     # without becoming a hot spot (Eq. 2)
+
+    def test_no_loss_through_the_whole_episode(self):
+        result, _ = self.run_spike(PAMPolicy())
+        assert result.dropped == 0
+        assert result.delivery_rate == 1.0
+
+    def test_naive_and_pam_converge_to_different_placements(self):
+        pam_result, _ = self.run_spike(PAMPolicy())
+        naive_result, _ = self.run_spike(NaivePolicy())
+        assert pam_result.final_placement != naive_result.final_placement
+        assert pam_result.final_placement.pcie_crossings() < \
+            naive_result.final_placement.pcie_crossings()
+
+    def test_post_migration_latency_lower_under_pam(self):
+        pam_result, _ = self.run_spike(PAMPolicy())
+        naive_result, _ = self.run_spike(NaivePolicy())
+        assert pam_result.latency.mean_s < naive_result.latency.mean_s
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_results(self):
+        def one_run():
+            server = figure1().build_server()
+            generator = ConstantBitRate(gbps(1.8), FixedSize(256), 0.012)
+            controller = MigrationController(PAMPolicy())
+            return SimulationRunner(server, generator, controller,
+                                    monitor_period_s=0.002).run()
+
+        a = one_run()
+        b = one_run()
+        assert a.latency.mean_s == b.latency.mean_s
+        assert a.delivered == b.delivered
+        assert a.migration_times_s == b.migration_times_s

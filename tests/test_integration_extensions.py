@@ -1,0 +1,131 @@
+"""Cross-feature integration: presets x policies, faults under control,
+traces through suites, diagrams after live migrations."""
+
+import json
+
+import pytest
+
+from repro.baselines.naive import NaivePolicy
+from repro.chain.diagram import render_placement
+from repro.core.operator import HardenedController, HardeningConfig
+from repro.core.planner import MigrationController, PAMPolicy
+from repro.core.reverse import PullbackConfig
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.scenarios import (datacenter_inline, enterprise_edge,
+                                     figure1, long_chain)
+from repro.sim.faults import FaultInjector
+from repro.sim.runner import SimulationRunner
+from repro.traffic.generators import ConstantBitRate, PoissonArrivals
+from repro.traffic.packet import FixedSize
+from repro.traffic.trace import TraceReplay, record
+from repro.units import gbps
+
+
+class TestPresetPolicyMatrix:
+    """Every preset scenario under every live policy, no crashes."""
+
+    @pytest.mark.parametrize("scenario_factory", [
+        figure1, enterprise_edge, lambda: long_chain(6)])
+    @pytest.mark.parametrize("policy_factory", [PAMPolicy, NaivePolicy])
+    def test_closed_loop_is_stable(self, scenario_factory, policy_factory):
+        scenario = scenario_factory()
+        controller = MigrationController(policy_factory())
+        result = run_experiment(ExperimentConfig(
+            scenario=scenario,
+            offered_bps=scenario.throughput_bps,
+            duration_s=0.015,
+            controller=controller))
+        # Whatever the policy did, nothing was lost and the books balance.
+        assert result.delivered + result.dropped + result.filtered == \
+            result.injected
+        # Any executed migration kept the placement valid.
+        for name in result.final_placement.chain.names():
+            result.final_placement.device_of(name)
+
+    def test_pam_never_worse_crossings_than_naive_on_presets(self):
+        for scenario in (figure1(), enterprise_edge(), long_chain(6)):
+            pam = MigrationController(PAMPolicy())
+            naive = MigrationController(NaivePolicy())
+            pam_result = run_experiment(ExperimentConfig(
+                scenario=scenario, offered_bps=scenario.throughput_bps,
+                duration_s=0.015, controller=pam))
+            naive_result = run_experiment(ExperimentConfig(
+                scenario=scenario, offered_bps=scenario.throughput_bps,
+                duration_s=0.015, controller=naive))
+            assert pam_result.final_placement.pcie_crossings() <= \
+                naive_result.final_placement.pcie_crossings()
+
+
+class TestFaultsUnderControl:
+    def test_crash_during_migration_episode(self):
+        """An NF crash overlapping a PAM migration: books still balance."""
+        server = figure1().build_server()
+        generator = ConstantBitRate(gbps(1.8), FixedSize(256), 0.02)
+        controller = MigrationController(PAMPolicy())
+        runner = SimulationRunner(server, generator, controller,
+                                  monitor_period_s=0.002)
+        injector = FaultInjector(runner.network, runner.engine, seed=3)
+        # Crash the firewall around when the logger migration fires.
+        event = injector.crash_nf("firewall", at_s=0.003,
+                                  downtime_s=0.001)
+        result = runner.run()
+        assert result.migrated_nfs == ["logger"]
+        assert result.dropped == event.packets_lost
+        assert result.delivered + result.dropped == result.injected
+
+    def test_hardened_loop_survives_loss(self):
+        server = figure1().build_server()
+        generator = ConstantBitRate(gbps(1.8), FixedSize(256), 0.02)
+        controller = HardenedController(config=HardeningConfig(
+            cooldown_s=0.002,
+            pullback=PullbackConfig(trigger_below=0.5)))
+        runner = SimulationRunner(server, generator, controller,
+                                  monitor_period_s=0.002)
+        FaultInjector(runner.network, runner.engine, seed=3) \
+            .random_loss(0.05)
+        result = runner.run()
+        # Surviving load (~1.71 Gbps) still overloads the NIC: the
+        # hardened loop must have reacted.
+        assert "logger" in result.migrated_nfs
+
+
+class TestTraceThroughTheStack:
+    def test_recorded_trace_reproduces_policy_decisions(self, tmp_path):
+        """Record a bursty workload, replay it from disk: the controller
+        makes the identical migration at the identical time."""
+        generator = PoissonArrivals(gbps(1.8), FixedSize(256), 0.015,
+                                    seed=6)
+        trace = record(generator)
+        path = tmp_path / "episode.trace"
+        trace.save(path)
+
+        def run(workload):
+            server = figure1().build_server()
+            controller = MigrationController(PAMPolicy())
+            return SimulationRunner(server, workload, controller,
+                                    monitor_period_s=0.002).run()
+
+        live = run(generator)
+        from repro.traffic.trace import PacketTrace
+        replayed = run(TraceReplay(PacketTrace.load(path)))
+        assert replayed.migrated_nfs == live.migrated_nfs
+        assert replayed.migration_times_s == live.migration_times_s
+        assert replayed.latency.mean_s == pytest.approx(
+            live.latency.mean_s, rel=1e-12)
+
+
+class TestDiagramsTrackLiveState:
+    def test_diagram_changes_after_closed_loop_migration(self):
+        scenario = figure1()
+        before = render_placement(scenario.placement)
+        controller = MigrationController(PAMPolicy())
+        result = run_experiment(ExperimentConfig(
+            scenario=scenario, offered_bps=gbps(1.8),
+            duration_s=0.012, controller=controller))
+        after = render_placement(result.final_placement)
+        assert before != after
+        assert "PCIe crossings: 3" in after  # PAM kept the count
+        # The logger now renders on the CPU lane.
+        cpu_line = [line for line in after.splitlines()
+                    if line.startswith("CPU")][0]
+        assert "[logger]" in cpu_line

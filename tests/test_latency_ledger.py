@@ -1,0 +1,66 @@
+"""Latency decomposition records."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.latency import COMPONENTS, LatencyLedger, LatencyRecord
+
+
+class TestRecord:
+    def test_add_accumulates(self):
+        record = LatencyRecord(seq=0)
+        record.add("pcie", 1e-5)
+        record.add("pcie", 2e-5)
+        assert record.pcie == pytest.approx(3e-5)
+
+    def test_total_is_component_sum(self):
+        record = LatencyRecord(seq=0)
+        record.add("wire", 1e-6)
+        record.add("processing", 2e-6)
+        record.add("queueing", 3e-6)
+        record.add("pcie", 4e-6)
+        assert record.total == pytest.approx(1e-5)
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyRecord(seq=0).add("teleport", 1e-6)
+
+    def test_negative_contribution_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyRecord(seq=0).add("pcie", -1e-9)
+
+
+class TestLedger:
+    def test_record_for_creates_once(self):
+        ledger = LatencyLedger()
+        first = ledger.record_for(7)
+        second = ledger.record_for(7)
+        assert first is second
+        assert len(ledger) == 1
+
+    def test_records_sorted_by_seq(self):
+        ledger = LatencyLedger()
+        ledger.record_for(3)
+        ledger.record_for(1)
+        ledger.record_for(2)
+        assert [r.seq for r in ledger.records()] == [1, 2, 3]
+
+    def test_component_means(self):
+        ledger = LatencyLedger()
+        ledger.record_for(0).add("pcie", 2e-5)
+        ledger.record_for(1).add("pcie", 4e-5)
+        means = ledger.component_means()
+        assert means["pcie"] == pytest.approx(3e-5)
+        assert means["wire"] == 0.0
+
+    def test_component_means_subset(self):
+        ledger = LatencyLedger()
+        ledger.record_for(0).add("pcie", 2e-5)
+        ledger.record_for(1).add("pcie", 8e-5)
+        means = ledger.component_means(seqs=[1])
+        assert means["pcie"] == pytest.approx(8e-5)
+
+    def test_component_means_empty(self):
+        means = LatencyLedger().component_means()
+        assert set(means) == set(COMPONENTS)
+        assert all(v == 0.0 for v in means.values())

@@ -1,0 +1,109 @@
+"""NFProfile model: validation, capacity lookups, utilisation shares."""
+
+import pytest
+
+from repro.chain.nf import DeviceKind, NFInstanceId, NFKind, NFProfile
+from repro.errors import CapacityError
+from repro.units import gbps
+
+
+def make_nf(**overrides):
+    defaults = dict(name="nf", nic_capacity_bps=gbps(4.0),
+                    cpu_capacity_bps=gbps(2.0))
+    defaults.update(overrides)
+    return NFProfile(**defaults)
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(CapacityError):
+            make_nf(name="")
+
+    def test_non_positive_nic_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            make_nf(nic_capacity_bps=0.0)
+
+    def test_non_positive_cpu_capacity_rejected(self):
+        with pytest.raises(CapacityError):
+            make_nf(cpu_capacity_bps=-1.0)
+
+    def test_incapable_device_capacity_not_validated(self):
+        # A CPU-only NF may carry a nonsense NIC capacity; it is never read.
+        nf = make_nf(nic_capable=False, nic_capacity_bps=-5.0)
+        assert nf.cpu_capable
+
+    def test_must_run_somewhere(self):
+        with pytest.raises(CapacityError):
+            make_nf(nic_capable=False, cpu_capable=False)
+
+    def test_negative_base_latency_rejected(self):
+        with pytest.raises(CapacityError):
+            make_nf(base_latency_s=-1e-6)
+
+    def test_negative_state_rejected(self):
+        with pytest.raises(CapacityError):
+            make_nf(state_bytes=-1)
+
+
+class TestCapacityLookup:
+    def test_capacity_on_smartnic(self):
+        assert make_nf().capacity_on(DeviceKind.SMARTNIC) == gbps(4.0)
+
+    def test_capacity_on_cpu(self):
+        assert make_nf().capacity_on(DeviceKind.CPU) == gbps(2.0)
+
+    def test_capacity_on_incapable_device_raises(self):
+        nf = make_nf(nic_capable=False)
+        with pytest.raises(CapacityError):
+            nf.capacity_on(DeviceKind.SMARTNIC)
+
+    def test_can_run_on(self):
+        nf = make_nf(cpu_capable=False)
+        assert nf.can_run_on(DeviceKind.SMARTNIC)
+        assert not nf.can_run_on(DeviceKind.CPU)
+
+
+class TestUtilisationShare:
+    def test_linear_model(self):
+        nf = make_nf()
+        assert nf.utilisation_share(DeviceKind.SMARTNIC, gbps(1.0)) == \
+            pytest.approx(0.25)
+
+    def test_share_scales_linearly(self):
+        nf = make_nf()
+        one = nf.utilisation_share(DeviceKind.CPU, gbps(0.5))
+        two = nf.utilisation_share(DeviceKind.CPU, gbps(1.0))
+        assert two == pytest.approx(2 * one)
+
+    def test_share_of_zero_throughput_is_zero(self):
+        assert make_nf().utilisation_share(DeviceKind.CPU, 0.0) == 0.0
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(CapacityError):
+            make_nf().utilisation_share(DeviceKind.CPU, -1.0)
+
+    def test_share_above_one_means_overload(self):
+        nf = make_nf()
+        assert nf.utilisation_share(DeviceKind.CPU, gbps(3.0)) > 1.0
+
+
+class TestRenamedAndIdentity:
+    def test_renamed_keeps_capacities(self):
+        clone = make_nf().renamed("nf2")
+        assert clone.name == "nf2"
+        assert clone.nic_capacity_bps == gbps(4.0)
+
+    def test_renamed_is_a_new_object(self):
+        original = make_nf()
+        assert original.renamed("other") != original
+
+    def test_profile_is_hashable(self):
+        assert len({make_nf(), make_nf()}) == 1
+
+    def test_device_kind_other(self):
+        assert DeviceKind.SMARTNIC.other() is DeviceKind.CPU
+        assert DeviceKind.CPU.other() is DeviceKind.SMARTNIC
+
+    def test_instance_id_str(self):
+        assert str(NFInstanceId("fw")) == "fw"
+        assert str(NFInstanceId("fw", replica=2)) == "fw#2"

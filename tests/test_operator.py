@@ -1,0 +1,118 @@
+"""HardenedController: cooldown, flap damping, budget, pull-back."""
+
+import pytest
+
+from repro.core.operator import HardenedController, HardeningConfig
+from repro.core.planner import PAMPolicy
+from repro.core.reverse import PullbackConfig
+from repro.errors import ConfigurationError
+from repro.harness.scenarios import figure1
+from repro.sim.runner import SimulationRunner
+from repro.traffic.packet import FixedSize
+from repro.traffic.patterns import ProfiledArrivals, constant, spike
+from repro.units import gbps
+
+
+def run_with(controller, profile, duration=0.06, seed=11):
+    generator = ProfiledArrivals(profile, FixedSize(256), duration,
+                                 seed=seed, jitter=False)
+    server = figure1().build_server()
+    runner = SimulationRunner(server, generator, controller,
+                              monitor_period_s=0.002)
+    return runner.run()
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HardeningConfig(cooldown_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            HardeningConfig(migration_budget=0)
+
+
+class TestForwardPath:
+    def test_reacts_to_overload_like_plain_controller(self):
+        controller = HardenedController(
+            config=HardeningConfig(enable_pullback=False))
+        result = run_with(controller, constant(gbps(1.8)), duration=0.02)
+        assert result.migrated_nfs == ["logger"]
+
+    def test_budget_caps_migrations(self):
+        # Repeated spike/quiet cycles with pull-back enabled would
+        # migrate indefinitely; a budget of 2 stops after two moves.
+        config = HardeningConfig(
+            cooldown_s=0.0, flap_damp_s=0.0, migration_budget=2,
+            pullback=PullbackConfig(trigger_below=0.6, nic_target=0.8))
+        controller = HardenedController(config=config)
+        profile = spike(base_bps=gbps(0.8), peak_bps=gbps(1.8),
+                        start_s=0.005, duration_s=0.01)
+        # After the spike ends, pull-back fires; then the NIC is loaded
+        # again... budget must stop the churn at 2 total.
+        result = run_with(controller, profile, duration=0.08)
+        assert len(result.migrated_nfs) <= 2
+
+
+class TestFlapDamping:
+    def test_ping_pong_suppressed(self):
+        # Forward at spike, pull-back right after, forward again at the
+        # next spike: with a long damp window the logger may only move
+        # once in each direction; further moves are suppressed.
+        config = HardeningConfig(
+            cooldown_s=0.0, flap_damp_s=1.0, migration_budget=16,
+            pullback=PullbackConfig(trigger_below=0.6, nic_target=0.9))
+        controller = HardenedController(config=config)
+        profile = spike(base_bps=gbps(0.8), peak_bps=gbps(1.8),
+                        start_s=0.005, duration_s=0.02)
+        result = run_with(controller, profile, duration=0.08)
+        moves = result.migrated_nfs.count("logger")
+        assert moves <= 1
+        assert controller.suppressed_plans >= 1
+
+    def test_damping_disabled_allows_roundtrip(self):
+        config = HardeningConfig(
+            cooldown_s=0.0, flap_damp_s=0.0, migration_budget=16,
+            pullback=PullbackConfig(trigger_below=0.6, nic_target=0.9))
+        controller = HardenedController(config=config)
+        profile = spike(base_bps=gbps(0.8), peak_bps=gbps(1.8),
+                        start_s=0.005, duration_s=0.02)
+        result = run_with(controller, profile, duration=0.08)
+        # Pushed during the spike, pulled back after it.
+        assert result.migrated_nfs.count("logger") >= 2
+
+
+class TestCooldown:
+    def test_cooldown_spaces_plans(self):
+        config = HardeningConfig(
+            cooldown_s=0.03, flap_damp_s=0.0, migration_budget=16,
+            pullback=PullbackConfig(trigger_below=0.6, nic_target=0.9))
+        controller = HardenedController(config=config)
+        profile = spike(base_bps=gbps(0.8), peak_bps=gbps(1.8),
+                        start_s=0.005, duration_s=0.02)
+        result = run_with(controller, profile, duration=0.08)
+        times = result.migration_times_s
+        for a, b in zip(times, times[1:]):
+            assert b - a >= 0.029  # one migration's own duration < 1ms
+
+
+class TestPullback:
+    def test_pushed_nf_returns_after_spike(self):
+        config = HardeningConfig(
+            cooldown_s=0.0, flap_damp_s=0.0, migration_budget=16,
+            pullback=PullbackConfig(trigger_below=0.6, nic_target=0.9))
+        controller = HardenedController(config=config)
+        profile = spike(base_bps=gbps(0.8), peak_bps=gbps(1.8),
+                        start_s=0.005, duration_s=0.02)
+        result = run_with(controller, profile, duration=0.08)
+        # logger was pushed to the CPU during the spike and is back on
+        # the NIC at the end of the run.
+        assert result.final_placement.device_of("logger").value == \
+            "smartnic"
+
+    def test_no_pullback_when_disabled(self):
+        config = HardeningConfig(cooldown_s=0.0, flap_damp_s=0.0,
+                                 enable_pullback=False)
+        controller = HardenedController(config=config)
+        profile = spike(base_bps=gbps(0.8), peak_bps=gbps(1.8),
+                        start_s=0.005, duration_s=0.02)
+        result = run_with(controller, profile, duration=0.06)
+        assert result.final_placement.device_of("logger").value == "cpu"

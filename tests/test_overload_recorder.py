@@ -1,0 +1,100 @@
+"""Overload detector hysteresis and the time-series recorder."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.telemetry.overload import OverloadDetector
+from repro.telemetry.recorder import TimeSeriesRecorder
+
+
+class TestDetectorMemoryless:
+    def test_fires_immediately_by_default(self):
+        detector = OverloadDetector()
+        assert detector.update(1.2)
+        assert detector.overloaded
+
+    def test_clears_immediately_by_default(self):
+        detector = OverloadDetector()
+        detector.update(1.2)
+        assert not detector.update(0.8)
+
+    def test_threshold_is_strict(self):
+        detector = OverloadDetector()
+        assert not detector.update(1.0)
+
+
+class TestDetectorHysteresis:
+    def test_on_count_debounces(self):
+        detector = OverloadDetector(on_count=3)
+        assert not detector.update(1.5)
+        assert not detector.update(1.5)
+        assert detector.update(1.5)
+
+    def test_streak_reset_by_under_sample(self):
+        detector = OverloadDetector(on_count=2)
+        detector.update(1.5)
+        detector.update(0.5)  # streak broken
+        assert not detector.update(1.5)
+        assert detector.update(1.5)
+
+    def test_off_count_debounces(self):
+        detector = OverloadDetector(off_count=2)
+        detector.update(1.5)
+        assert detector.update(0.5)   # still on
+        assert not detector.update(0.5)
+
+    def test_episode_counter(self):
+        detector = OverloadDetector()
+        detector.update(1.5)
+        detector.update(0.5)
+        detector.update(1.5)
+        assert detector.episodes == 2
+
+    def test_reset(self):
+        detector = OverloadDetector()
+        detector.update(1.5)
+        detector.reset()
+        assert not detector.overloaded
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            OverloadDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            OverloadDetector(on_count=0)
+        detector = OverloadDetector()
+        with pytest.raises(ConfigurationError):
+            detector.update(-0.1)
+
+
+class TestRecorder:
+    def test_record_and_read_back(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("nic", 0.0, 0.5)
+        recorder.record("nic", 1.0, 0.9)
+        assert recorder.values("nic") == [0.5, 0.9]
+
+    def test_time_must_be_monotone_per_series(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("nic", 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            recorder.record("nic", 0.5, 0.6)
+
+    def test_series_are_independent(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("nic", 5.0, 1.0)
+        recorder.record("cpu", 1.0, 1.0)  # earlier time, other series: fine
+        assert recorder.names() == ["cpu", "nic"]
+
+    def test_last_and_max(self):
+        recorder = TimeSeriesRecorder()
+        recorder.record("nic", 0.0, 0.5)
+        recorder.record("nic", 1.0, 1.3)
+        recorder.record("nic", 2.0, 0.9)
+        assert recorder.last("nic").value == 0.9
+        assert recorder.max("nic") == 1.3
+
+    def test_missing_series(self):
+        recorder = TimeSeriesRecorder()
+        assert recorder.series("ghost") == []
+        with pytest.raises(ConfigurationError):
+            recorder.last("ghost")

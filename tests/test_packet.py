@@ -1,0 +1,86 @@
+"""Packets and size distributions."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.packet import (PAPER_SIZE_SWEEP, FixedSize, IMixSize,
+                                  Packet, UniformSize)
+
+
+class TestPacket:
+    def test_latency_none_before_departure(self):
+        packet = Packet(seq=0, size_bytes=64, arrival_s=1.0)
+        assert packet.latency_s is None
+        assert not packet.delivered
+
+    def test_latency_after_departure(self):
+        packet = Packet(seq=0, size_bytes=64, arrival_s=1.0, departure_s=1.5)
+        assert packet.latency_s == pytest.approx(0.5)
+        assert packet.delivered
+
+    def test_dropped_packet_is_not_delivered(self):
+        packet = Packet(seq=0, size_bytes=64, arrival_s=1.0,
+                        departure_s=1.5, dropped_at="monitor")
+        assert not packet.delivered
+
+
+class TestPaperSweep:
+    def test_covers_64_to_1500(self):
+        assert PAPER_SIZE_SWEEP[0] == 64
+        assert PAPER_SIZE_SWEEP[-1] == 1500
+
+    def test_strictly_increasing(self):
+        assert list(PAPER_SIZE_SWEEP) == sorted(set(PAPER_SIZE_SWEEP))
+
+
+class TestFixedSize:
+    def test_sample_is_constant(self):
+        dist = FixedSize(256)
+        rng = random.Random(1)
+        assert {dist.sample(rng) for _ in range(10)} == {256}
+
+    def test_mean(self):
+        assert FixedSize(512).mean_bytes() == 512.0
+
+    def test_undersized_frame_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FixedSize(32)
+
+    def test_jumbo_limit(self):
+        with pytest.raises(ConfigurationError):
+            FixedSize(9001)
+        assert FixedSize(9000).size_bytes == 9000
+
+
+class TestUniformSize:
+    def test_samples_within_bounds(self):
+        dist = UniformSize(64, 128)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert 64 <= dist.sample(rng) <= 128
+
+    def test_mean(self):
+        assert UniformSize(64, 128).mean_bytes() == 96.0
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformSize(128, 64)
+
+
+class TestIMix:
+    def test_samples_only_imix_sizes(self):
+        dist = IMixSize()
+        rng = random.Random(1)
+        assert {dist.sample(rng) for _ in range(200)} <= {64, 570, 1500}
+
+    def test_mean_matches_weights(self):
+        # (7*64 + 4*570 + 1*1500) / 12
+        assert IMixSize().mean_bytes() == pytest.approx((448 + 2280 + 1500) / 12)
+
+    def test_small_sizes_dominate(self):
+        dist = IMixSize()
+        rng = random.Random(7)
+        samples = [dist.sample(rng) for _ in range(1200)]
+        assert samples.count(64) > samples.count(1500)

@@ -1,0 +1,54 @@
+"""The one-call reproduction API."""
+
+import pytest
+
+from repro.cli import main
+from repro.harness.paper import (ArtefactResult, ReproductionReport,
+                                 reproduce_all)
+
+
+@pytest.fixture(scope="module")
+def report():
+    # Short horizons: this exercises the full pipeline, the benches
+    # cover the well-sampled runs.
+    return reproduce_all(duration_s=0.005)
+
+
+class TestReproduceAll:
+    def test_covers_all_four_artefacts(self, report):
+        names = [artefact.artefact for artefact in report.artefacts]
+        assert names == ["Table 1", "Figure 1", "Figure 2(a)",
+                         "Figure 2(b)"]
+
+    def test_every_claim_passes(self, report):
+        failing = [artefact.artefact for artefact in report.artefacts
+                   if not artefact.passed]
+        assert failing == []
+        assert report.all_passed
+
+    def test_measured_strings_are_informative(self, report):
+        by_name = {a.artefact: a for a in report.artefacts}
+        assert "knee error" in by_name["Table 1"].measured
+        assert "+2" in by_name["Figure 1"].measured
+        assert "%" in by_name["Figure 2(a)"].measured
+
+    def test_render_contains_tables_and_verdict(self, report):
+        text = report.render()
+        assert "[PASS] Table 1" in text
+        assert "all paper claims reproduced" in text
+        assert "vNF" in text  # the capacity table itself
+
+    def test_failed_report_renders_verdict(self):
+        failed = ReproductionReport(artefacts=(
+            ArtefactResult(artefact="X", claim="c", measured="m",
+                           passed=False, rendered="r"),))
+        assert not failed.all_passed
+        assert "SOME CLAIMS FAILED" in failed.render()
+        assert "[FAIL] X" in failed.render()
+
+
+class TestReproduceCli:
+    def test_exit_zero_on_success(self, capsys):
+        assert main(["reproduce", "--duration", "0.004"]) == 0
+        out = capsys.readouterr().out
+        assert "all paper claims reproduced" in out

@@ -1,0 +1,86 @@
+"""PCIe link: crossing latency, serialisation, accounting."""
+
+import pytest
+
+from repro.devices.pcie import (DEFAULT_CROSSING_LATENCY_S,
+                                DEFAULT_PCIE_BANDWIDTH_BPS, PCIeLink)
+from repro.errors import ConfigurationError
+from repro.units import usec
+
+
+@pytest.fixture
+def link():
+    return PCIeLink()
+
+
+class TestCrossingTime:
+    def test_fixed_plus_serialisation(self, link):
+        expected = DEFAULT_CROSSING_LATENCY_S + 256 * 8 / DEFAULT_PCIE_BANDWIDTH_BPS
+        assert link.crossing_time(256) == pytest.approx(expected)
+
+    def test_zero_bytes_is_fixed_cost_only(self, link):
+        assert link.crossing_time(0) == DEFAULT_CROSSING_LATENCY_S
+
+    def test_monotone_in_size(self, link):
+        assert link.crossing_time(1500) > link.crossing_time(64)
+
+    def test_default_in_tens_of_microseconds_regime(self, link):
+        # The paper: two extra crossings add "tens of microseconds".
+        two = 2 * link.crossing_time(256)
+        assert usec(10) < two < usec(100)
+
+    def test_negative_size_rejected(self, link):
+        with pytest.raises(ConfigurationError):
+            link.crossing_time(-1)
+
+
+class TestAccounting:
+    def test_record_crossing_counts(self, link):
+        t = link.record_crossing(256)
+        assert link.stats.crossings == 1
+        assert link.stats.bytes_transferred == 256
+        assert link.stats.busy_time_s == pytest.approx(t)
+
+    def test_record_accumulates(self, link):
+        link.record_crossing(64)
+        link.record_crossing(128)
+        assert link.stats.crossings == 2
+        assert link.stats.bytes_transferred == 192
+
+    def test_reset(self, link):
+        link.record_crossing(64)
+        link.stats.reset()
+        assert link.stats.crossings == 0
+        assert link.stats.bytes_transferred == 0
+        assert link.stats.busy_time_s == 0.0
+
+
+class TestBulkTransfer:
+    def test_pays_fixed_cost_once(self, link):
+        one_mb = 1024 * 1024
+        expected = DEFAULT_CROSSING_LATENCY_S + one_mb * 8 / DEFAULT_PCIE_BANDWIDTH_BPS
+        assert link.bulk_transfer_time(one_mb) == pytest.approx(expected)
+
+    def test_bulk_cheaper_than_per_packet(self, link):
+        # Moving 1 MB as one DMA beats moving it as 4096 packet crossings.
+        bulk = link.bulk_transfer_time(1024 * 1024)
+        per_packet = 4096 * link.crossing_time(256)
+        assert bulk < per_packet
+
+    def test_negative_rejected(self, link):
+        with pytest.raises(ConfigurationError):
+            link.bulk_transfer_time(-1)
+
+
+class TestValidation:
+    def test_bandwidth_positive(self):
+        with pytest.raises(ConfigurationError):
+            PCIeLink(bandwidth_bps=0.0)
+
+    def test_latency_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            PCIeLink(crossing_latency_s=-1e-6)
+
+    def test_zero_latency_allowed(self):
+        # The A1 ablation sweeps down toward zero-cost crossings.
+        assert PCIeLink(crossing_latency_s=0.0).crossing_time(0) == 0.0

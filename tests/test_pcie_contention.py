@@ -1,0 +1,84 @@
+"""Detailed PCIe transmission model (contention mode)."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.devices.pcie import PCIeLink
+from repro.devices.server import ServerProfile
+from repro.harness.experiment import steady_state
+from repro.harness.scenarios import figure1
+from repro.units import gbps, usec
+
+
+class TestLinkOccupancy:
+    def test_back_to_back_crossings_queue(self):
+        link = PCIeLink(model_contention=True)
+        first = link.record_crossing(1500, now_s=0.0)
+        second = link.record_crossing(1500, now_s=0.0)
+        serialise = 1500 * 8 / link.bandwidth_bps
+        assert second == pytest.approx(first + serialise)
+        assert link.stats.queue_wait_s == pytest.approx(serialise)
+
+    def test_spaced_crossings_do_not_queue(self):
+        link = PCIeLink(model_contention=True)
+        first = link.record_crossing(1500, now_s=0.0)
+        second = link.record_crossing(1500, now_s=1.0)
+        assert second == pytest.approx(first)
+        assert link.stats.queue_wait_s == 0.0
+
+    def test_contention_off_ignores_clock(self):
+        link = PCIeLink(model_contention=False)
+        a = link.record_crossing(1500, now_s=0.0)
+        b = link.record_crossing(1500, now_s=0.0)
+        assert a == b
+        assert link.stats.queue_wait_s == 0.0
+
+    def test_no_clock_means_no_contention(self):
+        link = PCIeLink(model_contention=True)
+        a = link.record_crossing(1500)
+        b = link.record_crossing(1500)
+        assert a == b
+
+    def test_reset_clears_occupancy(self):
+        link = PCIeLink(model_contention=True)
+        link.record_crossing(1500, now_s=0.0)
+        link.reset()
+        assert link.record_crossing(1500, now_s=0.0) == \
+            link.crossing_time(1500)
+
+
+class TestEndToEnd:
+    def test_contention_raises_latency_at_high_crossing_load(self):
+        # The naive-after placement makes every packet cross 5 times;
+        # at high rate with large packets the serialisation stream
+        # contends, so the contention model must report higher latency.
+        scenario = figure1()
+        naive_after = scenario.placement.moved("monitor",
+                                               scenario.placement
+                                               .device_of("monitor").other())
+        plain = scenario.with_placement(naive_after, "plain")
+        contended = scenario.with_placement(naive_after, "contended")
+        contended = type(contended)(
+            name=contended.name, chain=contended.chain,
+            placement=contended.placement,
+            server_profile=replace(ServerProfile(),
+                                   pcie_model_contention=True),
+            throughput_bps=contended.throughput_bps)
+        base = steady_state(plain, gbps(2.4), 1500, duration_s=0.006)
+        rich = steady_state(contended, gbps(2.4), 1500, duration_s=0.006)
+        assert rich.latency.mean_s > base.latency.mean_s
+        assert rich.pcie.queue_wait_s > 0
+
+    def test_contention_negligible_at_light_load(self):
+        scenario = figure1()
+        contended = type(scenario)(
+            name="light", chain=scenario.chain,
+            placement=scenario.placement,
+            server_profile=replace(ServerProfile(),
+                                   pcie_model_contention=True),
+            throughput_bps=scenario.throughput_bps)
+        base = steady_state(scenario, gbps(0.5), 256, duration_s=0.004)
+        rich = steady_state(contended, gbps(0.5), 256, duration_s=0.004)
+        assert rich.latency.mean_s == pytest.approx(base.latency.mean_s,
+                                                    rel=0.01)

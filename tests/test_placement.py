@@ -1,0 +1,162 @@
+"""Placement: assignment validation, crossings, segments, moves."""
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.builder import ChainBuilder
+from repro.chain.chain import ServiceChain
+from repro.chain.nf import DeviceKind
+from repro.chain.placement import Placement
+from repro.errors import PlacementError
+
+S = DeviceKind.SMARTNIC
+C = DeviceKind.CPU
+
+
+def fig1():
+    return (ChainBuilder("f", profiles=catalog.FIGURE1_SCENARIO)
+            .cpu("load_balancer").nic("logger").nic("monitor").nic("firewall")
+            .build(egress=C))
+
+
+class TestValidation:
+    def test_missing_nf_rejected(self):
+        chain = ServiceChain([catalog.get("monitor"), catalog.get("logger")])
+        with pytest.raises(PlacementError, match="omits"):
+            Placement(chain, {"monitor": S})
+
+    def test_extra_nf_rejected(self):
+        chain = ServiceChain([catalog.get("monitor")])
+        with pytest.raises(PlacementError, match="outside"):
+            Placement(chain, {"monitor": S, "logger": C})
+
+    def test_incapable_assignment_rejected(self):
+        chain = ServiceChain([catalog.get("dpi")])
+        with pytest.raises(PlacementError, match="cannot run"):
+            Placement(chain, {"dpi": S})
+
+    def test_all_on_factory(self):
+        chain = ServiceChain([catalog.get("monitor"), catalog.get("logger")])
+        placement = Placement.all_on(chain, S)
+        assert placement.nic_nfs() == list(chain.nfs)
+        assert placement.cpu_nfs() == []
+
+    def test_from_nic_set_factory(self):
+        chain = ServiceChain([catalog.get("monitor"), catalog.get("logger")])
+        placement = Placement.from_nic_set(chain, ["monitor"])
+        assert placement.device_of("monitor") is S
+        assert placement.device_of("logger") is C
+
+
+class TestCrossings:
+    def test_figure1_has_three_crossings(self):
+        _, placement = fig1()
+        # wire(S) -> LB(C) -> logger/monitor/firewall(S) -> host(C)
+        assert placement.pcie_crossings() == 3
+
+    def test_all_on_nic_bump_in_wire_has_zero(self):
+        chain = ServiceChain([catalog.get("monitor"), catalog.get("logger")])
+        assert Placement.all_on(chain, S).pcie_crossings() == 0
+
+    def test_all_on_cpu_bump_in_wire_has_two(self):
+        chain = ServiceChain([catalog.get("monitor"), catalog.get("logger")])
+        assert Placement.all_on(chain, C).pcie_crossings() == 2
+
+    def test_device_path_includes_endpoints(self):
+        _, placement = fig1()
+        path = placement.device_path()
+        assert path[0] is S  # wire ingress
+        assert path[-1] is C  # host-terminated egress
+        assert len(path) == len(placement.chain) + 2
+
+    def test_alternating_chain_counts_every_hop(self):
+        chain = ServiceChain([catalog.get("monitor"), catalog.get("logger"),
+                              catalog.get("firewall")])
+        placement = Placement(chain, {"monitor": S, "logger": C,
+                                      "firewall": S})
+        # S | S C S | S -> crossings at S->C and C->S only.
+        assert placement.pcie_crossings() == 2
+
+
+class TestSegments:
+    def test_segments_of_figure1(self):
+        _, placement = fig1()
+        segments = placement.segments()
+        assert [tuple(s) for s in segments] == \
+            [("load_balancer",), ("logger", "monitor", "firewall")]
+
+    def test_segments_filtered_by_device(self):
+        _, placement = fig1()
+        nic_segments = placement.segments(S)
+        assert [tuple(s) for s in nic_segments] == \
+            [("logger", "monitor", "firewall")]
+
+    def test_single_device_single_segment(self):
+        chain = ServiceChain([catalog.get("monitor"), catalog.get("logger")])
+        assert len(Placement.all_on(chain, S).segments()) == 1
+
+
+class TestMoves:
+    def test_moved_returns_new_placement(self):
+        _, placement = fig1()
+        moved = placement.moved("logger", C)
+        assert moved.device_of("logger") is C
+        assert placement.device_of("logger") is S  # original untouched
+
+    def test_moved_preserves_endpoints(self):
+        _, placement = fig1()
+        moved = placement.moved("logger", C)
+        assert moved.ingress is placement.ingress
+        assert moved.egress is placement.egress
+
+    def test_move_to_same_device_rejected(self):
+        _, placement = fig1()
+        with pytest.raises(PlacementError, match="already"):
+            placement.moved("logger", S)
+
+    def test_move_to_incapable_device_rejected(self):
+        chain = ServiceChain([catalog.get("dpi"), catalog.get("monitor")])
+        placement = Placement(chain, {"dpi": C, "monitor": C})
+        with pytest.raises(PlacementError):
+            placement.moved("dpi", S)
+
+
+class TestCrossingDelta:
+    def test_border_move_is_zero(self):
+        _, placement = fig1()
+        assert placement.crossing_delta("logger", C) == 0
+        assert placement.crossing_delta("firewall", C) == 0
+
+    def test_mid_segment_move_is_plus_two(self):
+        _, placement = fig1()
+        assert placement.crossing_delta("monitor", C) == 2
+
+    def test_singleton_segment_move_is_minus_two(self):
+        chain = ServiceChain([catalog.get("load_balancer"),
+                              catalog.get("monitor"),
+                              catalog.get("firewall")])
+        placement = Placement(chain, {"load_balancer": C, "monitor": S,
+                                      "firewall": C},
+                              ingress=C, egress=C)
+        assert placement.crossing_delta("monitor", C) == -2
+
+
+class TestEquality:
+    def test_equality_covers_endpoints(self):
+        chain = ServiceChain([catalog.get("monitor")])
+        a = Placement(chain, {"monitor": S})
+        b = Placement(chain, {"monitor": S}, egress=C)
+        assert a != b
+
+    def test_hash_consistent_with_eq(self):
+        chain = ServiceChain([catalog.get("monitor")])
+        a = Placement(chain, {"monitor": S})
+        b = Placement(chain, {"monitor": S})
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_as_dict_is_a_copy(self):
+        _, placement = fig1()
+        snapshot = placement.as_dict()
+        snapshot["logger"] = C
+        assert placement.device_of("logger") is S

@@ -1,0 +1,105 @@
+"""Exhaustive placement optimisation."""
+
+import pytest
+
+from repro.analysis.placement_opt import (MAX_CHAIN_LENGTH,
+                                          enumerate_placements,
+                                          optimality_gap,
+                                          optimise_placement)
+from repro.analysis.latency_model import predict_latency
+from repro.chain import catalog
+from repro.chain.chain import ServiceChain
+from repro.chain.nf import DeviceKind
+from repro.errors import ConfigurationError, ScaleOutRequired
+from repro.resources.model import LoadModel
+from repro.units import gbps
+
+C = DeviceKind.CPU
+S = DeviceKind.SMARTNIC
+
+
+class TestEnumeration:
+    def test_counts_two_to_the_n(self, fig1_chain):
+        placements = list(enumerate_placements(fig1_chain))
+        assert len(placements) == 2 ** len(fig1_chain)
+
+    def test_respects_capabilities(self):
+        chain = ServiceChain([catalog.get("dpi"), catalog.get("monitor")])
+        placements = list(enumerate_placements(chain))
+        # dpi is CPU-only: half the space disappears.
+        assert len(placements) == 2
+        assert all(p.device_of("dpi") is C for p in placements)
+
+    def test_length_guard(self):
+        nfs = [catalog.get("monitor").renamed(f"m{i}")
+               for i in range(MAX_CHAIN_LENGTH + 1)]
+        with pytest.raises(ConfigurationError, match="too long"):
+            list(enumerate_placements(ServiceChain(nfs)))
+
+
+class TestOptimise:
+    def test_optimum_is_feasible(self, fig1_scenario):
+        result = optimise_placement(fig1_scenario.chain, gbps(1.8),
+                                    egress=C)
+        load = LoadModel(result.placement, gbps(1.8))
+        assert load.nic_load().utilisation < 1.0
+        assert load.cpu_load().utilisation < 1.0
+
+    def test_optimum_beats_every_feasible_placement(self, fig1_scenario):
+        result = optimise_placement(fig1_scenario.chain, gbps(1.8),
+                                    egress=C)
+        for placement in enumerate_placements(fig1_scenario.chain,
+                                              egress=C):
+            load = LoadModel(placement, gbps(1.8))
+            if load.nic_load().utilisation >= 1.0 or \
+                    load.cpu_load().utilisation >= 1.0:
+                continue
+            assert result.predicted_latency_s <= \
+                predict_latency(placement, 256).total_s + 1e-15
+
+    def test_counts_reported(self, fig1_scenario):
+        result = optimise_placement(fig1_scenario.chain, gbps(1.8),
+                                    egress=C)
+        assert result.total_count == 16
+        assert 0 < result.feasible_count < 16
+        assert 0 < result.feasible_fraction < 1
+
+    def test_light_load_prefers_minimal_crossings(self, fig1_scenario):
+        # At a light load, many placements are feasible; the optimum
+        # should have few crossings (crossings dominate the latency).
+        result = optimise_placement(fig1_scenario.chain, gbps(0.5),
+                                    egress=C)
+        assert result.placement.pcie_crossings() <= 1
+
+    def test_infeasible_load_raises(self, fig1_scenario):
+        with pytest.raises(ScaleOutRequired):
+            optimise_placement(fig1_scenario.chain, gbps(8.0), egress=C)
+
+
+class TestOptimalityGap:
+    def test_gap_of_optimum_is_zero(self, fig1_scenario):
+        result = optimise_placement(fig1_scenario.chain, gbps(1.8),
+                                    egress=C)
+        assert optimality_gap(result.placement, gbps(1.8)) == \
+            pytest.approx(0.0)
+
+    def test_pam_gap_is_bounded(self, fig1_scenario, fig1_throughput):
+        # PAM's single border move lands within ~35% of the 3-move
+        # offline optimum on the canonical chain — the disruption-vs-
+        # optimality trade-off ablation A9 quantifies.
+        from repro.core.pam import select
+        plan = select(fig1_scenario.placement, fig1_throughput)
+        gap = optimality_gap(plan.after, fig1_throughput)
+        assert 0.0 <= gap < 0.35
+
+    def test_naive_gap_larger_than_pam(self, fig1_scenario,
+                                       fig1_throughput):
+        from repro.baselines.naive import select as naive_select
+        from repro.core.pam import select as pam_select
+        pam_gap = optimality_gap(
+            pam_select(fig1_scenario.placement, fig1_throughput).after,
+            fig1_throughput)
+        naive_gap = optimality_gap(
+            naive_select(fig1_scenario.placement, fig1_throughput).after,
+            fig1_throughput)
+        assert naive_gap > pam_gap

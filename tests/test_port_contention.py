@@ -1,0 +1,73 @@
+"""Physical Ethernet port model (opt-in line-rate enforcement)."""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.devices.smartnic import SmartNIC
+from repro.devices.server import ServerProfile
+from repro.harness.experiment import steady_state
+from repro.harness.scenarios import Scenario, figure1
+from repro.units import gbps, wire_time
+
+
+class TestPortArithmetic:
+    def test_contention_off_is_pure_serialisation(self):
+        nic = SmartNIC("n")
+        expected = wire_time(1500, nic.port_rate_bps)
+        assert nic.rx_time(1500, 0.0) == expected
+        assert nic.rx_time(1500, 0.0) == expected  # no occupancy kept
+
+    def test_back_to_back_frames_queue(self):
+        nic = SmartNIC("n", model_port_contention=True)
+        first = nic.rx_time(1500, 0.0)
+        second = nic.rx_time(1500, 0.0)
+        assert second == pytest.approx(2 * first)
+
+    def test_spaced_frames_do_not_queue(self):
+        nic = SmartNIC("n", model_port_contention=True)
+        first = nic.rx_time(1500, 0.0)
+        later = nic.rx_time(1500, 1.0)
+        assert later == pytest.approx(first)
+
+    def test_rx_and_tx_are_independent_ports(self):
+        nic = SmartNIC("n", model_port_contention=True)
+        nic.rx_time(1500, 0.0)
+        # TX is idle even though RX is busy (full duplex).
+        assert nic.tx_time(1500, 0.0) == \
+            pytest.approx(wire_time(1500, nic.port_rate_bps))
+
+    def test_reset_clears_occupancy(self):
+        nic = SmartNIC("n", model_port_contention=True)
+        nic.rx_time(1500, 0.0)
+        nic.reset_ports()
+        assert nic.rx_time(1500, 0.0) == \
+            pytest.approx(wire_time(1500, nic.port_rate_bps))
+
+
+class TestEndToEnd:
+    def contended_scenario(self):
+        base = figure1()
+        return Scenario(
+            name="ports", chain=base.chain, placement=base.placement,
+            server_profile=replace(ServerProfile(),
+                                   nic_model_port_contention=True))
+
+    def test_below_line_rate_unaffected_under_cbr(self):
+        # CBR at 1.4 Gbps: interarrival always exceeds the frame's wire
+        # time, so the physical port adds nothing.
+        plain = steady_state(figure1(), gbps(1.4), 256, duration_s=0.004)
+        physical = steady_state(self.contended_scenario(), gbps(1.4),
+                                256, duration_s=0.004)
+        assert physical.latency.mean_s == pytest.approx(
+            plain.latency.mean_s, rel=1e-9)
+
+    def test_above_line_rate_queues_at_the_port(self):
+        # 12 Gbps offered into a 10 GbE port: with the physical port the
+        # wire component inflates as frames wait for the line.
+        plain = steady_state(figure1(), gbps(12.0), 1500,
+                             duration_s=0.002)
+        physical = steady_state(self.contended_scenario(), gbps(12.0),
+                                1500, duration_s=0.002)
+        assert physical.component_means_s["wire"] > \
+            2 * plain.component_means_s["wire"]

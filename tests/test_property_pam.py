@@ -1,0 +1,99 @@
+"""Property-based tests: PAM post-conditions over random chains/loads."""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.chain.nf import DeviceKind
+from repro.core.border import border_sets
+from repro.core.pam import PAMConfig
+from repro.core.pam import select as pam_select
+from repro.baselines.naive import NaiveConfig
+from repro.baselines.naive import select as naive_select
+from repro.resources.model import LoadModel
+from repro.units import gbps
+
+from .test_property_placement import placements
+
+C = DeviceKind.CPU
+S = DeviceKind.SMARTNIC
+
+loads = st.floats(min_value=0.1, max_value=6.0).map(gbps)
+
+
+class TestPAMPostConditions:
+    @given(placements(min_len=2, max_len=8), loads)
+    @settings(max_examples=60, deadline=None)
+    def test_never_adds_crossings(self, placement, load):
+        plan = pam_select(placement, load, PAMConfig(strict=False))
+        assert plan.total_crossing_delta <= 0
+        assert plan.after.pcie_crossings() <= placement.pcie_crossings()
+
+    @given(placements(min_len=2, max_len=8), loads)
+    @settings(max_examples=60, deadline=None)
+    def test_success_implies_both_devices_ok(self, placement, load):
+        plan = pam_select(placement, load, PAMConfig(strict=False))
+        if plan.alleviates:
+            after = LoadModel(plan.after, load)
+            if plan.actions:
+                # Eq. 3 alleviated the NIC and every Eq. 2 check kept
+                # the CPU strictly under capacity.
+                assert after.nic_load().utilisation < 1.0
+                assert after.cpu_load().utilisation < 1.0
+            else:
+                # Empty success plan: the NIC was simply not overloaded
+                # (the CPU is not PAM's concern in that case).
+                assert not after.nic_load().overloaded
+
+    @given(placements(min_len=2, max_len=8), loads)
+    @settings(max_examples=60, deadline=None)
+    def test_migrates_only_borders_of_intermediate_placements(
+            self, placement, load):
+        plan = pam_select(placement, load, PAMConfig(strict=False))
+        current = placement
+        for action in plan.actions:
+            assert action.nf_name in border_sets(current).all
+            current = current.moved(action.nf_name, action.target)
+
+    @given(placements(min_len=2, max_len=8), loads)
+    @settings(max_examples=60, deadline=None)
+    def test_no_nf_migrates_twice(self, placement, load):
+        plan = pam_select(placement, load, PAMConfig(strict=False))
+        names = plan.migrated_names
+        assert len(names) == len(set(names))
+
+    @given(placements(min_len=2, max_len=8), loads)
+    @settings(max_examples=60, deadline=None)
+    def test_plan_internally_consistent(self, placement, load):
+        # validate() is also called inside select(); re-run explicitly.
+        pam_select(placement, load, PAMConfig(strict=False)).validate()
+
+    @given(placements(min_len=2, max_len=8), loads)
+    @settings(max_examples=60, deadline=None)
+    def test_noop_iff_nic_not_overloaded(self, placement, load):
+        plan = pam_select(placement, load, PAMConfig(strict=False))
+        overloaded = LoadModel(placement, load).nic_load().overloaded
+        if not overloaded:
+            assert plan.is_noop
+        if plan.is_noop and plan.alleviates:
+            assert not overloaded
+
+
+class TestPAMvsNaive:
+    @given(placements(min_len=2, max_len=8), loads)
+    @settings(max_examples=60, deadline=None)
+    def test_pam_never_more_crossings_than_naive(self, placement, load):
+        pam = pam_select(placement, load, PAMConfig(strict=False))
+        naive = naive_select(placement, load, NaiveConfig(strict=False))
+        if pam.alleviates and naive.alleviates:
+            assert pam.after.pcie_crossings() <= \
+                naive.after.pcie_crossings()
+
+    @given(placements(min_len=2, max_len=8), loads)
+    @settings(max_examples=60, deadline=None)
+    def test_naive_alleviates_whenever_pam_does(self, placement, load):
+        # Naive's candidate pool is a superset of PAM's, so PAM success
+        # implies naive success (the converse is false).
+        pam = pam_select(placement, load, PAMConfig(strict=False))
+        if pam.alleviates:
+            naive = naive_select(placement, load, NaiveConfig(strict=False))
+            assert naive.alleviates

@@ -1,0 +1,98 @@
+"""Property-based tests: placement geometry invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain import catalog
+from repro.chain.chain import ServiceChain
+from repro.chain.nf import DeviceKind, NFProfile
+from repro.chain.placement import Placement
+from repro.units import gbps
+
+C = DeviceKind.CPU
+S = DeviceKind.SMARTNIC
+
+
+def generic_nf(index: int) -> NFProfile:
+    return NFProfile(name=f"nf{index}",
+                     nic_capacity_bps=gbps(1.0 + index),
+                     cpu_capacity_bps=gbps(1.0 + index / 2))
+
+
+@st.composite
+def placements(draw, min_len=1, max_len=8):
+    """Random chains with random device assignments and endpoints."""
+    length = draw(st.integers(min_len, max_len))
+    chain = ServiceChain([generic_nf(i) for i in range(length)])
+    devices = draw(st.lists(st.sampled_from([S, C]),
+                            min_size=length, max_size=length))
+    ingress = draw(st.sampled_from([S, C]))
+    egress = draw(st.sampled_from([S, C]))
+    assignment = {f"nf{i}": devices[i] for i in range(length)}
+    return Placement(chain, assignment, ingress=ingress, egress=egress)
+
+
+class TestCrossingGeometry:
+    @given(placements())
+    def test_crossings_equal_device_path_switches(self, placement):
+        path = placement.device_path()
+        switches = sum(1 for a, b in zip(path, path[1:]) if a is not b)
+        assert placement.pcie_crossings() == switches
+
+    @given(placements())
+    def test_crossings_parity_matches_endpoints(self, placement):
+        # A walk that starts and ends on the same device switches an
+        # even number of times; different endpoints give odd parity.
+        crossings = placement.pcie_crossings()
+        if placement.ingress is placement.egress:
+            assert crossings % 2 == 0
+        else:
+            assert crossings % 2 == 1
+
+    @given(placements())
+    def test_segments_partition_the_chain(self, placement):
+        names = [name for segment in placement.segments()
+                 for name in segment]
+        assert names == placement.chain.names()
+
+    @given(placements())
+    def test_segments_alternate_devices(self, placement):
+        segment_devices = [placement.device_of(segment[0])
+                           for segment in placement.segments()]
+        assert all(a is not b for a, b in
+                   zip(segment_devices, segment_devices[1:]))
+
+    @given(placements(min_len=1))
+    def test_nic_and_cpu_sets_partition(self, placement):
+        nic = {nf.name for nf in placement.nic_nfs()}
+        cpu = {nf.name for nf in placement.cpu_nfs()}
+        assert nic | cpu == set(placement.chain.names())
+        assert nic & cpu == set()
+
+
+class TestMoveProperties:
+    @given(placements(min_len=1), st.data())
+    def test_crossing_delta_is_in_minus2_0_plus2(self, placement, data):
+        name = data.draw(st.sampled_from(placement.chain.names()))
+        target = placement.device_of(name).other()
+        delta = placement.crossing_delta(name, target)
+        assert delta in (-2, 0, 2)
+
+    @given(placements(min_len=1), st.data())
+    def test_move_is_involutive_on_crossings(self, placement, data):
+        name = data.draw(st.sampled_from(placement.chain.names()))
+        target = placement.device_of(name).other()
+        there = placement.moved(name, target)
+        back = there.moved(name, placement.device_of(name))
+        assert back.pcie_crossings() == placement.pcie_crossings()
+        assert back == placement
+
+    @given(placements(min_len=1), st.data())
+    def test_move_changes_exactly_one_assignment(self, placement, data):
+        name = data.draw(st.sampled_from(placement.chain.names()))
+        target = placement.device_of(name).other()
+        moved = placement.moved(name, target)
+        before = placement.as_dict()
+        after = moved.as_dict()
+        changed = [n for n in before if before[n] != after[n]]
+        assert changed == [name]

@@ -1,0 +1,157 @@
+"""Property tests batch 3: constraints, histograms, statistics, diagrams."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chain.chain import ServiceChain
+from repro.chain.constraints import (AtMostOne, MustBeEdge, MustPrecede,
+                                     check_chain)
+from repro.chain.diagram import render_placement
+from repro.chain.nf import DeviceKind, NFKind, NFProfile
+from repro.harness.stats import MetricSummary
+from repro.telemetry.histogram import LatencyHistogram
+from repro.units import gbps
+
+from .test_property_placement import placements
+
+KINDS = [NFKind.FIREWALL, NFKind.IDS, NFKind.VPN, NFKind.MONITOR,
+         NFKind.NAT, NFKind.LOAD_BALANCER]
+
+
+@st.composite
+def kinded_chains(draw):
+    """Chains of 1-8 NFs with random kinds."""
+    kinds = draw(st.lists(st.sampled_from(KINDS), min_size=1, max_size=8))
+    nfs = [NFProfile(name=f"nf{i}", kind=kind,
+                     nic_capacity_bps=gbps(2.0 + i))
+           for i, kind in enumerate(kinds)]
+    return ServiceChain(nfs)
+
+
+class TestConstraintProperties:
+    @given(kinded_chains())
+    @settings(max_examples=80, deadline=None)
+    def test_must_precede_violations_are_real_inversions(self, chain):
+        rule = MustPrecede(NFKind.VPN, NFKind.IDS)
+        violations = rule.check(chain)
+        positions_vpn = [i for i, nf in enumerate(chain)
+                         if nf.kind is NFKind.VPN]
+        positions_ids = [i for i, nf in enumerate(chain)
+                         if nf.kind is NFKind.IDS]
+        has_inversion = any(v > i for v in positions_vpn
+                            for i in positions_ids)
+        assert bool(violations) == has_inversion
+
+    @given(kinded_chains())
+    @settings(max_examples=80, deadline=None)
+    def test_at_most_one_counts(self, chain):
+        rule = AtMostOne(NFKind.NAT)
+        count = sum(1 for nf in chain if nf.kind is NFKind.NAT)
+        assert bool(rule.check(chain)) == (count > 1)
+
+    @given(kinded_chains())
+    @settings(max_examples=80, deadline=None)
+    def test_edge_rule_never_flags_endpoints(self, chain):
+        rule = MustBeEdge(NFKind.LOAD_BALANCER)
+        for violation in rule.check(chain):
+            assert chain.names()[0] not in violation.detail.split("'")[1] \
+                or len(chain) > 2
+
+    @given(kinded_chains())
+    @settings(max_examples=80, deadline=None)
+    def test_empty_rule_list_always_passes(self, chain):
+        assert check_chain(chain, rules=()) == []
+
+
+class TestHistogramProperties:
+    samples = st.lists(st.floats(min_value=1e-6, max_value=0.99),
+                       min_size=1, max_size=200)
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_total_equals_bucket_sums(self, values):
+        histogram = LatencyHistogram()
+        histogram.extend(values)
+        bucketed = sum(count for *_, count in histogram.nonzero_buckets())
+        assert bucketed + histogram.underflow + histogram.overflow == \
+            len(values)
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_quantiles_monotone(self, values):
+        histogram = LatencyHistogram()
+        histogram.extend(values)
+        quantiles = [histogram.quantile(q / 10) for q in range(11)]
+        assert quantiles == sorted(quantiles)
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_quantile_brackets_true_median_within_bucket(self, values):
+        # quantile(0.5) returns the upper bound of the bucket holding
+        # the ceil(n/2)-th smallest sample, so it can be at most one
+        # bucket-width below that sample's value.
+        histogram = LatencyHistogram(buckets_per_decade=8)
+        histogram.extend(values)
+        rank = math.ceil(0.5 * len(values)) - 1
+        covered_sample = sorted(values)[rank]
+        estimate = histogram.quantile(0.5)
+        step = 10 ** (1 / 8)
+        assert estimate >= covered_sample / (step * 1.001)
+
+
+class TestStatsProperties:
+    samples = st.lists(st.floats(min_value=-1e3, max_value=1e3),
+                       min_size=2, max_size=40)
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_mean_within_range(self, values):
+        summary = MetricSummary("m", tuple(values))
+        assert min(values) - 1e-9 <= summary.mean <= max(values) + 1e-9
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_stdev_nonnegative_and_zero_for_constant(self, values):
+        summary = MetricSummary("m", tuple(values))
+        assert summary.stdev >= 0
+        constant = MetricSummary("m", tuple([values[0]] * len(values)))
+        assert constant.stdev == pytest_approx_zero()
+
+    @given(samples)
+    @settings(max_examples=80, deadline=None)
+    def test_ci_shrinks_with_replication(self, values):
+        once = MetricSummary("m", tuple(values))
+        # Repeating the same sample set 4x shrinks the CI ~2x (sqrt(n)).
+        repeated = MetricSummary("m", tuple(values * 4))
+        if once.stdev > 0:
+            assert repeated.ci95_halfwidth < once.ci95_halfwidth
+
+
+def pytest_approx_zero():
+    import pytest
+    return pytest.approx(0.0, abs=1e-9)
+
+
+class TestDiagramProperties:
+    @given(placements(min_len=1, max_len=6))
+    @settings(max_examples=60, deadline=None)
+    def test_every_nf_rendered_exactly_once(self, placement):
+        text = render_placement(placement)
+        for name in placement.chain.names():
+            assert text.count(f"[{name}]") == 1
+
+    @given(placements(min_len=1, max_len=6))
+    @settings(max_examples=60, deadline=None)
+    def test_crossing_marks_match_geometry(self, placement):
+        text = render_placement(placement)
+        lines = text.splitlines()
+        marks = lines[1] if len(lines) == 4 else ""
+        assert marks.count("X") == placement.pcie_crossings()
+
+    @given(placements(min_len=1, max_len=6))
+    @settings(max_examples=60, deadline=None)
+    def test_footer_states_crossings(self, placement):
+        text = render_placement(placement)
+        assert f"PCIe crossings: {placement.pcie_crossings()}" in text

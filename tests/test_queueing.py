@@ -1,0 +1,97 @@
+"""M/D/1 cross-validation of the simulator's queueing path."""
+
+import pytest
+
+from repro.analysis.queueing import (bottleneck_wait, md1_mean_wait,
+                                     predict_chain_queueing,
+                                     predict_station)
+from repro.chain import catalog
+from repro.chain.chain import ServiceChain
+from repro.chain.nf import DeviceKind
+from repro.chain.placement import Placement
+from repro.errors import ConfigurationError
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.scenarios import Scenario, figure1
+from repro.traffic.generators import PoissonArrivals
+from repro.traffic.packet import FixedSize
+from repro.units import gbps
+
+S = DeviceKind.SMARTNIC
+
+
+class TestFormula:
+    def test_zero_load_zero_wait(self):
+        assert md1_mean_wait(1e-6, 0.0) == 0.0
+
+    def test_wait_grows_with_utilisation(self):
+        waits = [md1_mean_wait(1e-6, rho) for rho in (0.2, 0.5, 0.8)]
+        assert waits == sorted(waits)
+
+    def test_half_load_equals_half_service(self):
+        # rho=0.5: W = 0.5*S/(2*0.5) = S/2.
+        assert md1_mean_wait(2e-6, 0.5) == pytest.approx(1e-6)
+
+    def test_saturated_rejected(self):
+        with pytest.raises(ConfigurationError):
+            md1_mean_wait(1e-6, 1.0)
+
+    def test_invalid_service_time(self):
+        with pytest.raises(ConfigurationError):
+            md1_mean_wait(0.0, 0.5)
+
+
+class TestStationPrediction:
+    def test_utilisation_matches_linear_model(self, fig1_placement):
+        prediction = predict_station(fig1_placement, "monitor",
+                                     gbps(1.6), 256)
+        # rho = theta_cur/theta_monitor^S = 1.6/3.2.
+        assert prediction.utilisation == pytest.approx(0.5)
+
+    def test_sojourn_is_wait_plus_service(self, fig1_placement):
+        prediction = predict_station(fig1_placement, "monitor",
+                                     gbps(1.0), 256)
+        assert prediction.mean_sojourn_s == pytest.approx(
+            prediction.mean_wait_s + prediction.service_time_s)
+
+    def test_bounds_relationship(self, fig1_placement):
+        rate = gbps(1.2)
+        assert bottleneck_wait(fig1_placement, rate, 256) <= \
+            predict_chain_queueing(fig1_placement, rate, 256)
+
+
+class TestSimulatorCrossValidation:
+    """The independent check: simulated queueing vs M/D/1 theory."""
+
+    def measure_queueing(self, rate_bps, packet_bytes=256,
+                         duration=0.05):
+        scenario = figure1()
+        generator = PoissonArrivals(rate_bps, FixedSize(packet_bytes),
+                                    duration, seed=21)
+        result = run_experiment(ExperimentConfig(
+            scenario=scenario, generator=generator))
+        return result.component_means_s["queueing"]
+
+    @pytest.mark.parametrize("rate_gbps", [0.8, 1.2])
+    def test_measured_wait_within_theory_bounds(self, rate_gbps):
+        rate = gbps(rate_gbps)
+        placement = figure1().placement
+        measured = self.measure_queueing(rate)
+        lower = bottleneck_wait(placement, rate, 256)
+        upper = predict_chain_queueing(placement, rate, 256)
+        # 15% slack for finite-horizon sampling noise.
+        assert measured >= lower * 0.85
+        assert measured <= upper * 1.15
+
+    def test_single_station_matches_md1_closely(self):
+        # One monitor alone on the NIC: textbook M/D/1.
+        chain = ServiceChain([catalog.get("monitor")], name="solo")
+        placement = Placement.all_on(chain, S, ingress=S, egress=S)
+        scenario = Scenario(name="solo", chain=chain, placement=placement)
+        rate = gbps(1.92)  # rho = 0.6
+        generator = PoissonArrivals(rate, FixedSize(256), 0.08, seed=3)
+        result = run_experiment(ExperimentConfig(
+            scenario=scenario, generator=generator))
+        predicted = predict_station(placement, "monitor", rate,
+                                    256).mean_wait_s
+        measured = result.component_means_s["queueing"]
+        assert measured == pytest.approx(predicted, rel=0.10)

@@ -1,0 +1,160 @@
+"""Result persistence and config-driven experiments."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.config import ExperimentSpec, load, parse
+from repro.harness.experiment import steady_state
+from repro.harness.results import Mismatch, ResultRecord, compare
+from repro.harness.scenarios import figure1
+from repro.units import gbps
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    return steady_state(figure1(), gbps(1.0), duration_s=0.004)
+
+
+BASE_CONFIG = {
+    "name": "fig1",
+    "chain": [
+        {"nf": "load_balancer", "device": "cpu"},
+        {"nf": "logger", "device": "smartnic"},
+        {"nf": "monitor", "device": "smartnic"},
+        {"nf": "firewall", "device": "smartnic"},
+    ],
+    "egress": "cpu",
+    "profiles": "figure1",
+    "workload": {"kind": "cbr", "rate_gbps": 1.8,
+                 "packet_bytes": 256, "duration_s": 0.008},
+    "policy": "pam",
+}
+
+
+class TestResultRecord:
+    def test_roundtrip(self, sample_result, tmp_path):
+        record = ResultRecord.from_result(sample_result, label="x")
+        path = tmp_path / "r.json"
+        record.save(path)
+        again = ResultRecord.load(path)
+        assert again == record
+
+    def test_fields(self, sample_result):
+        record = ResultRecord.from_result(sample_result)
+        assert record.pcie_crossings == 3
+        assert record.placement["logger"] == "smartnic"
+        assert record.mean_latency_s > 0
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a result"):
+            ResultRecord.loads("{nope")
+
+    def test_wrong_version_rejected(self, sample_result):
+        record = ResultRecord.from_result(sample_result)
+        data = json.loads(record.dumps())
+        data["version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            ResultRecord.loads(json.dumps(data))
+
+    def test_unknown_field_rejected(self, sample_result):
+        data = json.loads(ResultRecord.from_result(sample_result).dumps())
+        data["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="malformed"):
+            ResultRecord.loads(json.dumps(data))
+
+
+class TestCompare:
+    def test_identical_records_match(self, sample_result):
+        a = ResultRecord.from_result(sample_result)
+        assert compare(a, a) == []
+
+    def test_latency_within_tolerance(self, sample_result):
+        a = ResultRecord.from_result(sample_result)
+        data = json.loads(a.dumps())
+        data["mean_latency_s"] *= 1.02
+        b = ResultRecord.loads(json.dumps(data))
+        assert compare(a, b, latency_rtol=0.05) == []
+        assert any(m.field_name == "mean_latency_s"
+                   for m in compare(a, b, latency_rtol=0.01))
+
+    def test_structural_mismatch_reported(self, sample_result):
+        a = ResultRecord.from_result(sample_result)
+        data = json.loads(a.dumps())
+        data["pcie_crossings"] = 5
+        b = ResultRecord.loads(json.dumps(data))
+        names = [m.field_name for m in compare(a, b)]
+        assert "pcie_crossings" in names
+
+
+class TestConfigParsing:
+    def test_full_pipeline(self):
+        spec = parse(BASE_CONFIG)
+        assert spec.name == "fig1"
+        result = spec.run()
+        assert result.migrated_nfs == ["logger"]  # PAM reacted
+
+    def test_noop_policy_has_no_controller(self):
+        config = dict(BASE_CONFIG, policy="noop")
+        result = parse(config).run()
+        assert result.migrated_nfs == []
+
+    def test_missing_chain_rejected(self):
+        with pytest.raises(ConfigurationError, match="chain"):
+            parse({"workload": BASE_CONFIG["workload"]})
+
+    def test_unknown_device_path_in_error(self):
+        config = json.loads(json.dumps(BASE_CONFIG))
+        config["chain"][2]["device"] = "gpu"
+        with pytest.raises(ConfigurationError, match=r"chain\[2\]"):
+            parse(config)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="policy"):
+            parse(dict(BASE_CONFIG, policy="quantum"))
+
+    def test_unknown_profiles_rejected(self):
+        with pytest.raises(ConfigurationError, match="profiles"):
+            parse(dict(BASE_CONFIG, profiles="secret"))
+
+    def test_unknown_workload_kind(self):
+        config = dict(BASE_CONFIG,
+                      workload={"kind": "teleport", "packet_bytes": 64,
+                                "duration_s": 0.001})
+        with pytest.raises(ConfigurationError, match="workload"):
+            parse(config)
+
+    def test_imix_and_uniform_sizes(self):
+        for sizes in ("imix", {"kind": "uniform", "lo": 64, "hi": 128}):
+            config = dict(BASE_CONFIG)
+            config["workload"] = dict(BASE_CONFIG["workload"],
+                                      packet_bytes=sizes)
+            parse(config)  # validates without raising
+
+    def test_spike_workload(self):
+        config = dict(BASE_CONFIG)
+        config["workload"] = {"kind": "spike", "base_gbps": 1.3,
+                              "peak_gbps": 1.8, "start_s": 0.002,
+                              "packet_bytes": 256, "duration_s": 0.01}
+        result = parse(config).run()
+        assert result.migrated_nfs == ["logger"]
+
+    def test_server_overrides(self):
+        config = dict(BASE_CONFIG,
+                      server={"pcie_crossing_us": 50.0})
+        spec = parse(config)
+        assert spec.runner.server.pcie.crossing_latency_s == \
+            pytest.approx(50e-6)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text(json.dumps(BASE_CONFIG))
+        spec = load(path)
+        assert isinstance(spec, ExperimentSpec)
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "exp.json"
+        path.write_text("{")
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            load(path)

@@ -1,0 +1,139 @@
+"""Canonical scenario builders."""
+
+import pytest
+
+from repro.chain.nf import DeviceKind
+from repro.errors import ConfigurationError
+from repro.harness.scenarios import (FIGURE1_THROUGHPUT_BPS, figure1,
+                                     long_chain, table1_chain)
+from repro.resources.model import LoadModel
+from repro.units import gbps
+
+C = DeviceKind.CPU
+S = DeviceKind.SMARTNIC
+
+
+class TestFigure1:
+    def test_chain_order(self, fig1_scenario):
+        assert fig1_scenario.chain.names() == \
+            ["load_balancer", "logger", "monitor", "firewall"]
+
+    def test_placement_matches_figure(self, fig1_scenario):
+        placement = fig1_scenario.placement
+        assert placement.device_of("load_balancer") is C
+        assert all(placement.device_of(n) is S
+                   for n in ("logger", "monitor", "firewall"))
+        assert placement.egress is C
+
+    def test_canonical_load_overloads_only_the_nic(self, fig1_scenario):
+        load = LoadModel(fig1_scenario.placement,
+                         FIGURE1_THROUGHPUT_BPS)
+        assert load.nic_load().overloaded
+        assert not load.cpu_load().overloaded
+
+    def test_build_server_installs_placement(self, fig1_scenario):
+        server = fig1_scenario.build_server()
+        assert server.placement == fig1_scenario.placement
+
+    def test_with_placement_variant(self, fig1_scenario):
+        moved = fig1_scenario.placement.moved("logger", C)
+        variant = fig1_scenario.with_placement(moved, suffix="pam")
+        assert variant.name.endswith("pam")
+        assert variant.placement is moved
+        assert variant.chain is fig1_scenario.chain
+
+    def test_renamed(self, fig1_scenario):
+        assert fig1_scenario.renamed("x").name == "x"
+
+
+class TestTable1Chain:
+    def test_uses_literal_capacities(self):
+        scenario = table1_chain()
+        assert scenario.chain.get("logger").nic_capacity_bps == gbps(2.0)
+
+
+class TestLongChain:
+    def test_length(self):
+        assert len(long_chain(6).chain) == 6
+        assert len(long_chain(8).chain) == 8
+
+    def test_minimum_length(self):
+        with pytest.raises(ConfigurationError):
+            long_chain(2)
+
+    def test_nic_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            long_chain(5, nic_fraction=0.0)
+
+    def test_has_borders_on_both_sides(self):
+        from repro.core.border import border_sets
+        scenario = long_chain(6)
+        sets = border_sets(scenario.placement)
+        assert sets.left and sets.right
+
+    def test_names_unique_beyond_catalog_cycle(self):
+        scenario = long_chain(12)
+        names = scenario.chain.names()
+        assert len(names) == len(set(names))
+
+    def test_nic_fraction_scales_segment(self):
+        small = long_chain(8, nic_fraction=0.3)
+        large = long_chain(8, nic_fraction=0.9)
+        assert len(large.placement.nic_nfs()) > \
+            len(small.placement.nic_nfs())
+
+
+class TestPresetScenarios:
+    def test_datacenter_inline_shape(self):
+        from repro.harness.scenarios import datacenter_inline
+        scenario = datacenter_inline()
+        placement = scenario.placement
+        assert placement.device_of("ids") is C
+        assert placement.device_of("gateway") is S
+        # Bump-in-the-wire with two CPU islands (ids, lb): 4 crossings.
+        assert placement.pcie_crossings() == 4
+
+    def test_datacenter_borders(self):
+        from repro.core.border import border_sets
+        from repro.harness.scenarios import datacenter_inline
+        sets = border_sets(datacenter_inline().placement)
+        assert "firewall" in sets.right  # downstream ids on CPU
+        assert "nat" in sets.left        # upstream lb on CPU
+
+    def test_datacenter_healthy_at_nominal_load(self):
+        # The datacenter preset's NIC segment is deliberately roomy
+        # (gateway/firewall/nat at 10/10/8 Gbps): nominal 1.2 Gbps is
+        # healthy and the knee sits near 3.1 Gbps.
+        from repro.harness.scenarios import datacenter_inline
+        from repro.resources.model import LoadModel
+        scenario = datacenter_inline()
+        load = LoadModel(scenario.placement, scenario.throughput_bps)
+        assert not load.nic_load().overloaded
+        from repro.chain.nf import DeviceKind
+        knee = load.max_sustainable_throughput(DeviceKind.SMARTNIC)
+        assert knee == pytest.approx(gbps(1 / 0.325), rel=1e-6)
+
+    def test_enterprise_edge_pam_reacts(self):
+        from repro.core.pam import select
+        from repro.harness.scenarios import enterprise_edge
+        scenario = enterprise_edge()
+        plan = select(scenario.placement, scenario.throughput_bps)
+        assert plan.alleviates
+        assert plan.total_crossing_delta <= 0
+
+    def test_presets_simulate_cleanly(self):
+        from repro.harness.experiment import steady_state
+        from repro.harness.scenarios import (datacenter_inline,
+                                             enterprise_edge)
+        from repro.units import gbps
+        for scenario in (datacenter_inline(), enterprise_edge()):
+            result = steady_state(scenario, gbps(0.8), duration_s=0.004)
+            assert result.delivered > 0
+            assert result.dropped == 0
+
+    def test_enterprise_edge_migrates_monitor(self):
+        from repro.core.pam import select
+        from repro.harness.scenarios import enterprise_edge
+        scenario = enterprise_edge()
+        plan = select(scenario.placement, scenario.throughput_bps)
+        assert plan.migrated_names == ["monitor"]

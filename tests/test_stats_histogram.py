@@ -1,0 +1,150 @@
+"""Replication statistics and latency histograms."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.experiment import ExperimentConfig
+from repro.harness.scenarios import figure1
+from repro.harness.stats import (MetricSummary, replicate, t_quantile_95)
+from repro.telemetry.histogram import LatencyHistogram
+from repro.traffic.generators import PoissonArrivals
+from repro.traffic.packet import FixedSize
+from repro.units import gbps, usec
+
+
+class TestMetricSummary:
+    def test_mean_and_stdev(self):
+        summary = MetricSummary("m", (1.0, 2.0, 3.0))
+        assert summary.mean == 2.0
+        assert summary.stdev == pytest.approx(1.0)
+
+    def test_single_sample_has_zero_spread(self):
+        summary = MetricSummary("m", (5.0,))
+        assert summary.stdev == 0.0
+        assert summary.ci95_halfwidth == 0.0
+
+    def test_ci_uses_t_quantile(self):
+        summary = MetricSummary("m", (1.0, 2.0, 3.0))
+        expected = t_quantile_95(2) * summary.stdev / (3 ** 0.5)
+        assert summary.ci95_halfwidth == pytest.approx(expected)
+
+    def test_describe(self):
+        text = MetricSummary("m", (1.0, 2.0)).describe(scale=10, unit="x")
+        assert "±" in text and "n=2" in text
+
+    def test_t_quantile_bounds(self):
+        assert t_quantile_95(1) == pytest.approx(12.706)
+        assert t_quantile_95(100) == pytest.approx(1.960)
+        with pytest.raises(ConfigurationError):
+            t_quantile_95(0)
+
+
+class TestReplicate:
+    def poisson_config(self):
+        # Poisson workloads are seed-sensitive, so replication produces
+        # genuinely different samples per seed.
+        return ExperimentConfig(scenario=figure1(), offered_bps=gbps(1.2),
+                                packet_size_bytes=256, duration_s=0.006)
+
+    def test_summaries_cover_default_metrics(self):
+        # CBR is seed-insensitive; use it to verify plumbing cheaply.
+        report = replicate(self.poisson_config(), seeds=[1, 2, 3])
+        for name in ("goodput_bps", "delivery_rate", "mean_latency_s",
+                     "p99_latency_s"):
+            assert report[name].count == 3
+
+    def test_results_retained(self):
+        report = replicate(self.poisson_config(), seeds=[1, 2])
+        assert len(report.results) == 2
+
+    def test_custom_metric_extractor(self):
+        report = replicate(self.poisson_config(), seeds=[1, 2],
+                           metrics=lambda r: {"drops": float(r.dropped)})
+        assert set(report.metrics) == {"drops"}
+
+    def test_duplicate_seeds_rejected(self):
+        with pytest.raises(ConfigurationError, match="distinct"):
+            replicate(self.poisson_config(), seeds=[1, 1])
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replicate(self.poisson_config(), seeds=[])
+
+    def test_prebuilt_generator_rejected(self):
+        config = ExperimentConfig(
+            scenario=figure1(),
+            generator=PoissonArrivals(gbps(1.0), FixedSize(256), 0.004))
+        with pytest.raises(ConfigurationError, match="seed"):
+            replicate(config, seeds=[1, 2])
+
+
+class TestHistogram:
+    def test_counts_and_total(self):
+        histogram = LatencyHistogram()
+        histogram.extend([usec(10), usec(12), usec(100)])
+        assert histogram.total == 3
+        assert sum(count for *_, count in histogram.nonzero_buckets()) == 3
+
+    def test_under_and_overflow(self):
+        histogram = LatencyHistogram(lo_s=usec(10), hi_s=usec(100))
+        histogram.extend([usec(1), usec(50), usec(500)])
+        assert histogram.underflow == 1
+        assert histogram.overflow == 1
+
+    def test_bucket_bounds_are_contiguous(self):
+        histogram = LatencyHistogram(buckets_per_decade=4)
+        __, upper1 = histogram.bucket_bounds(1)
+        lower2, __ = histogram.bucket_bounds(2)
+        assert upper1 == pytest.approx(lower2)
+
+    def test_quantile_monotone(self):
+        histogram = LatencyHistogram()
+        histogram.extend([usec(v) for v in (10, 10, 10, 50, 200, 200)])
+        values = [histogram.quantile(q / 10) for q in range(1, 11)]
+        assert values == sorted(values)
+
+    def test_quantile_brackets_true_value(self):
+        histogram = LatencyHistogram(buckets_per_decade=10)
+        histogram.extend([usec(100)] * 100)
+        q50 = histogram.quantile(0.5)
+        assert usec(80) < q50 < usec(130)
+
+    def test_multimodal_detection(self):
+        histogram = LatencyHistogram()
+        histogram.extend([usec(10)] * 50 + [usec(5000)] * 5)
+        assert histogram.is_multimodal()
+        unimodal = LatencyHistogram()
+        unimodal.extend([usec(10 + i) for i in range(50)])
+        assert not unimodal.is_multimodal()
+
+    def test_render(self):
+        histogram = LatencyHistogram()
+        histogram.extend([usec(10)] * 5)
+        assert "us" in histogram.render()
+        assert LatencyHistogram().render() == "(empty histogram)"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram(lo_s=1.0, hi_s=0.5)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram().add(-1.0)
+        with pytest.raises(ConfigurationError):
+            LatencyHistogram().quantile(0.5)  # empty
+
+    def test_migration_transient_is_bimodal(self):
+        """The histogram separates the steady state from the transient."""
+        from repro.core.planner import MigrationController, PAMPolicy
+        from repro.harness.experiment import run_experiment
+        config = ExperimentConfig(
+            scenario=figure1(), offered_bps=gbps(1.8),
+            packet_size_bytes=256, duration_s=0.02,
+            controller=MigrationController(PAMPolicy()))
+        result = run_experiment(config)
+        # Rebuild the histogram from the delivered packets' latencies
+        # via the summary quantiles is lossy; instead drive it with the
+        # component data we have: use p50 vs max spread as a proxy and
+        # verify the histogram flags the separation.
+        histogram = LatencyHistogram(buckets_per_decade=8)
+        histogram.extend([result.latency.p50_s] * 95
+                         + [result.latency.max_s] * 5)
+        assert histogram.is_multimodal()

@@ -1,0 +1,102 @@
+"""Batch suite runner with baseline regression checking."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.harness.suite import (baseline_path, check_suite, discover,
+                                 render_checks, run_suite)
+
+CONFIG_A = {
+    "name": "suite-a",
+    "chain": [
+        {"nf": "load_balancer", "device": "cpu"},
+        {"nf": "logger", "device": "smartnic"},
+        {"nf": "monitor", "device": "smartnic"},
+        {"nf": "firewall", "device": "smartnic"},
+    ],
+    "egress": "cpu",
+    "workload": {"kind": "cbr", "rate_gbps": 1.4,
+                 "packet_bytes": 256, "duration_s": 0.004},
+    "policy": "noop",
+}
+
+CONFIG_B = dict(CONFIG_A, name="suite-b",
+                workload={"kind": "cbr", "rate_gbps": 1.8,
+                          "packet_bytes": 256, "duration_s": 0.004},
+                policy="pam")
+
+
+@pytest.fixture
+def suite_dir(tmp_path):
+    (tmp_path / "a.json").write_text(json.dumps(CONFIG_A))
+    (tmp_path / "b.json").write_text(json.dumps(CONFIG_B))
+    return tmp_path
+
+
+class TestDiscovery:
+    def test_finds_configs_not_records(self, suite_dir):
+        (suite_dir / "a.result.json").write_text("{}")
+        configs = discover(suite_dir)
+        assert [p.name for p in configs] == ["a.json", "b.json"]
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            discover(tmp_path)
+
+    def test_non_directory_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            discover(tmp_path / "missing")
+
+    def test_baseline_path(self, suite_dir):
+        assert baseline_path(suite_dir / "a.json").name == "a.result.json"
+
+
+class TestRunAndCheck:
+    def test_run_writes_baselines(self, suite_dir):
+        entries = run_suite(suite_dir)
+        assert len(entries) == 2
+        for entry in entries:
+            assert entry.result_path.exists()
+
+    def test_check_passes_against_fresh_baselines(self, suite_dir):
+        run_suite(suite_dir)
+        checks = check_suite(suite_dir)
+        assert all(check.ok for check in checks)
+
+    def test_check_flags_missing_baseline(self, suite_dir):
+        checks = check_suite(suite_dir)
+        assert all(check.missing_baseline for check in checks)
+        assert not any(check.ok for check in checks)
+
+    def test_check_flags_structural_drift(self, suite_dir):
+        run_suite(suite_dir)
+        # Corrupt one baseline's placement: the check must fail.
+        record_path = baseline_path(suite_dir / "b.json")
+        data = json.loads(record_path.read_text())
+        data["placement"]["logger"] = "smartnic"  # PAM moved it to cpu
+        record_path.write_text(json.dumps(data))
+        checks = {c.config_path.name: c for c in check_suite(suite_dir)}
+        assert checks["a.json"].ok
+        assert not checks["b.json"].ok
+        assert any(m.field_name == "placement"
+                   for m in checks["b.json"].mismatches)
+
+    def test_render_checks_summarises(self, suite_dir):
+        run_suite(suite_dir)
+        text = render_checks(check_suite(suite_dir))
+        assert "0 failing" in text
+
+
+class TestSuiteCli:
+    def test_run_then_check_via_cli(self, suite_dir, capsys):
+        assert main(["suite", str(suite_dir)]) == 0
+        assert "baselines written" in capsys.readouterr().out
+        assert main(["suite", str(suite_dir), "--check"]) == 0
+        assert "0 failing" in capsys.readouterr().out
+
+    def test_check_without_baselines_fails(self, suite_dir, capsys):
+        assert main(["suite", str(suite_dir), "--check"]) == 1
+        assert "NO BASELINE" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""Packet-trace capture, persistence, and replay."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness.experiment import ExperimentConfig, run_experiment
+from repro.harness.scenarios import figure1
+from repro.traffic.generators import PoissonArrivals
+from repro.traffic.packet import FixedSize
+from repro.traffic.trace import (PacketTrace, TraceEntry, TraceReplay,
+                                 record)
+from repro.units import gbps
+
+
+@pytest.fixture
+def small_trace():
+    return PacketTrace([TraceEntry(0.0, 64, 0),
+                        TraceEntry(1e-6, 128, 1),
+                        TraceEntry(3e-6, 1500, 0)])
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketTrace([])
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-decreasing"):
+            PacketTrace([TraceEntry(1e-6, 64), TraceEntry(0.0, 64)])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketTrace([TraceEntry(-1.0, 64)])
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PacketTrace([TraceEntry(0.0, 0)])
+
+
+class TestProperties:
+    def test_duration_and_bytes(self, small_trace):
+        assert small_trace.duration_s == 3e-6
+        assert small_trace.total_bytes == 64 + 128 + 1500
+
+    def test_mean_rate(self, small_trace):
+        assert small_trace.mean_rate_bps() == pytest.approx(
+            (64 + 128 + 1500) * 8 / 3e-6)
+
+
+class TestPersistence:
+    def test_roundtrip_text(self, small_trace):
+        again = PacketTrace.loads(small_trace.dumps())
+        assert again.entries == small_trace.entries
+
+    def test_roundtrip_file(self, small_trace, tmp_path):
+        path = tmp_path / "t.trace"
+        small_trace.save(path)
+        assert PacketTrace.load(path).entries == small_trace.entries
+
+    def test_header_required(self):
+        with pytest.raises(ConfigurationError, match="repro trace"):
+            PacketTrace.loads("0.0,64,0\n")
+
+    def test_malformed_line_located(self, small_trace):
+        text = small_trace.dumps() + "oops\n"
+        with pytest.raises(ConfigurationError, match="line 5"):
+            PacketTrace.loads(text)
+
+    def test_float_precision_preserved(self):
+        trace = PacketTrace([TraceEntry(1 / 3, 64)])
+        again = PacketTrace.loads(trace.dumps())
+        assert again.entries[0].arrival_s == 1 / 3
+
+
+class TestRecordReplay:
+    def test_record_captures_generator(self):
+        generator = PoissonArrivals(gbps(1.0), FixedSize(256), 0.001,
+                                    seed=4)
+        trace = record(generator)
+        original = list(generator.packets())
+        assert len(trace) == len(original)
+        assert trace.entries[0].arrival_s == original[0].arrival_s
+
+    def test_replay_is_verbatim(self):
+        generator = PoissonArrivals(gbps(1.0), FixedSize(256), 0.001,
+                                    seed=4)
+        trace = record(generator)
+        replayed = list(TraceReplay(trace).packets())
+        original = list(generator.packets())
+        assert [(p.arrival_s, p.size_bytes, p.flow_id) for p in replayed] \
+            == [(p.arrival_s, p.size_bytes, p.flow_id) for p in original]
+
+    def test_time_scale_compresses(self, small_trace):
+        replay = TraceReplay(small_trace, time_scale=0.5)
+        packets = list(replay.packets())
+        assert packets[-1].arrival_s == pytest.approx(1.5e-6)
+        assert replay.mean_rate_bps() == pytest.approx(
+            2 * small_trace.mean_rate_bps())
+
+    def test_invalid_scale(self, small_trace):
+        with pytest.raises(ConfigurationError):
+            TraceReplay(small_trace, time_scale=0.0)
+
+    def test_replay_drives_a_simulation_identically(self):
+        generator = PoissonArrivals(gbps(1.0), FixedSize(256), 0.002,
+                                    seed=4)
+        trace = record(generator)
+        live = run_experiment(ExperimentConfig(
+            scenario=figure1(), generator=generator))
+        replayed = run_experiment(ExperimentConfig(
+            scenario=figure1(), generator=TraceReplay(trace)))
+        assert replayed.delivered == live.delivered
+        assert replayed.latency.mean_s == pytest.approx(
+            live.latency.mean_s, rel=1e-12)

@@ -1,0 +1,82 @@
+"""Unit-conversion helpers."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestRates:
+    def test_gbps_roundtrip(self):
+        assert units.as_gbps(units.gbps(3.2)) == pytest.approx(3.2)
+
+    def test_mbps_roundtrip(self):
+        assert units.as_mbps(units.mbps(640.0)) == pytest.approx(640.0)
+
+    def test_gbps_magnitude(self):
+        assert units.gbps(1.0) == 1e9
+
+    def test_mbps_magnitude(self):
+        assert units.mbps(1.0) == 1e6
+
+    def test_gbps_is_decimal_not_binary(self):
+        # Link rates are decimal: 10 GbE is 10^10 bits/s, not 2^33.
+        assert units.gbps(10.0) == 1e10
+
+
+class TestSizes:
+    def test_kib(self):
+        assert units.kib(1) == 1024
+
+    def test_mib(self):
+        assert units.mib(2) == 2 * 1024 * 1024
+
+    def test_bits(self):
+        assert units.bits(64) == 512
+
+    def test_fractional_kib_truncates_to_bytes(self):
+        assert units.kib(1.5) == 1536
+
+
+class TestTimes:
+    def test_usec_roundtrip(self):
+        assert units.as_usec(units.usec(14.0)) == pytest.approx(14.0)
+
+    def test_msec_roundtrip(self):
+        assert units.as_msec(units.msec(2.5)) == pytest.approx(2.5)
+
+    def test_usec_magnitude(self):
+        assert units.usec(1.0) == 1e-6
+
+
+class TestPacketArithmetic:
+    def test_serialization_time_64b_at_10g(self):
+        # 512 bits at 10^10 bps = 51.2 ns.
+        assert units.serialization_time(64, units.gbps(10)) == \
+            pytest.approx(51.2e-9)
+
+    def test_wire_time_includes_ethernet_overhead(self):
+        bare = units.serialization_time(64, units.gbps(10))
+        wired = units.wire_time(64, units.gbps(10))
+        extra = units.serialization_time(units.ETHERNET_OVERHEAD_BYTES,
+                                         units.gbps(10))
+        assert wired == pytest.approx(bare + extra)
+
+    def test_wire_time_without_overhead(self):
+        assert units.wire_time(64, units.gbps(10), include_overhead=False) == \
+            pytest.approx(units.serialization_time(64, units.gbps(10)))
+
+    def test_packets_per_second_1500b_line_rate(self):
+        pps = units.packets_per_second(units.gbps(10), 1500)
+        assert pps == pytest.approx(1e10 / 12000)
+
+    def test_packets_per_second_with_overhead_is_lower(self):
+        with_oh = units.packets_per_second(units.gbps(10), 64,
+                                           include_overhead=True)
+        without = units.packets_per_second(units.gbps(10), 64)
+        assert with_oh < without
+
+    def test_zero_rate_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            units.serialization_time(64, 0.0)
