@@ -1,0 +1,19 @@
+"""Chaos testing: randomized fault campaigns with invariant checking.
+
+The subsystem every scale-out PR leans on to stay correct:
+
+* :mod:`repro.chaos.schedule` — seeded, replayable fault compositions;
+* :mod:`repro.chaos.invariants` — what must hold after any run;
+* :mod:`repro.chaos.runner` — N randomized scenarios, zero tolerated
+  violations (``python -m repro chaos``).
+"""
+
+from .invariants import Violation, check_invariants
+from .runner import ChaosReport, ChaosRunner, ChaosRunResult
+from .schedule import ChaosConfig, ChaosFault, ChaosSchedule
+
+__all__ = [
+    "ChaosConfig", "ChaosFault", "ChaosSchedule",
+    "ChaosReport", "ChaosRunner", "ChaosRunResult",
+    "Violation", "check_invariants",
+]

@@ -1,0 +1,152 @@
+"""Invariants a fault-tolerant run must uphold, however hostile the run.
+
+Each check inspects the end state of a fully drained simulation (run
+the engine to exhaustion first — the chaos runner does) and returns
+human-readable violations.  The list is the contract every later
+scale-out PR must keep:
+
+* **packet conservation** — every injected packet has exactly one fate:
+  delivered, dropped, or filtered.  After a full drain nothing may
+  remain in flight, queued, or buffered.
+* **no station left paused** — migrations and rollbacks always resume
+  the stations they paused, even when an attempt aborts mid-transfer.
+* **executor quiescent** — the ``busy`` flag is cleared after every
+  terminal plan outcome (succeeded or aborted).
+* **demand refreshed** — device utilisation matches a recomputation
+  from the final placement at the last refreshed load, i.e. every
+  migration *and every rollback* refreshed demand.
+* **faults restored** — brownout derates and PCIe flap latency are back
+  to nominal once their windows expire.
+* **causality** — no delivered packet departs before it arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..devices.server import Server
+from ..migration.executor import MigrationExecutor
+from ..resources.model import LoadModel
+from ..sim.network import ChainNetwork
+
+#: Relative tolerance for demand recomputation.
+_DEMAND_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+def check_invariants(network: ChainNetwork, server: Server,
+                     executor: Optional[MigrationExecutor] = None
+                     ) -> List[Violation]:
+    """All invariant violations in the (fully drained) end state."""
+    violations: List[Violation] = []
+    violations.extend(_check_conservation(network))
+    violations.extend(_check_stations(network))
+    violations.extend(_check_executor(executor))
+    violations.extend(_check_demand(server))
+    violations.extend(_check_faults_restored(server))
+    violations.extend(_check_causality(network))
+    return violations
+
+
+def _check_conservation(network: ChainNetwork) -> List[Violation]:
+    out: List[Violation] = []
+    in_flight = network.in_flight()
+    if in_flight < 0:
+        out.append(Violation(
+            "packet-conservation",
+            f"negative in-flight count {in_flight}: a packet was "
+            f"accounted twice (injected={network.injected}, "
+            f"delivered={len(network.delivered)}, "
+            f"dropped={len(network.dropped)}, "
+            f"filtered={len(network.filtered)})"))
+    residual = sum(len(station.queue) + station.buffered
+                   for station in network.stations.values())
+    if in_flight != residual:
+        out.append(Violation(
+            "packet-conservation",
+            f"{in_flight} packets unaccounted for after drain but only "
+            f"{residual} resident in station queues/buffers"))
+    elif in_flight > 0:
+        out.append(Violation(
+            "packet-conservation",
+            f"{in_flight} packets still queued/buffered after a full "
+            "drain — some station never resumed service"))
+    return out
+
+
+def _check_stations(network: ChainNetwork) -> List[Violation]:
+    out: List[Violation] = []
+    for name, station in network.stations.items():
+        if station.paused:
+            out.append(Violation(
+                "station-resumed",
+                f"station {name!r} left paused at end of run"))
+        if station.busy:
+            out.append(Violation(
+                "station-idle",
+                f"station {name!r} still mid-service after full drain"))
+    return out
+
+
+def _check_executor(executor: Optional[MigrationExecutor]) -> List[Violation]:
+    if executor is not None and executor.busy:
+        return [Violation(
+            "executor-quiescent",
+            "executor busy flag still set after all plans terminated")]
+    return []
+
+
+def _check_demand(server: Server) -> List[Violation]:
+    if server.last_refresh_bps is None:
+        return []
+    model = LoadModel(server.placement, server.last_refresh_bps)
+    out: List[Violation] = []
+    for device, load in ((server.nic, model.nic_load()),
+                         (server.cpu, model.cpu_load())):
+        expected = load.utilisation
+        tolerance = _DEMAND_TOL * max(1.0, abs(expected))
+        if abs(device.demand - expected) > tolerance:
+            out.append(Violation(
+                "demand-refreshed",
+                f"{device.name} demand {device.demand:.6f} != "
+                f"{expected:.6f} recomputed from the final placement — "
+                "a migration or rollback skipped refresh_demand"))
+    return out
+
+
+def _check_faults_restored(server: Server) -> List[Violation]:
+    out: List[Violation] = []
+    for device in (server.nic, server.cpu):
+        if device.derate != 1.0:
+            out.append(Violation(
+                "faults-restored",
+                f"{device.name} still derated to {device.derate} after "
+                "every brownout window expired"))
+    if server.pcie.fault_extra_latency_s != 0.0:
+        out.append(Violation(
+            "faults-restored",
+            f"PCIe flap latency {server.pcie.fault_extra_latency_s} "
+            "not cleared after the flap window"))
+    return out
+
+
+def _check_causality(network: ChainNetwork) -> List[Violation]:
+    for packet in network.delivered:
+        if packet.departure_s is not None and \
+                packet.departure_s < packet.arrival_s:
+            return [Violation(
+                "causality",
+                f"packet {packet.seq} departed at {packet.departure_s} "
+                f"before arriving at {packet.arrival_s}")]
+    return []

@@ -9,7 +9,8 @@ Gives operators the paper's experiments without writing Python:
 * ``optimise``   — exhaustive optimal-placement search,
 * ``spike``      — the closed-loop traffic-spike episode,
 * ``run-config`` — execute a JSON experiment description,
-* ``suite``      — run or regression-check a directory of experiments.
+* ``suite``      — run or regression-check a directory of experiments,
+* ``chaos``      — randomized fault campaign with invariant checking.
 """
 
 from __future__ import annotations
@@ -188,6 +189,17 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
     return 0 if report_obj.all_passed else 1
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run randomized chaos scenarios and check every invariant."""
+    from .chaos import ChaosConfig, ChaosRunner
+    config = ChaosConfig(duration_s=args.duration,
+                         migration_failure_rate=args.failure_rate)
+    report = ChaosRunner(runs=args.runs, seed=args.seed,
+                         config=config).run()
+    print(report.render())
+    return 0 if report.ok else 1
+
+
 def cmd_suite(args: argparse.Namespace) -> int:
     """Run or regression-check a directory of experiments."""
     if args.check:
@@ -264,6 +276,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--check", action="store_true",
                          help="diff against committed baselines")
     p_suite.set_defaults(func=cmd_suite)
+
+    p_chaos = sub.add_parser("chaos",
+                             help="randomized fault campaign with "
+                                  "invariant checking")
+    p_chaos.add_argument("--runs", type=int, default=20,
+                         help="number of randomized scenarios")
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="base seed; scenario i uses seed+i")
+    p_chaos.add_argument("--duration", type=float, default=0.04,
+                         help="simulated seconds per scenario")
+    p_chaos.add_argument("--failure-rate", type=float, default=0.3,
+                         help="per-attempt migration failure probability")
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_config = sub.add_parser("run-config",
                               help="run a JSON-described experiment")

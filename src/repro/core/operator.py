@@ -15,6 +15,15 @@ and :class:`HardenedController` adds it:
   :func:`~repro.core.reverse.select_pullback` when the NIC has been
   quiet, returning pushed-aside NFs to the fast path.
 
+The loop is also fault-tolerant: the executor reports a
+:class:`~repro.migration.executor.PlanOutcome` per plan, and a failed
+plan must not poison the control loop.  On abort the controller releases
+the cooldown window it charged at admission, clears flap-damp state for
+rolled-back NFs (only completed moves count against the budget and the
+damp window), and re-enters planning on the next tick.  Stale telemetry
+(monitor samples older than ``telemetry_stale_s``) suppresses planning
+entirely rather than driving migrations off a frozen load estimate.
+
 The hardened loop composes with any
 :class:`~repro.core.planner.SelectionPolicy`.
 """
@@ -28,7 +37,9 @@ from ..chain.nf import DeviceKind
 from ..core.plan import MigrationPlan
 from ..errors import ConfigurationError, ScaleOutRequired
 from ..migration.cost import MigrationCostModel
-from ..migration.executor import MigrationExecutor, MigrationRecord
+from ..migration.executor import (OUTCOME_SUCCEEDED, FailureHook,
+                                  MigrationExecutor, MigrationRecord,
+                                  PlanOutcome, RetryPolicy)
 from ..sim.runner import TickContext
 from ..telemetry.overload import OverloadDetector
 from .planner import PAMPolicy, SelectionPolicy
@@ -48,12 +59,23 @@ class HardeningConfig:
     #: Enable the pull-back pass when the NIC is quiet.
     enable_pullback: bool = True
     pullback: PullbackConfig = field(default_factory=PullbackConfig)
+    #: Suppress planning when the monitor sample driving this tick is
+    #: older than this (``None`` disables the check).
+    telemetry_stale_s: Optional[float] = None
+    #: Per-action timeout forwarded to the executor (``None`` = no cap).
+    action_timeout_s: Optional[float] = None
+    #: Retry schedule forwarded to the executor.
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
 
     def __post_init__(self) -> None:
         if self.cooldown_s < 0 or self.flap_damp_s < 0:
             raise ConfigurationError("windows must be >= 0")
         if self.migration_budget < 1:
             raise ConfigurationError("budget must be >= 1")
+        if self.telemetry_stale_s is not None and self.telemetry_stale_s <= 0:
+            raise ConfigurationError("stale threshold must be positive")
+        if self.action_timeout_s is not None and self.action_timeout_s <= 0:
+            raise ConfigurationError("action timeout must be positive")
 
 
 class HardenedController:
@@ -62,11 +84,15 @@ class HardenedController:
     def __init__(self, policy: Optional[SelectionPolicy] = None,
                  config: HardeningConfig = HardeningConfig(),
                  detector: Optional[OverloadDetector] = None,
-                 cost_model: MigrationCostModel = MigrationCostModel()) -> None:
+                 cost_model: MigrationCostModel = MigrationCostModel(),
+                 failure_hook: Optional[FailureHook] = None) -> None:
         self.policy = policy or PAMPolicy()
         self.config = config
         self.detector = detector or OverloadDetector()
         self.cost_model = cost_model
+        #: Forwarded to the executor; the chaos harness injects
+        #: mid-transfer migration failures through this.
+        self.failure_hook = failure_hook
         self._executor: Optional[MigrationExecutor] = None
         self._last_plan_s: Optional[float] = None
         self._last_moved: Dict[str, float] = {}
@@ -75,24 +101,45 @@ class HardenedController:
         self._pushed: set = set()
         self.scaleout_events: List[float] = []
         self.suppressed_plans: int = 0
+        #: Plans the executor aborted after exhausting retries.
+        self.failed_plans: int = 0
+        #: Ticks skipped because the monitor sample was stale.
+        self.stale_ticks: int = 0
 
     # -- runner integration ------------------------------------------------
 
     @property
+    def executor(self) -> Optional[MigrationExecutor]:
+        """The lazily-created executor (``None`` before the first plan)."""
+        return self._executor
+
+    @property
     def migrations(self) -> List[MigrationRecord]:
-        """Completed migration records."""
+        """Records of migrations that actually completed."""
+        return self._executor.successes if self._executor else []
+
+    @property
+    def attempts(self) -> List[MigrationRecord]:
+        """All attempt records, including rolled-back and aborted ones."""
         return self._executor.records if self._executor else []
 
     @property
     def budget_left(self) -> int:
-        """Migrations still allowed under the budget."""
+        """Migrations still allowed under the budget.
+
+        Only completed moves are charged: a plan that rolled back does
+        not leak budget.
+        """
         return self.config.migration_budget - len(self.migrations)
 
     def _executor_for(self, context: TickContext) -> MigrationExecutor:
         if self._executor is None:
             self._executor = MigrationExecutor(
                 context.server, context.network, context.engine,
-                cost_model=self.cost_model)
+                cost_model=self.cost_model,
+                retry=self.config.retry,
+                failure_hook=self.failure_hook,
+                action_timeout_s=self.config.action_timeout_s)
         return self._executor
 
     # -- guard rails --------------------------------------------------------
@@ -124,20 +171,52 @@ class HardenedController:
         executor = self._executor_for(context)
         if executor.busy:
             return False
-        executor.apply(plan, context.offered_bps)
+        # Charge the cooldown now; a failed plan hands it back in
+        # _on_outcome so planning re-enters on the next tick.
+        previous_plan_s = self._last_plan_s
         self._last_plan_s = now
-        for action in plan.actions:
-            self._last_moved[action.nf_name] = now
-            if action.target is DeviceKind.CPU:
-                self._pushed.add(action.nf_name)
-            else:
-                self._pushed.discard(action.nf_name)
+        executor.apply(
+            plan, context.offered_bps,
+            on_outcome=lambda outcome: self._on_outcome(
+                plan, outcome, previous_plan_s))
         return True
+
+    def _on_outcome(self, plan: MigrationPlan, outcome: PlanOutcome,
+                    previous_plan_s: Optional[float]) -> None:
+        """Settle guard-rail state once the executor reports back."""
+        targets = {action.nf_name: action.target for action in plan.actions}
+        for record in outcome.records:
+            if record.outcome != OUTCOME_SUCCEEDED:
+                continue
+            # Completed moves are real migrations: they damp and (via
+            # the records list) consume budget.
+            self._last_moved[record.nf_name] = record.completed_s
+            if targets[record.nf_name] is DeviceKind.CPU:
+                self._pushed.add(record.nf_name)
+            else:
+                self._pushed.discard(record.nf_name)
+        if not outcome.succeeded:
+            self.failed_plans += 1
+            # Release the cooldown charged at admission and forget damp
+            # state for NFs whose moves rolled back — they never moved,
+            # so nothing should stop the next tick from replanning them.
+            self._last_plan_s = previous_plan_s
+            for name in outcome.rolled_back_nfs:
+                if name not in {r.nf_name for r in outcome.records
+                                if r.outcome == OUTCOME_SUCCEEDED}:
+                    self._last_moved.pop(name, None)
 
     # -- the loop --------------------------------------------------------------
 
     def on_tick(self, context: TickContext) -> None:
         """One hardened operator cycle."""
+        stale = self.config.telemetry_stale_s
+        if stale is not None and \
+                getattr(context, "telemetry_age_s", 0.0) > stale:
+            # The load estimate is a relic of a telemetry dropout;
+            # migrating on it would be acting on fiction.
+            self.stale_ticks += 1
+            return
         nic_util = context.load.nic_load().utilisation
         overloaded = self.detector.update(nic_util)
         if self._cooling_down(context.now_s):

@@ -38,6 +38,11 @@ class Device:
         self._demand: float = 0.0
         #: Aggregate sustainable chain rate over hosted NFs, bits/second.
         self._shared_capacity_bps: float = float("inf")
+        #: Brownout derating: fraction of nominal capacity currently
+        #: available (1.0 = healthy).  Fault injection lowers it to
+        #: model thermal throttling / partial hardware failure; every
+        #: hosted NF's effective service rate scales with it.
+        self._derate: float = 1.0
 
     # -- hosting -----------------------------------------------------------
 
@@ -95,6 +100,21 @@ class Device:
         return self._demand
 
     @property
+    def derate(self) -> float:
+        """Current brownout derating factor (1.0 = full capacity)."""
+        return self._derate
+
+    def set_derate(self, scale: float) -> None:
+        """Scale the device's capacity to model a brownout.
+
+        ``scale`` is the fraction of nominal capacity still available;
+        pass 1.0 to restore full health.
+        """
+        if not (0.0 < scale <= 1.0):
+            raise ConfigurationError("derate scale must be in (0, 1]")
+        self._derate = scale
+
+    @property
     def overloaded(self) -> bool:
         """Whether recorded demand exceeds the device's capacity."""
         return self._demand > 1.0
@@ -109,10 +129,10 @@ class Device:
         — so delivered throughput saturates exactly at the utilisation
         model's capacity knee.
         """
-        native = nf.capacity_on(self.kind)
+        native = nf.capacity_on(self.kind) * self._derate
         if self._demand <= 1.0:
             return native
-        return min(native, self._shared_capacity_bps)
+        return min(native, self._shared_capacity_bps * self._derate)
 
     def occupancy_time(self, nf: NFProfile, packet_bytes: int) -> float:
         """Seconds the server inside ``nf`` is *occupied* by one packet.

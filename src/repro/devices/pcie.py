@@ -79,12 +79,28 @@ class PCIeLink:
         self.model_contention = model_contention
         self.stats = PCIeStats()
         self._busy_until_s = 0.0
+        #: Extra per-transfer latency while a link flap is active (fault
+        #: injection); 0 when the link is healthy.  A very large value
+        #: approximates an unavailability window: crossings started
+        #: during it land only after the link recovers.
+        self.fault_extra_latency_s = 0.0
+
+    def set_fault(self, extra_latency_s: float) -> None:
+        """Start a link flap: every transfer pays this extra latency."""
+        if extra_latency_s < 0:
+            raise ConfigurationError("fault latency must be >= 0")
+        self.fault_extra_latency_s = extra_latency_s
+
+    def clear_fault(self) -> None:
+        """End the link flap; transfers pay nominal latency again."""
+        self.fault_extra_latency_s = 0.0
 
     def crossing_time(self, packet_bytes: int) -> float:
         """Uncontended latency of one NIC<->CPU packet transfer."""
         if packet_bytes < 0:
             raise ConfigurationError("packet size must be >= 0")
-        return self.crossing_latency_s + (packet_bytes * 8.0) / self.bandwidth_bps
+        return (self.crossing_latency_s + self.fault_extra_latency_s
+                + (packet_bytes * 8.0) / self.bandwidth_bps)
 
     def record_crossing(self, packet_bytes: int,
                         now_s: Optional[float] = None) -> float:
@@ -109,16 +125,20 @@ class PCIeLink:
         return t
 
     def reset(self) -> None:
-        """Clear counters and link occupancy (between experiments)."""
+        """Clear counters, link occupancy, and faults (between experiments)."""
         self.stats.reset()
         self._busy_until_s = 0.0
+        self.fault_extra_latency_s = 0.0
 
     def bulk_transfer_time(self, nbytes: int) -> float:
         """Time to DMA ``nbytes`` of NF state across the link.
 
         Used by the migration mechanism: a state transfer is one long
-        DMA, so it pays the fixed crossing cost once plus serialisation.
+        DMA, so it pays the fixed crossing cost once plus serialisation
+        — and, during a link flap, the fault's extra latency, which is
+        how a flap mid-migration can push an attempt past its timeout.
         """
         if nbytes < 0:
             raise ConfigurationError("transfer size must be >= 0")
-        return self.crossing_latency_s + (nbytes * 8.0) / self.bandwidth_bps
+        return (self.crossing_latency_s + self.fault_extra_latency_s
+                + (nbytes * 8.0) / self.bandwidth_bps)

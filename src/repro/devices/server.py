@@ -75,6 +75,10 @@ class Server:
         self.cpu = cpu or CPU(f"{name}/cpu")
         self.pcie = pcie or PCIeLink()
         self._placement: Optional[Placement] = None
+        #: Offered load used by the most recent refresh_demand call;
+        #: the chaos invariant checker recomputes utilisation from it
+        #: to verify demand was refreshed after migrations/rollbacks.
+        self.last_refresh_bps: Optional[float] = None
 
     # -- placement installation ---------------------------------------------
 
@@ -134,6 +138,7 @@ class Server:
         utilisation sums.
         """
         model = LoadModel(self.placement, throughput)
+        self.last_refresh_bps = throughput
         self.nic.set_demand(
             model.nic_load().utilisation,
             model.max_sustainable_throughput(DeviceKind.SMARTNIC))

@@ -12,7 +12,7 @@ the geometry behind Figure 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..chain.nf import DeviceKind
 from ..chain.placement import Placement
@@ -51,7 +51,8 @@ class ChainNetwork:
             device = server.device(placement.device_of(nf.name))
             self.stations[nf.name] = NFStation(
                 nf, device, engine, self.ledger, self._on_nf_complete,
-                on_filtered=self._on_nf_filtered)
+                on_filtered=self._on_nf_filtered,
+                on_dropped=self._on_nf_dropped)
         self.delivered: List[Packet] = []
         self.dropped: List[Packet] = []
         #: Packets consumed on purpose by filtering NFs (not losses).
@@ -118,6 +119,12 @@ class ChainNetwork:
         """An NF consumed the packet (firewall block etc.)."""
         self.filtered.append(packet)
 
+    def _on_nf_dropped(self, packet: Packet, nf_name: str,
+                       now_s: float) -> None:
+        """A replayed pause-buffer packet overflowed the post-migration
+        queue; account it like any other drop so conservation holds."""
+        self.dropped.append(packet)
+
     def _on_nf_complete(self, packet: Packet, nf_name: str, now_s: float) -> None:
         """Station finished serving; route to next NF or egress."""
         position = self.chain.position(nf_name)
@@ -159,6 +166,16 @@ class ChainNetwork:
             depart()
 
     # -- accounting --------------------------------------------------------------
+
+    def telemetry_sample(self) -> Tuple[int, float]:
+        """The monitor's view: (cumulative arrived bytes, sample time).
+
+        The runner derives its offered-load estimate from consecutive
+        samples.  Fault injection overrides this method to model
+        telemetry dropout — a frozen sample with an old timestamp — so
+        the control plane can detect and suppress stale readings.
+        """
+        return self.arrived_bytes, self.engine.now_s
 
     def in_flight(self) -> int:
         """Packets injected with no final outcome yet."""

@@ -46,13 +46,18 @@ class NFStation:
     def __init__(self, profile: NFProfile, device: Device,
                  engine: Engine, ledger: LatencyLedger,
                  on_complete: CompletionFn,
-                 on_filtered: Optional[CompletionFn] = None) -> None:
+                 on_filtered: Optional[CompletionFn] = None,
+                 on_dropped: Optional[CompletionFn] = None) -> None:
         self.profile = profile
         self.device = device
         self.engine = engine
         self.ledger = ledger
         self.on_complete = on_complete
         self.on_filtered = on_filtered
+        #: Called when a replayed pause-buffer packet overflows the new
+        #: queue — the network's accounting path for drops the normal
+        #: accept() return value cannot report.
+        self.on_dropped = on_dropped
         self.queue = PacketQueue(device.queue_capacity_packets,
                                  name=f"{profile.name}@{device.name}")
         self._busy = False
@@ -216,5 +221,7 @@ class NFStation:
         self.ledger.record_for(packet.seq).add("queueing", now - buffered_at)
         if not self.queue.enqueue(packet, now):
             packet.dropped_at = self.profile.name
+            if self.on_dropped is not None:
+                self.on_dropped(packet, self.profile.name, now)
             return
         self._try_start_service()

@@ -43,6 +43,10 @@ class TickContext:
     network: ChainNetwork
     #: The engine, for scheduling migration completion events.
     engine: Engine
+    #: Age of the monitor sample behind ``offered_bps``.  0 in normal
+    #: operation; grows during a telemetry dropout, letting hardened
+    #: controllers detect and suppress stale load readings.
+    telemetry_age_s: float = 0.0
 
 
 class Controller(Protocol):
@@ -103,21 +107,37 @@ class SimulationRunner:
         self.engine = Engine()
         self.network = ChainNetwork(server, self.engine)
         self._last_window_bytes = 0
+        self._last_sample_s = 0.0
+        self._offered_estimate_bps = 0.0
 
     # -- control loop ---------------------------------------------------------
 
     def _tick(self) -> None:
         now = self.engine.now_s
-        window_bytes = self.network.arrived_bytes - self._last_window_bytes
-        self._last_window_bytes = self.network.arrived_bytes
-        offered_bps = window_bytes * 8.0 / self.monitor_period_s
+        sample_bytes, sample_s = self.network.telemetry_sample()
+        age_s = max(0.0, now - sample_s)
+        if age_s < self.monitor_period_s:
+            # A fresh sample this window: advance the offered estimate.
+            # During a telemetry dropout the sample is frozen and the
+            # estimate holds its last value (what a real monitor keeps
+            # reporting); the window spans back to the previous fresh
+            # sample so the post-dropout catch-up is not read as a burst.
+            window_bytes = sample_bytes - self._last_window_bytes
+            window_s = sample_s - self._last_sample_s
+            if window_s <= 0:
+                window_s = self.monitor_period_s
+            self._offered_estimate_bps = window_bytes * 8.0 / window_s
+            self._last_window_bytes = sample_bytes
+            self._last_sample_s = sample_s
+        offered_bps = self._offered_estimate_bps
         # Keep device slowdowns tracking the measured load even when no
         # controller is installed.
         load = self.server.refresh_demand(offered_bps)
         if self.controller is not None:
             self.controller.on_tick(TickContext(
                 now_s=now, offered_bps=offered_bps, load=load,
-                server=self.server, network=self.network, engine=self.engine))
+                server=self.server, network=self.network, engine=self.engine,
+                telemetry_age_s=age_s))
         horizon = self.generator.duration_s
         if now + self.monitor_period_s <= horizon:
             self.engine.after(self.monitor_period_s, self._tick, control=True)

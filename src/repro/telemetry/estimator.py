@@ -128,4 +128,5 @@ class SmoothedController:
             load=LoadModel(context.server.placement, smoothed),
             server=context.server,
             network=context.network,
-            engine=context.engine))
+            engine=context.engine,
+            telemetry_age_s=getattr(context, "telemetry_age_s", 0.0)))

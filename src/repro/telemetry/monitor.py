@@ -17,6 +17,7 @@ if TYPE_CHECKING:  # avoid a circular import: sim.runner uses telemetry.metrics
 SERIES_NIC = "nic_utilisation"
 SERIES_CPU = "cpu_utilisation"
 SERIES_OFFERED = "offered_bps"
+SERIES_TELEMETRY_AGE = "telemetry_age_s"
 
 
 class LoadMonitor:
@@ -35,6 +36,8 @@ class LoadMonitor:
                              context.load.cpu_load().utilisation)
         self.recorder.record(SERIES_OFFERED, context.now_s,
                              context.offered_bps)
+        self.recorder.record(SERIES_TELEMETRY_AGE, context.now_s,
+                             getattr(context, "telemetry_age_s", 0.0))
         if self.inner is not None:
             self.inner.on_tick(context)
 

@@ -1,0 +1,127 @@
+"""HardenedController under failure: aborted plans release guard rails."""
+
+import pytest
+
+from repro.core.operator import HardenedController, HardeningConfig
+from repro.core.pam import select as pam_select
+from repro.errors import ConfigurationError
+from repro.harness.scenarios import figure1
+from repro.migration.executor import (OUTCOME_ABORTED, MigrationRecord,
+                                      PlanOutcome, RetryPolicy)
+from repro.sim.faults import FaultInjector
+from repro.sim.runner import SimulationRunner
+from repro.traffic.packet import FixedSize
+from repro.traffic.patterns import ProfiledArrivals, constant
+from repro.units import gbps, usec
+
+
+class FailFirstAttempts:
+    """Failure hook that kills the first ``n`` attempts, then relents."""
+
+    def __init__(self, n, fraction=0.5):
+        self.n = n
+        self.fraction = fraction
+        self.calls = 0
+
+    def __call__(self, action, attempt):
+        self.calls += 1
+        if self.calls <= self.n:
+            return self.fraction
+        return None
+
+
+def build_runner(controller, offered=gbps(1.8), duration=0.03):
+    generator = ProfiledArrivals(constant(offered), FixedSize(256),
+                                 duration, seed=11, jitter=False)
+    server = figure1().build_server()
+    return SimulationRunner(server, generator, controller,
+                            monitor_period_s=0.002)
+
+
+class TestConfigValidation:
+    def test_new_knobs_validated(self):
+        with pytest.raises(ConfigurationError):
+            HardeningConfig(telemetry_stale_s=0.0)
+        with pytest.raises(ConfigurationError):
+            HardeningConfig(action_timeout_s=-1.0)
+
+
+class TestAbortedPlans:
+    def test_abort_releases_cooldown_and_recovery_succeeds(self):
+        # The first plan's three attempts all die mid-transfer and the
+        # plan aborts.  The cooldown charged at admission is released,
+        # so the very next tick replans; attempt four succeeds.
+        hook = FailFirstAttempts(3)
+        config = HardeningConfig(
+            cooldown_s=0.004, flap_damp_s=0.02, migration_budget=4,
+            enable_pullback=False,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=usec(100.0)))
+        controller = HardenedController(config=config, failure_hook=hook)
+        result = build_runner(controller).run()
+        assert controller.failed_plans == 1
+        assert result.migrated_nfs == ["logger"]
+        assert len(controller.attempts) == 4
+        # With the abort near t=0.003, a retained cooldown would defer
+        # replanning to t>=0.006; releasing it replans at the 0.004 tick.
+        assert controller.attempts[3].started_s < 0.0055
+
+    def test_failed_plan_does_not_leak_budget(self):
+        hook = FailFirstAttempts(3)
+        config = HardeningConfig(
+            cooldown_s=0.004, flap_damp_s=0.02, migration_budget=4,
+            enable_pullback=False,
+            retry=RetryPolicy(max_attempts=3, backoff_base_s=usec(100.0)))
+        controller = HardenedController(config=config, failure_hook=hook)
+        build_runner(controller).run()
+        # Three rolled-back/aborted attempts, one success: only the
+        # success is charged.
+        assert len(controller.migrations) == 1
+        assert controller.budget_left == 3
+
+    def test_abort_clears_damp_state_for_rolled_back_nfs(self):
+        # White-box: an aborted plan must forget damp state for NFs
+        # whose moves rolled back (they never moved), and hand back the
+        # cooldown it charged at admission.
+        controller = HardenedController()
+        controller._last_moved["logger"] = 0.01
+        controller._last_plan_s = 0.02
+        plan = pam_select(figure1().placement, gbps(1.8))
+        outcome = PlanOutcome(
+            status=OUTCOME_ABORTED, started_s=0.02, completed_s=0.021,
+            plan_size=len(plan.actions), actions_completed=0, attempts=3,
+            failed_nf="logger", reason="injected-failure",
+            records=[MigrationRecord(
+                nf_name="logger", started_s=0.02, completed_s=0.021,
+                cost=None, buffered_packets=0, outcome=OUTCOME_ABORTED,
+                attempt=3, reason="injected-failure")])
+        controller._on_outcome(plan, outcome, previous_plan_s=None)
+        assert "logger" not in controller._last_moved
+        assert controller._last_plan_s is None
+        assert controller.failed_plans == 1
+
+
+class TestStaleTelemetry:
+    def test_dropout_suppresses_planning_until_telemetry_returns(self):
+        # Telemetry freezes just before the first monitor tick; every
+        # tick inside the window is suppressed as stale, and the
+        # migration only happens once live samples return.
+        config = HardeningConfig(
+            cooldown_s=0.0, flap_damp_s=0.0, enable_pullback=False,
+            telemetry_stale_s=0.0005)
+        controller = HardenedController(config=config)
+        runner = build_runner(controller, duration=0.02)
+        FaultInjector(runner.network, runner.engine) \
+            .telemetry_dropout(at_s=0.001, duration_s=0.008)
+        result = runner.run()
+        assert controller.stale_ticks >= 3
+        assert result.migrated_nfs == ["logger"]
+        assert min(result.migration_times_s) >= 0.009
+
+    def test_no_stale_ticks_with_live_telemetry(self):
+        config = HardeningConfig(
+            cooldown_s=0.0, flap_damp_s=0.0, enable_pullback=False,
+            telemetry_stale_s=0.0005)
+        controller = HardenedController(config=config)
+        result = build_runner(controller, duration=0.02).run()
+        assert controller.stale_ticks == 0
+        assert result.migrated_nfs == ["logger"]
