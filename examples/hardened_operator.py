@@ -19,7 +19,7 @@ from repro.telemetry.ascii_plots import utilisation_timeline
 from repro.telemetry.monitor import SERIES_NIC, LoadMonitor
 from repro.traffic.packet import FixedSize
 from repro.traffic.patterns import ProfiledArrivals, spike
-from repro.units import gbps
+from repro.units import as_msec, as_usec, gbps
 
 
 def main() -> None:
@@ -45,8 +45,8 @@ def main() -> None:
     for record in controller.migrations:
         direction = "pushed to CPU" if record.nf_name in \
             result.migrated_nfs else "moved"
-        print(f"t={record.completed_s * 1e3:5.1f} ms  {record.nf_name} "
-              f"migrated ({record.cost.total_s * 1e6:.0f} us move)")
+        print(f"t={as_msec(record.completed_s):5.1f} ms  {record.nf_name} "
+              f"migrated ({as_usec(record.cost.total_s):.0f} us move)")
     print(f"\nsuppressed plans (damping/budget): "
           f"{controller.suppressed_plans}")
     print(f"final placement: {result.final_placement!r}")

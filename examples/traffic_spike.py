@@ -18,7 +18,7 @@ from repro.sim.runner import SimulationRunner
 from repro.telemetry.monitor import SERIES_CPU, SERIES_NIC, LoadMonitor
 from repro.traffic.packet import FixedSize
 from repro.traffic.patterns import ProfiledArrivals, spike
-from repro.units import as_usec, gbps
+from repro.units import as_msec, as_usec, gbps
 
 
 def main() -> None:
@@ -44,13 +44,13 @@ def main() -> None:
         for when in result.migration_times_s:
             if abs(nic_sample.time_s - when) < 0.002:
                 marker = "<- migration completes"
-        rows.append([f"{nic_sample.time_s * 1e3:.0f}",
+        rows.append([f"{as_msec(nic_sample.time_s):.0f}",
                      f"{nic_sample.value:.2f}",
                      f"{cpu_sample.value:.2f}", marker])
     print(render_table(["t (ms)", "NIC util", "CPU util", ""], rows))
 
     print(f"\nMigrated: {result.migrated_nfs} at "
-          f"{[f'{t*1e3:.1f} ms' for t in result.migration_times_s]}")
+          f"{[f'{as_msec(t):.1f} ms' for t in result.migration_times_s]}")
     print(f"Final placement: {result.final_placement!r}")
     print(f"Packets: {result.injected} injected, {result.delivered} "
           f"delivered, {result.dropped} dropped (loss-free migration)")

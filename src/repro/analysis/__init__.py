@@ -1,4 +1,10 @@
-"""Closed-form analysis: latency prediction and capacity regimes."""
+"""Closed-form analysis: latency prediction and capacity regimes.
+
+The :mod:`repro.analysis.lint` subpackage adds source-level analysis —
+the simulation-safety linter behind ``python -m repro lint``.  It is
+not imported eagerly here so that ``import repro`` stays free of any
+AST-tooling cost; use ``from repro.analysis import lint``.
+"""
 
 from .explain import explain_placement
 from .capacity_model import (CapacityReport, Regime, capacity_report,

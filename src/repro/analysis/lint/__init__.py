@@ -1,0 +1,50 @@
+"""Simulation-safety static analysis for the PAM reproduction.
+
+An AST-based lint framework plus a battery of simulator-specific rules:
+
+* **DET1xx determinism** — unseeded RNGs, the shared module-level
+  ``random`` generator, wall-clock reads, ``id()``/``hash()`` ordering,
+  hash-order set iteration;
+* **UNIT2xx unit hygiene** — raw power-of-ten conversion factors,
+  expressions mixing ``_s``/``_us``/``_bps`` suffixes, float ``==`` on
+  simulated time;
+* **EVT3xx event safety** — ``heapq`` outside the deterministic
+  :class:`~repro.sim.events.EventQueue`, handler code touching
+  scheduler internals;
+* **EXC4xx exception hygiene** — bare/broad ``except`` that can swallow
+  :mod:`repro.errors` signals.
+
+Run it as ``python -m repro lint`` or programmatically via
+:func:`lint_paths`.  Findings suppress inline with
+``# repro: noqa[RULE]`` and pre-existing ones live in a committed,
+per-entry-justified baseline (:mod:`repro.analysis.lint.baseline`).
+"""
+
+from .baseline import Baseline, BaselineEntry, DEFAULT_BASELINE_NAME
+from .findings import PARSE_ERROR_RULE, Finding, Severity
+from .runner import (LintReport, collect_files, format_json, format_text,
+                     lint_paths, lint_source, rule_catalogue)
+from .visitor import (LintRule, LintVisitor, ModuleContext, RULE_REGISTRY,
+                      all_rules, register)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "LintReport",
+    "LintRule",
+    "LintVisitor",
+    "ModuleContext",
+    "PARSE_ERROR_RULE",
+    "RULE_REGISTRY",
+    "Severity",
+    "all_rules",
+    "collect_files",
+    "format_json",
+    "format_text",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "rule_catalogue",
+]

@@ -1,0 +1,164 @@
+"""Committed-baseline support: pre-existing findings that do not fail CI.
+
+The baseline file is JSON::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "UNIT203", "path": "src/repro/traffic/trace.py",
+         "line": 76, "context": "if self.duration_s == 0:",
+         "reason": "0.0 is exactly representable; empty-trace sentinel"}
+      ]
+    }
+
+Every entry carries a human ``reason`` — the review contract is that
+only provably benign findings are baselined, each with its
+justification.  Matching is by ``(rule, path, context)`` so entries
+survive unrelated edits that shift line numbers; ``line`` is advisory,
+for humans reading the file.  Each entry absorbs at most one finding,
+so a second identical violation on a new line still fails CI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ...errors import AnalysisError
+from .findings import Finding
+
+BASELINE_VERSION = 1
+#: Conventional baseline location, relative to the repository root.
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted pre-existing finding."""
+
+    rule: str
+    path: str
+    context: str
+    reason: str
+    line: int = 0
+
+    @property
+    def key(self) -> "_Key":
+        """The (rule, path, context) identity used for matching."""
+        return (self.rule, self.path, self.context)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of filtering findings through a baseline."""
+
+    kept: List[Finding]
+    absorbed: List[Finding]
+    #: Entries that matched nothing — stale, worth pruning.
+    unmatched: List[BaselineEntry]
+
+
+class Baseline:
+    """A loaded baseline file, ready to filter findings."""
+
+    def __init__(self, entries: List[BaselineEntry],
+                 path: Union[str, Path, None] = None) -> None:
+        self.entries = list(entries)
+        self.path = Path(path) if path is not None else None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read and validate a baseline file; raises :class:`AnalysisError`."""
+        location = Path(path)
+        if not location.is_file():
+            raise AnalysisError(f"baseline file not found: {location}")
+        try:
+            payload = json.loads(location.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise AnalysisError(
+                f"cannot read baseline {location}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise AnalysisError(
+                f"baseline {location} must hold a JSON object")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise AnalysisError(
+                f"baseline {location} has version {version!r}; "
+                f"this tool reads version {BASELINE_VERSION}")
+        raw_entries = payload.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise AnalysisError(f"baseline {location}: 'entries' "
+                                "must be a list")
+        entries: List[BaselineEntry] = []
+        for index, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise AnalysisError(
+                    f"baseline {location}: entry {index} is not an object")
+            missing = [field for field in ("rule", "path", "context",
+                                           "reason") if field not in raw]
+            if missing:
+                raise AnalysisError(
+                    f"baseline {location}: entry {index} is missing "
+                    f"{', '.join(missing)}")
+            if not str(raw["reason"]).strip():
+                raise AnalysisError(
+                    f"baseline {location}: entry {index} has an empty "
+                    "reason; every baselined finding must be justified")
+            entries.append(BaselineEntry(
+                rule=str(raw["rule"]), path=str(raw["path"]),
+                context=str(raw["context"]),
+                reason=str(raw["reason"]),
+                line=int(raw.get("line", 0))))
+        return cls(entries, path=location)
+
+    def apply(self, findings: List[Finding],
+              checked_paths: Optional[Set[str]] = None) -> BaselineResult:
+        """Split findings into kept (still reported) and absorbed.
+
+        An entry that matches nothing is *stale* only if its file was
+        actually checked (``checked_paths``, when given); an entry for
+        a file outside the current path set is simply out of scope.
+        """
+        budget: Counter[_Key] = Counter(
+            entry.key for entry in self.entries)
+        kept: List[Finding] = []
+        absorbed: List[Finding] = []
+        for finding in findings:
+            key = (finding.rule, finding.path, finding.context)
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                absorbed.append(finding)
+            else:
+                kept.append(finding)
+        unmatched = [entry for entry in self.entries
+                     if budget.get(entry.key, 0) > 0
+                     and (checked_paths is None
+                          or entry.path in checked_paths)
+                     and _take(budget, entry.key)]
+        return BaselineResult(kept=kept, absorbed=absorbed,
+                              unmatched=unmatched)
+
+    @staticmethod
+    def render(findings: List[Finding],
+               reason: str = "TODO: justify or fix") -> str:
+        """Serialise ``findings`` as a fresh baseline document."""
+        entries: List[Dict[str, object]] = [
+            {"rule": f.rule, "path": f.path, "line": f.line,
+             "context": f.context, "reason": reason}
+            for f in sorted(findings)]
+        return json.dumps({"version": BASELINE_VERSION,
+                           "entries": entries}, indent=2) + "\n"
+
+
+def _take(budget: "Counter[_Key]", key: _Key) -> bool:
+    """Consume one unit of ``key`` so duplicates report once each."""
+    budget[key] -= 1
+    return True

@@ -1,0 +1,75 @@
+"""Finding and severity primitives for the simulation-safety linter.
+
+A :class:`Finding` is one rule violation at one source location.  The
+``context`` field carries the stripped source line so baselines can match
+findings across line-number drift (see :mod:`repro.analysis.lint.baseline`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from ...errors import AnalysisError
+
+
+class Severity(enum.IntEnum):
+    """Severity classes, ordered so ``--fail-on`` can threshold them."""
+
+    WARNING = 1
+    ERROR = 2
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse a severity name (case-insensitive)."""
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise AnalysisError(
+                f"unknown severity {text!r}; choose from "
+                f"{[s.name.lower() for s in cls]}") from None
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+#: Pseudo-rule code reported for files the parser rejects.
+PARSE_ERROR_RULE = "E000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+    #: The stripped source line, used for line-drift-tolerant baseline
+    #: matching; empty when the source line is unavailable.
+    context: str = ""
+
+    @property
+    def location(self) -> str:
+        """``file:line:col`` in the clickable convention."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        """One text-format output line."""
+        return (f"{self.location}: {self.rule} "
+                f"[{self.severity}] {self.message}")
+
+    def to_json(self) -> Dict[str, Any]:
+        """The JSON-output object for this finding (stable keys)."""
+        return {
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }

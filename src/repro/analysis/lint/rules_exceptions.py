@@ -1,0 +1,80 @@
+"""Exception-hygiene rules (EXC4xx).
+
+The library's error taxonomy (:mod:`repro.errors`) is load-bearing:
+:class:`~repro.errors.ScaleOutRequired` is a *signal* the operator layer
+must see, and :class:`~repro.errors.InfeasiblePlanError` marks library
+bugs that must surface loudly.  A bare or over-broad ``except`` in the
+executor/runner hot path can absorb both, turning a failed migration
+into a silently wrong experiment.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Severity
+from .visitor import LintRule, ModuleContext, register
+
+
+def _handler_reraises(node: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises (bare raise or raise ... from)."""
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Raise):
+            return True
+    return False
+
+
+@register
+class BareExceptRule(LintRule):
+    """EXC401: ``except:`` with no exception type."""
+
+    code = "EXC401"
+    name = "bare-except"
+    severity = Severity.ERROR
+    rationale = ("except: catches everything including KeyboardInterrupt "
+                 "and the library's own ScaleOutRequired signal; a chaos "
+                 "campaign that should report a failed invariant instead "
+                 "records a clean run.")
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: ModuleContext) -> None:
+        """Flag ``except:`` with no exception type."""
+        if node.type is None:
+            ctx.report(self, node,
+                       "bare except: catches ReproError signals "
+                       "(ScaleOutRequired, InfeasiblePlanError) meant for "
+                       "callers; name the exceptions you can handle")
+
+
+@register
+class BroadExceptRule(LintRule):
+    """EXC402: ``except Exception`` that swallows without re-raising."""
+
+    code = "EXC402"
+    name = "broad-except"
+    severity = Severity.WARNING
+    rationale = ("except Exception in executor/runner paths absorbs every "
+                 "repro.errors type. Acceptable only at a top-level "
+                 "boundary that re-raises or faithfully reports; anywhere "
+                 "else, catch the specific ReproError subtype.")
+
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Name) and node.id in self._BROAD:
+            return True
+        if isinstance(node, ast.Tuple):
+            return any(self._is_broad(element) for element in node.elts)
+        return False
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: ModuleContext) -> None:
+        """Flag ``except Exception:`` handlers that never re-raise."""
+        if node.type is None or not self._is_broad(node.type):
+            return
+        if _handler_reraises(node):
+            return
+        ctx.report(self, node,
+                   "broad except swallows repro.errors types "
+                   "(MigrationError, ScaleOutRequired) without re-raising; "
+                   "catch the specific type or re-raise")

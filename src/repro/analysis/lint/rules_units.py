@@ -1,0 +1,227 @@
+"""Unit-hygiene rules (UNIT2xx).
+
+The library standardises on bits/second, bytes, and seconds
+(:mod:`repro.units`); the paper speaks Gbps, bytes, and microseconds.
+Every conversion between the two worlds is supposed to go through a
+named helper (``gbps``, ``usec``, ``as_msec`` ...), because a stray
+``* 1e6`` is unreviewable — is it Mbps→bps or s→µs?  These rules catch
+raw magnitude arithmetic, expressions that mix unit-suffixed names, and
+``==`` on simulated-time floats.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .findings import Severity
+from .visitor import LintRule, ModuleContext, register
+
+#: Power-of-ten magnitudes that repro.units helpers already name.
+_MAGIC_MAGNITUDES = {
+    1e3: "BITS_PER_KBIT / as_msec", 1e6: "mbps / as_usec",
+    1e9: "gbps / BITS_PER_GBIT", 1e12: "a named constant",
+    1e-3: "msec", 1e-6: "usec", 1e-9: "a named constant",
+}
+
+#: Modules allowed to spell magnitudes out — the helpers themselves.
+_UNIT_DEFINITION_MODULES = ("repro.units",)
+
+#: Identifier suffix -> (dimension, scale tag).
+_UNIT_SUFFIXES = {
+    "_s": ("time", "s"), "_sec": ("time", "s"), "_secs": ("time", "s"),
+    "_seconds": ("time", "s"),
+    "_ms": ("time", "ms"), "_msec": ("time", "ms"),
+    "_us": ("time", "us"), "_usec": ("time", "us"),
+    "_ns": ("time", "ns"),
+    "_bps": ("rate", "bps"), "_mbps": ("rate", "mbps"),
+    "_gbps": ("rate", "gbps"),
+    "_bytes": ("size", "bytes"), "_bits": ("size", "bits"),
+    "_kib": ("size", "kib"), "_mib": ("size", "mib"),
+}
+
+#: Name fragments marking numerical-tolerance constants, which are
+#: magnitudes by coincidence, not unit conversions.
+_TOLERANCE_MARKERS = ("TOL", "EPS", "EPSILON", "ATOL", "RTOL")
+
+
+def _identifier_of(node: ast.AST) -> Optional[str]:
+    """The trailing identifier of a Name/Attribute, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _unit_of(node: ast.AST) -> Optional[tuple]:
+    """(dimension, scale) carried by an expression's naming, if any.
+
+    Add/Sub propagate a consistent unit upward; Mult/Div change
+    dimension so they propagate nothing.
+    """
+    identifier = _identifier_of(node)
+    if identifier is not None:
+        for suffix, unit in _UNIT_SUFFIXES.items():
+            if identifier.endswith(suffix) and identifier != suffix:
+                return unit
+        return None
+    if isinstance(node, ast.BinOp) and \
+            isinstance(node.op, (ast.Add, ast.Sub)):
+        left = _unit_of(node.left)
+        right = _unit_of(node.right)
+        if left is not None and (right is None or right == left):
+            return left
+        if right is not None and left is None:
+            return right
+    return None
+
+
+@register
+class MagicMagnitudeRule(LintRule):
+    """UNIT201: raw power-of-ten factors where a units helper exists."""
+
+    code = "UNIT201"
+    name = "magic-magnitude"
+    severity = Severity.WARNING
+    rationale = ("`x * 1e6` could be Mbps->bps or s->us; the reader cannot "
+                 "tell and unit bugs (the Gbps-vs-bits/s class) hide in "
+                 "exactly that ambiguity. repro.units names every "
+                 "conversion this library needs.")
+
+    def visit_BinOp(self, node: ast.BinOp, ctx: ModuleContext) -> None:
+        """Flag power-of-ten constants in multiply/divide."""
+        if ctx.module in _UNIT_DEFINITION_MODULES:
+            return
+        if not isinstance(node.op, (ast.Mult, ast.Div)):
+            return
+        for operand in (node.left, node.right):
+            if not isinstance(operand, ast.Constant):
+                continue
+            value = operand.value
+            if isinstance(value, bool) or \
+                    not isinstance(value, (int, float)):
+                continue
+            magnitude = float(value)
+            if magnitude not in _MAGIC_MAGNITUDES:
+                continue
+            if self._is_tolerance_context(node, ctx):
+                continue
+            hint = _MAGIC_MAGNITUDES[magnitude]
+            ctx.report(self, operand,
+                       f"magnitude literal {value!r} in arithmetic; use a "
+                       f"repro.units helper (e.g. {hint}) so the "
+                       "conversion is named")
+
+    @staticmethod
+    def _is_tolerance_context(node: ast.BinOp, ctx: ModuleContext) -> bool:
+        """Whether the enclosing statement assigns a tolerance constant."""
+        for ancestor in ctx.ancestors(node):
+            targets = []
+            if isinstance(ancestor, ast.Assign):
+                targets = ancestor.targets
+            elif isinstance(ancestor, ast.AnnAssign) and \
+                    ancestor.target is not None:
+                targets = [ancestor.target]
+            for target in targets:
+                identifier = _identifier_of(target) or ""
+                if any(marker in identifier.upper()
+                       for marker in _TOLERANCE_MARKERS):
+                    return True
+        return False
+
+
+@register
+class MixedUnitSuffixRule(LintRule):
+    """UNIT202: one expression adds/compares names of different units."""
+
+    code = "UNIT202"
+    name = "mixed-unit-suffix"
+    severity = Severity.ERROR
+    rationale = ("Adding `timeout_us` to `now_s`, or comparing `rate_bps` "
+                 "with `cap_gbps`, is a unit error the type system cannot "
+                 "see because both sides are float. The suffix convention "
+                 "makes it statically visible.")
+
+    def _check_pair(self, left: ast.AST, right: ast.AST, node: ast.AST,
+                    verb: str, ctx: ModuleContext) -> None:
+        left_unit = _unit_of(left)
+        right_unit = _unit_of(right)
+        if left_unit is None or right_unit is None:
+            return
+        if left_unit == right_unit:
+            return
+        ctx.report(self, node,
+                   f"{verb} mixes units: "
+                   f"{left_unit[1]} ({_identifier_of(left) or '...'}) vs "
+                   f"{right_unit[1]} ({_identifier_of(right) or '...'}); "
+                   "convert through repro.units first")
+
+    def visit_BinOp(self, node: ast.BinOp, ctx: ModuleContext) -> None:
+        """Flag add/subtract across conflicting unit suffixes."""
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self._check_pair(node.left, node.right, node,
+                             "addition/subtraction", ctx)
+
+    def visit_Compare(self, node: ast.Compare, ctx: ModuleContext) -> None:
+        """Flag comparisons across conflicting unit suffixes."""
+        operands = [node.left] + list(node.comparators)
+        for left, right in zip(operands, operands[1:]):
+            self._check_pair(left, right, node, "comparison", ctx)
+
+
+@register
+class FloatTimeEqualityRule(LintRule):
+    """UNIT203: ``==`` / ``!=`` on simulated-time floats."""
+
+    code = "UNIT203"
+    name = "float-time-eq"
+    severity = Severity.WARNING
+    rationale = ("Simulated timestamps are accumulated floats; two paths "
+                 "to the 'same' instant differ in the last ulp, so == "
+                 "comparisons work until an unrelated refactor reorders "
+                 "the arithmetic. Compare against a tolerance, or order "
+                 "events through the engine.")
+
+    @staticmethod
+    def _is_time_name(node: ast.AST) -> bool:
+        identifier = _identifier_of(node)
+        if identifier is None:
+            return False
+        unit = _unit_of(node)
+        return unit is not None and unit[0] == "time"
+
+    @staticmethod
+    def _is_exact_literal(node: ast.AST) -> bool:
+        """Literals that are exactly representable sentinels (0, None)."""
+        return isinstance(node, ast.Constant) and \
+            (node.value is None or node.value == 0)
+
+    @staticmethod
+    def _is_tolerance_comparator(node: ast.AST) -> bool:
+        """``pytest.approx(...)`` / ``isclose(...)`` — already tolerant."""
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        tail = func.attr if isinstance(func, ast.Attribute) else \
+            (func.id if isinstance(func, ast.Name) else "")
+        return tail in ("approx", "isclose")
+
+    def visit_Compare(self, node: ast.Compare, ctx: ModuleContext) -> None:
+        """Flag ``==``/``!=`` against ``_s``-suffixed time values."""
+        if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+            return
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            for side, other in ((left, right), (right, left)):
+                if self._is_time_name(side) and \
+                        not self._is_exact_literal(other) and \
+                        not self._is_tolerance_comparator(other):
+                    ctx.report(self, node,
+                               "float equality on simulated time "
+                               f"({_identifier_of(side)}); compare with a "
+                               "tolerance or an event-ordering check")
+                    return

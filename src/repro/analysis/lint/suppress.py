@@ -1,0 +1,75 @@
+"""Inline suppression: ``# repro: noqa[RULE]`` comments.
+
+A finding is suppressed when the physical line it is reported on carries
+a marker naming its rule code::
+
+    delay = rng.random()  # repro: noqa[DET102]
+    value = a_s + b_us    # repro: noqa[UNIT202,UNIT201]
+    anything_goes()       # repro: noqa
+
+A bare ``# repro: noqa`` (no bracket) suppresses every rule on that
+line.  Markers are extracted with :mod:`tokenize` so string literals
+that merely *contain* the text do not suppress anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, List, Optional
+
+#: Maps line number -> suppressed rule codes; ``None`` means "all rules".
+SuppressionMap = Dict[int, Optional[FrozenSet[str]]]
+
+_MARKER = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Za-z0-9_,\s]+)\])?")
+
+
+def suppressions(source: str) -> SuppressionMap:
+    """Extract the per-line suppression map from ``source``.
+
+    Lines without a marker are absent from the map.  Unreadable token
+    streams (the caller already parsed the file, so this is rare) yield
+    an empty map rather than an error.
+    """
+    found: SuppressionMap = {}
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return found
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        line = token.start[0]
+        codes = match.group("codes")
+        if codes is None:
+            found[line] = None
+        else:
+            parsed = frozenset(
+                code.strip().upper()
+                for code in codes.split(",") if code.strip())
+            previous = found.get(line, frozenset())
+            if previous is None:
+                continue  # an unconditional marker already covers the line
+            found[line] = parsed | previous
+    return found
+
+
+def is_suppressed(found: SuppressionMap, line: int, rule: str) -> bool:
+    """Whether ``rule`` is suppressed on ``line``."""
+    if line not in found:
+        return False
+    codes = found[line]
+    return codes is None or rule in codes
+
+
+def unused_markers(found: SuppressionMap,
+                   used_lines: List[int]) -> List[int]:
+    """Marker lines that suppressed nothing (for future hygiene checks)."""
+    used = set(used_lines)
+    return sorted(line for line in found if line not in used)

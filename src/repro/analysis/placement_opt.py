@@ -30,6 +30,7 @@ from ..chain.placement import Placement
 from ..devices.server import ServerProfile
 from ..errors import ConfigurationError, ScaleOutRequired
 from ..resources.model import LoadModel
+from ..units import as_gbps
 from .latency_model import predict_latency
 
 #: Enumeration guard: 2^16 placements is instant; beyond that, refuse
@@ -106,7 +107,7 @@ def optimise_placement(chain: ServiceChain, throughput_bps: float,
     if best is None:
         raise ScaleOutRequired(
             f"no feasible placement for chain {chain.name!r} at "
-            f"{throughput_bps / 1e9:.2f} Gbps")
+            f"{as_gbps(throughput_bps):.2f} Gbps")
     return OptimisationResult(placement=best,
                               predicted_latency_s=best_latency,
                               feasible_count=feasible,

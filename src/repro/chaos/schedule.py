@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Sequence
 from ..chain.nf import DeviceKind
 from ..errors import ConfigurationError
 from ..sim.faults import FaultEvent, FaultInjector
-from ..units import usec
+from ..units import as_msec, usec
 
 
 @dataclass(frozen=True)
@@ -177,6 +177,6 @@ class ChaosSchedule:
         for fault in self.faults:
             target = fault.nf_name or \
                 (fault.device.value if fault.device else "-")
-            lines.append(f"{fault.at_s * 1e3:7.2f}ms  {fault.kind:<18} "
-                         f"{target:<10} {fault.duration_s * 1e3:.2f}ms")
+            lines.append(f"{as_msec(fault.at_s):7.2f}ms  {fault.kind:<18} "
+                         f"{target:<10} {as_msec(fault.duration_s):.2f}ms")
         return "\n".join(lines)

@@ -10,7 +10,9 @@ Gives operators the paper's experiments without writing Python:
 * ``spike``      — the closed-loop traffic-spike episode,
 * ``run-config`` — execute a JSON experiment description,
 * ``suite``      — run or regression-check a directory of experiments,
-* ``chaos``      — randomized fault campaign with invariant checking.
+* ``chaos``      — randomized fault campaign with invariant checking,
+* ``lint``       — simulation-safety static analysis (determinism,
+  units, event-ordering, exception hygiene).
 """
 
 from __future__ import annotations
@@ -40,7 +42,7 @@ from .sim.runner import SimulationRunner
 from .telemetry.monitor import LoadMonitor
 from .traffic.packet import PAPER_SIZE_SWEEP, FixedSize
 from .traffic.patterns import ProfiledArrivals, spike
-from .units import as_usec, gbps
+from .units import as_gbps, as_msec, as_usec, gbps
 
 
 def _policy_by_name(name: str):
@@ -124,7 +126,7 @@ def cmd_spike(args: argparse.Namespace) -> int:
     result = SimulationRunner(server, generator, monitor,
                               monitor_period_s=0.002).run()
     print(f"policy={args.policy} migrated={result.migrated_nfs} "
-          f"at={[f'{t*1e3:.1f}ms' for t in result.migration_times_s]}")
+          f"at={[f'{as_msec(t):.1f}ms' for t in result.migration_times_s]}")
     print(f"delivered {result.delivered}/{result.injected} "
           f"(dropped {result.dropped}); mean latency "
           f"{as_usec(result.latency.mean_s):.1f} us, "
@@ -145,7 +147,7 @@ def cmd_run_config(args: argparse.Namespace) -> int:
           f"(dropped {result.dropped})")
     if result.latency is not None:
         print(f"  latency {result.latency.describe()}")
-    print(f"  goodput {result.goodput_bps / 1e9:.2f} Gbps")
+    print(f"  goodput {as_gbps(result.goodput_bps):.2f} Gbps")
     if result.migrated_nfs:
         print(f"  migrated: {', '.join(result.migrated_nfs)}")
     return 0
@@ -198,6 +200,36 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                          config=config).run()
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the simulation-safety linter over source paths."""
+    from .analysis.lint import (Baseline, DEFAULT_BASELINE_NAME, Severity,
+                                format_json, format_text, lint_paths,
+                                rule_catalogue)
+    if args.list_rules:
+        print(rule_catalogue())
+        return 0
+    baseline = None
+    if args.baseline is not None:
+        baseline = Baseline.load(args.baseline)
+    elif not args.no_baseline:
+        from pathlib import Path
+        default = Path(DEFAULT_BASELINE_NAME)
+        if default.is_file():
+            baseline = Baseline.load(default)
+    report = lint_paths(args.paths, baseline=baseline)
+    if args.write_baseline is not None:
+        from pathlib import Path
+        document = Baseline.render(report.findings)
+        Path(args.write_baseline).write_text(document)
+        print(f"baseline with {len(report.findings)} entrie(s) written "
+              f"to {args.write_baseline}; fill in each 'reason'")
+        return 0
+    rendered = (format_json(report) if args.format == "json"
+                else format_text(report))
+    print(rendered)
+    return report.exit_code(Severity.parse(args.fail_on))
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
@@ -289,6 +321,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--failure-rate", type=float, default=0.3,
                          help="per-attempt migration failure probability")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_lint = sub.add_parser("lint",
+                            help="simulation-safety static analysis")
+    p_lint.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories (default: src/repro)")
+    p_lint.add_argument("--format", choices=["text", "json"],
+                        default="text")
+    p_lint.add_argument("--fail-on", choices=["warning", "error"],
+                        default="error",
+                        help="lowest severity that fails the run")
+    p_lint.add_argument("--baseline",
+                        help="baseline JSON of accepted findings "
+                             "(default: ./lint-baseline.json if present)")
+    p_lint.add_argument("--no-baseline", action="store_true",
+                        help="ignore any default baseline file")
+    p_lint.add_argument("--write-baseline", metavar="PATH",
+                        help="write current findings as a fresh baseline "
+                             "and exit 0")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_config = sub.add_parser("run-config",
                               help="run a JSON-described experiment")

@@ -77,7 +77,7 @@ def border_sets(placement: Placement) -> BorderSets:
 
 def _check_invariant(placement: Placement, sets: BorderSets) -> None:
     """Every border NF must be movable to the CPU without adding crossings."""
-    for name in sets.all:
+    for name in sorted(sets.all):
         nf = placement.chain.get(name)
         if not nf.cpu_capable:
             continue  # not a migration candidate, but still a border

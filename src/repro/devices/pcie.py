@@ -24,11 +24,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..errors import ConfigurationError
-from ..units import usec
+from ..units import gbps, usec
 
 
-#: Effective PCIe gen3 x8 payload bandwidth in bits per second.
-DEFAULT_PCIE_BANDWIDTH_BPS = 6.4 * 8 * 1e9
+#: Effective PCIe gen3 x8 payload bandwidth: 6.4 GB/s of payload is
+#: 51.2 Gbit/s in the decimal units link rates use.
+DEFAULT_PCIE_BANDWIDTH_BPS = gbps(6.4 * 8)
 #: Fixed per-crossing latency (DMA + doorbell + driver), seconds.
 #: Calibrated so two extra crossings cost ~25 us — the paper's "tens of
 #: microseconds", and ~18% of the canonical chain's latency (S3).

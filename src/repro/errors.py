@@ -54,6 +54,15 @@ class InfeasiblePlanError(MigrationError):
     """
 
 
+class AnalysisError(ReproError):
+    """A static-analysis run could not proceed (bad path, baseline, or flag).
+
+    Raised by :mod:`repro.analysis.lint` for usage-level problems — a
+    nonexistent lint target, an unreadable baseline file — as opposed to
+    findings *in* the analysed code, which are reported, not raised.
+    """
+
+
 class ScaleOutRequired(ReproError):
     """Both SmartNIC and CPU are overloaded; no migration can help.
 

@@ -44,7 +44,7 @@ from ..traffic.generators import (ConstantBitRate, OnOffBursts,
                                   PoissonArrivals)
 from ..traffic.packet import FixedSize, IMixSize, UniformSize
 from ..traffic.patterns import ProfiledArrivals, spike
-from ..units import gbps
+from ..units import gbps, usec
 
 PROFILE_SETS = {
     "table1": catalog.TABLE1,
@@ -179,8 +179,8 @@ def parse(config: Mapping[str, Any]) -> ExperimentSpec:
         raise ConfigurationError("server: must be an object")
     profile = ServerProfile(
         name=name,
-        pcie_crossing_latency_s=float(
-            server_spec.get("pcie_crossing_us", 14.0)) * 1e-6,
+        pcie_crossing_latency_s=usec(float(
+            server_spec.get("pcie_crossing_us", 14.0))),
         pcie_model_contention=bool(
             server_spec.get("pcie_contention", False)))
     server = profile.build()

@@ -14,6 +14,7 @@ from ..core.planner import SelectionPolicy
 from ..devices.server import ServerProfile
 from ..errors import ConfigurationError
 from ..traffic.packet import PAPER_SIZE_SWEEP
+from ..units import as_gbps
 from .compare import PolicyOutcome, compare_policies
 from .experiment import steady_state
 from .scenarios import (FIGURE1_BASE_LOAD_BPS, FIGURE1_SATURATION_BPS,
@@ -33,7 +34,7 @@ class SizeSweepPoint:
 
     def goodput_gbps(self, policy: str) -> float:
         """Saturated goodput of ``policy`` at this size, Gbps."""
-        return self.outcomes[policy].goodput_bps / 1e9
+        return as_gbps(self.outcomes[policy].goodput_bps)
 
 
 def packet_size_sweep(scenario: Scenario,

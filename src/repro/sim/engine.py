@@ -7,10 +7,14 @@ lives in the modules that schedule events on it.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from ..errors import SchedulingError
 from .events import PRIORITY_CONTROL, PRIORITY_DATA, Event, EventQueue
+
+#: Signature of an event-trace subscriber: called with every event the
+#: engine executes, in execution order.
+EventObserver = Callable[[Event], None]
 
 
 class Engine:
@@ -21,6 +25,23 @@ class Engine:
         self._queue = EventQueue()
         self._running = False
         self.events_processed: int = 0
+        #: Optional observer invoked with each event just before it runs.
+        #: Determinism tooling subscribes here to record the executed
+        #: ``(time_s, priority, seq)`` trace; two seeded runs of the same
+        #: scenario must produce identical traces.
+        self.on_event: Optional[EventObserver] = None
+
+    def trace_to(self, sink: "list") -> None:
+        """Record ``(time_s, priority, seq)`` of every executed event.
+
+        Convenience wrapper around :attr:`on_event` for replay checks::
+
+            trace: list = []
+            runner.engine.trace_to(trace)
+        """
+        def _observe(event: Event) -> None:
+            sink.append((event.time_s, event.priority, event.seq))
+        self.on_event = _observe
 
     # -- scheduling -------------------------------------------------------
 
@@ -72,6 +93,8 @@ class Engine:
                 event = self._queue.pop()
                 assert event is not None  # peek said non-empty
                 self.now_s = event.time_s
+                if self.on_event is not None:
+                    self.on_event(event)
                 event.action()
                 self.events_processed += 1
                 processed_this_run += 1

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import ConfigurationError
+from ..units import as_msec
 from .monitor import SERIES_CPU, SERIES_NIC
 from .recorder import TimeSeriesRecorder
 
@@ -55,10 +56,10 @@ class ResourceBill:
 
     def describe(self) -> str:
         """One-line summary of the bill."""
-        return (f"over {self.span_s * 1e3:.1f} ms: "
-                f"NIC {self.nic_device_seconds * 1e3:.2f} dev-ms "
+        return (f"over {as_msec(self.span_s):.1f} ms: "
+                f"NIC {as_msec(self.nic_device_seconds):.2f} dev-ms "
                 f"(mean {self.nic_mean_utilisation:.2f}), "
-                f"CPU {self.cpu_device_seconds * 1e3:.2f} dev-ms "
+                f"CPU {as_msec(self.cpu_device_seconds):.2f} dev-ms "
                 f"(mean {self.cpu_mean_utilisation:.2f})")
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConfigurationError
+from ..units import as_msec
 
 #: Eight-level block characters, lowest to highest.
 _SPARK_LEVELS = "▁▂▃▄▅▆▇█"
@@ -72,8 +73,8 @@ def utilisation_timeline(times_s: Sequence[float],
     line = sparkline(values, lo=0.0, hi=max(max(values), threshold))
     markers = "".join("^" if value > threshold else " "
                       for value in values)
-    start = times_s[0] * 1e3 if times_s else 0.0
-    end = times_s[-1] * 1e3 if times_s else 0.0
+    start = as_msec(times_s[0]) if times_s else 0.0
+    end = as_msec(times_s[-1]) if times_s else 0.0
     header = (f"{label}: {start:.0f}ms..{end:.0f}ms  "
               f"(^ marks samples above {threshold:g})")
     return f"{header}\n{line}\n{markers}"

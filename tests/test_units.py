@@ -80,3 +80,113 @@ class TestPacketArithmetic:
     def test_zero_rate_raises(self):
         with pytest.raises(ZeroDivisionError):
             units.serialization_time(64, 0.0)
+
+
+# --- round-trip property tests (one per converter family) ---------------
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+_MAGNITUDES = st.floats(min_value=1e-3, max_value=1e6,
+                        allow_nan=False, allow_infinity=False)
+
+
+class TestRoundTripProperties:
+    """Every to/from converter pair inverts within float rounding."""
+
+    @given(_MAGNITUDES)
+    def test_gbps_round_trip(self, value):
+        assert units.as_gbps(units.gbps(value)) == pytest.approx(
+            value, rel=1e-12)
+
+    @given(_MAGNITUDES)
+    def test_mbps_round_trip(self, value):
+        assert units.as_mbps(units.mbps(value)) == pytest.approx(
+            value, rel=1e-12)
+
+    @given(_MAGNITUDES)
+    def test_usec_round_trip(self, value):
+        assert units.as_usec(units.usec(value)) == pytest.approx(
+            value, rel=1e-12)
+
+    @given(_MAGNITUDES)
+    def test_msec_round_trip(self, value):
+        assert units.as_msec(units.msec(value)) == pytest.approx(
+            value, rel=1e-12)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_kib_is_exact_for_whole_kilobytes(self, value):
+        assert units.kib(value) == value * 1024
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_mib_is_exact_for_whole_mebibytes(self, value):
+        assert units.mib(value) == value * 1024 * 1024
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_bits_is_exact_for_byte_counts(self, value):
+        # Multiplying by 8 is a power-of-two scale: always exact.
+        assert units.bits(value) == value * 8
+
+    @given(st.integers(min_value=1, max_value=9000), _MAGNITUDES)
+    def test_serialization_time_inverts_to_rate(self, nbytes, rate_gbps):
+        rate = units.gbps(rate_gbps)
+        elapsed = units.serialization_time(nbytes, rate)
+        assert elapsed * rate == pytest.approx(units.bits(nbytes),
+                                               rel=1e-12)
+
+    @given(st.integers(min_value=64, max_value=1500), _MAGNITUDES)
+    def test_wire_time_is_serialization_plus_overhead(self, nbytes,
+                                                      rate_gbps):
+        rate = units.gbps(rate_gbps)
+        assert units.wire_time(nbytes, rate) == pytest.approx(
+            units.serialization_time(
+                nbytes + units.ETHERNET_OVERHEAD_BYTES, rate), rel=1e-12)
+
+    @given(st.integers(min_value=64, max_value=1500), _MAGNITUDES)
+    def test_packets_per_second_inverts_wire_time(self, nbytes,
+                                                  rate_gbps):
+        rate = units.gbps(rate_gbps)
+        pps = units.packets_per_second(rate, nbytes)
+        assert pps * units.bits(nbytes) == pytest.approx(rate, rel=1e-12)
+
+
+class TestPaperTable1Exactness:
+    """The paper's Table 1 constants survive the unit helpers exactly.
+
+    Reproducibility hinges on the catalog capacities being bit-identical
+    across machines: ``gbps`` of each Table 1 rate must equal the
+    literal power-of-ten float, and the committed catalog must agree
+    with the helpers bit-for-bit.
+    """
+
+    #: (paper Gbps value, exact bits/s literal) from Table 1.
+    TABLE1_RATES = [
+        (10.0, 10e9), (2.0, 2e9), (3.2, 3.2e9), (4.0, 4e9), (20.0, 20e9),
+    ]
+    #: Paper microsecond latencies used by the Table 1 profiles.
+    TABLE1_LATENCIES_US = [20.0, 25.0, 22.0, 15.0]
+
+    def test_gbps_is_exact_for_table1_rates(self):
+        for paper_value, expected_bps in self.TABLE1_RATES:
+            assert units.gbps(paper_value) == expected_bps  # bit-for-bit
+
+    def test_gbps_round_trip_is_exact_for_table1_rates(self):
+        for paper_value, _ in self.TABLE1_RATES:
+            assert units.as_gbps(units.gbps(paper_value)) == paper_value
+
+    def test_usec_round_trip_within_one_ulp_for_table1(self):
+        for paper_value in self.TABLE1_LATENCIES_US:
+            back = units.as_usec(units.usec(paper_value))
+            assert abs(back - paper_value) <= math.ulp(paper_value)
+
+    def test_catalog_matches_helpers_bit_for_bit(self):
+        # The committed Table 1 catalog must be *the same doubles* the
+        # helpers produce, so capacity checks replay identically.
+        from repro.chain import catalog
+        table = catalog.TABLE1
+        assert table["firewall"].nic_capacity_bps == units.gbps(10.0)
+        assert table["logger"].nic_capacity_bps == units.gbps(2.0)
+        assert table["monitor"].nic_capacity_bps == units.gbps(3.2)
+        assert table["load_balancer"].nic_capacity_bps == units.gbps(20.0)
+        assert table["firewall"].base_latency_s == units.usec(20.0)
+        assert table["monitor"].base_latency_s == units.usec(22.0)
