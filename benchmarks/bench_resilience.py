@@ -1,0 +1,109 @@
+"""Robustness R2: failure-domain recovery and graceful degradation.
+
+Runs the two canned resilience scenarios end to end and reports the
+headline numbers the resilience layer exists to bound:
+
+* **device-kill** — time-to-recover (watchdog detection to the last NF
+  re-hosted on the survivor), the detection timeline, and what was shed
+  while the chain ran degraded;
+* **overload** — the per-class shed breakdown under sustained
+  infeasible load, pinned to the property that only the low-priority
+  class pays while protected traffic rides through untouched.
+
+Both scenarios are seeded and deterministic, so the printed numbers are
+reproducible artifacts, not samples.
+"""
+
+from conftest import report
+from repro.chaos.invariants import (check_invariants,
+                                    check_resilience_invariants)
+from repro.resilience.scenarios import run_device_kill, run_overload_shed
+from repro.units import as_msec
+
+SEED = 7
+
+
+def _violations(run):
+    controller = run.controller
+    out = check_invariants(controller.network, controller.server,
+                           controller.executor)
+    out.extend(check_resilience_invariants(
+        controller, controller.config.degradation.max_shed_fraction))
+    return out
+
+
+def _class_rows(stats):
+    lines = [f"{'class':<10} {'offered':>8} {'shed':>8} {'fraction':>9}"]
+    for cls in stats.classes:
+        tag = "" if cls.sheddable else "  [protected]"
+        lines.append(f"{cls.name:<10} {cls.offered_packets:>8} "
+                     f"{cls.shed_packets:>8} {cls.shed_fraction:>8.1%}"
+                     f"{tag}")
+    return "\n".join(lines)
+
+
+def test_device_kill_recovery(benchmark):
+    results = []
+
+    def run():
+        results.clear()
+        results.append(run_device_kill(seed=SEED))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    outcome = results[0]
+    stats = outcome.stats
+
+    timeline = "\n".join(
+        f"{as_msec(t.at_s):7.2f}ms  {t.entity:<18} "
+        f"{t.previous.value} -> {t.state.value}"
+        for t in outcome.controller.health.transitions)
+    recovery = stats.recoveries[0]
+    body = (
+        f"detection timeline:\n{timeline}\n"
+        f"recovery of {recovery.device}: {recovery.status} in "
+        f"{recovery.attempts} attempt(s), evacuated "
+        f"[{', '.join(recovery.evacuated)}]\n"
+        f"time-to-recover: {as_msec(outcome.time_to_recover_s):.3f}ms\n"
+        f"degraded for {as_msec(stats.degraded_time_s):.2f}ms; "
+        f"shed {stats.shed_packets_total} packets "
+        f"({stats.shed_fraction:.1%}), protected shed "
+        f"{stats.protected_shed_packets}, abandoned "
+        f"{stats.abandoned_packets}\n"
+        f"delivered {outcome.result.delivered}/{outcome.result.injected} "
+        f"(dropped {outcome.result.dropped})\n\n{_class_rows(stats)}")
+    report(f"Device-kill recovery (seed {SEED})", body)
+
+    assert _violations(outcome) == []
+    assert recovery.status == "completed"
+    assert outcome.time_to_recover_s is not None
+    assert stats.protected_shed_packets == 0
+
+
+def test_overload_degradation(benchmark):
+    results = []
+
+    def run():
+        results.clear()
+        results.append(run_overload_shed(seed=SEED))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    outcome = results[0]
+    stats = outcome.stats
+
+    ladder = " -> ".join(f"L{level}@{as_msec(at):.1f}ms"
+                         for at, level in stats.level_changes)
+    body = (
+        f"ladder decisions: {ladder or '(never engaged)'}\n"
+        f"degraded for {as_msec(stats.degraded_time_s):.2f}ms "
+        f"(final level {stats.final_ladder_level})\n"
+        f"shed {stats.shed_packets_total} packets "
+        f"({stats.shed_fraction:.1%} of offered)\n"
+        f"final placement: {outcome.result.final_placement}\n\n"
+        f"{_class_rows(stats)}")
+    report(f"Overload degradation (seed {SEED})", body)
+
+    assert _violations(outcome) == []
+    by_name = {cls.name: cls for cls in stats.classes}
+    assert by_name["low"].shed_packets > 0
+    assert by_name["normal"].shed_packets == 0
+    assert stats.protected_shed_packets == 0

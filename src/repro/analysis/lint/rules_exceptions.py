@@ -47,6 +47,48 @@ class BareExceptRule(LintRule):
 
 
 @register
+class SwallowedRecoveryExceptionRule(LintRule):
+    """EXC403: handler in recovery/migration code that only passes/returns."""
+
+    code = "EXC403"
+    name = "swallowed-exception-in-recovery"
+    severity = Severity.ERROR
+    rationale = ("an except whose whole body is pass/return inside "
+                 "repro.resilience or repro.migration silently eats the "
+                 "very failures those layers exist to surface — a "
+                 "recovery that 'succeeds' by swallowing its own error "
+                 "leaves NFs stranded with no violation recorded.")
+
+    _SCOPES = ("repro.resilience", "repro.migration")
+
+    def _in_scope(self, module: "str | None") -> bool:
+        if not module:  # pathless source (stdin, tests) has no module
+            return False
+        return any(module == scope or module.startswith(scope + ".")
+                   for scope in self._SCOPES)
+
+    @staticmethod
+    def _swallows(node: ast.ExceptHandler) -> bool:
+        """Whether the body does nothing but pass / bare return."""
+        return all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Return) and stmt.value is None)
+            for stmt in node.body)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler,
+                            ctx: ModuleContext) -> None:
+        """Flag pass/return-only handlers in resilience/migration code."""
+        if not self._in_scope(ctx.module):
+            return
+        if not self._swallows(node):
+            return
+        ctx.report(self, node,
+                   "exception swallowed in recovery-critical code: the "
+                   "handler body is only pass/return; record the failure "
+                   "(counter, abandon, violation) or re-raise")
+
+
+@register
 class BroadExceptRule(LintRule):
     """EXC402: ``except Exception`` that swallows without re-raising."""
 

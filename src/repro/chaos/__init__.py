@@ -8,12 +8,13 @@ The subsystem every scale-out PR leans on to stay correct:
   violations (``python -m repro chaos``).
 """
 
-from .invariants import Violation, check_invariants
+from .invariants import (Violation, check_invariants,
+                         check_resilience_invariants)
 from .runner import ChaosReport, ChaosRunner, ChaosRunResult
 from .schedule import ChaosConfig, ChaosFault, ChaosSchedule
 
 __all__ = [
     "ChaosConfig", "ChaosFault", "ChaosSchedule",
     "ChaosReport", "ChaosRunner", "ChaosRunResult",
-    "Violation", "check_invariants",
+    "Violation", "check_invariants", "check_resilience_invariants",
 ]

@@ -18,6 +18,15 @@ scale-out PR must keep:
 * **faults restored** — brownout derates and PCIe flap latency are back
   to nominal once their windows expire.
 * **causality** — no delivered packet departs before it arrives.
+
+Resilient runs (a :class:`~repro.resilience.ResilientController` in
+charge) add three more via :func:`check_resilience_invariants`:
+
+* **recovery terminal** — every device-failure recovery completes,
+  degrades, or is abandoned; none may hang forever.
+* **shed classes** — protected priority classes are never shed.
+* **shed fraction** — total shed stays within the configured cap (plus
+  a small tolerance for the ladder's reaction time).
 """
 
 from __future__ import annotations
@@ -59,6 +68,38 @@ def check_invariants(network: ChainNetwork, server: Server,
     return violations
 
 
+def check_resilience_invariants(controller, max_shed_fraction: float,
+                                tol: float = 0.05) -> List[Violation]:
+    """Resilience-layer invariants (duck-typed on the controller).
+
+    ``controller`` needs ``recoveries`` (objects with ``terminal``,
+    ``device``, ``detected_s``) and a ``shedder`` — the shape of
+    :class:`~repro.resilience.ResilientController`.  ``tol`` absorbs
+    the packets admitted between overload onset and the ladder's first
+    escalation.
+    """
+    out: List[Violation] = []
+    for recovery in controller.recoveries:
+        if not recovery.terminal:
+            out.append(Violation(
+                "recovery-terminal",
+                f"recovery of {recovery.device.value} (detected at "
+                f"{recovery.detected_s:.4f}s) never reached a terminal "
+                "status — it must complete, degrade, or be abandoned"))
+    protected = controller.shedder.protected_shed_packets()
+    if protected:
+        out.append(Violation(
+            "shed-classes",
+            f"{protected} packets shed from protected priority classes"))
+    fraction = controller.shedder.shed_fraction()
+    if fraction > max_shed_fraction + tol:
+        out.append(Violation(
+            "shed-fraction",
+            f"shed fraction {fraction:.3f} exceeds the configured cap "
+            f"{max_shed_fraction} (tolerance {tol})"))
+    return out
+
+
 def _check_conservation(network: ChainNetwork) -> List[Violation]:
     out: List[Violation] = []
     in_flight = network.in_flight()
@@ -69,7 +110,8 @@ def _check_conservation(network: ChainNetwork) -> List[Violation]:
             f"accounted twice (injected={network.injected}, "
             f"delivered={len(network.delivered)}, "
             f"dropped={len(network.dropped)}, "
-            f"filtered={len(network.filtered)})"))
+            f"filtered={len(network.filtered)}, "
+            f"shed={len(network.shed)})"))
     residual = sum(len(station.queue) + station.buffered
                    for station in network.stations.values())
     if in_flight != residual:
@@ -128,6 +170,11 @@ def _check_demand(server: Server) -> List[Violation]:
 def _check_faults_restored(server: Server) -> List[Violation]:
     out: List[Violation] = []
     for device in (server.nic, server.cpu):
+        if device.is_failed:
+            # A permanently killed device is *supposed* to stay broken:
+            # an overlapping brownout must not have restored it, and a
+            # lingering derate on a corpse is irrelevant.
+            continue
         if device.derate != 1.0:
             out.append(Violation(
                 "faults-restored",

@@ -9,6 +9,13 @@ PCIe flaps, and telemetry dropouts, runs to full drain, and checks the
 :mod:`~repro.chaos.invariants`.  ``python -m repro chaos`` drives it
 from the command line.
 
+With ``ChaosConfig(resilient=True)`` the scenario puts a
+:class:`~repro.resilience.ResilientController` in charge instead and
+additionally checks the resilience invariants; the schedule may then
+also draw permanent SmartNIC deaths (``max_device_kills``) and
+sustained overload windows (``max_overload_windows``, realised by
+overriding the traffic profile).
+
 Determinism: scenario ``i`` depends only on ``seed + i``, so any
 violating run replays exactly from its reported seed.
 """
@@ -25,13 +32,15 @@ from ..errors import ConfigurationError
 from ..harness.scenarios import figure1
 from ..migration.executor import (OUTCOME_SUCCEEDED, ProbabilisticFailure,
                                   RetryPolicy)
+from ..resilience.controller import ResilienceConfig, ResilientController
 from ..sim.faults import FaultInjector
 from ..sim.runner import SimulationRunner
 from ..traffic.packet import FixedSize
-from ..traffic.patterns import ProfiledArrivals, spike
+from ..traffic.patterns import ProfiledArrivals, RateProfile, spike
 from ..units import gbps, usec
-from .invariants import Violation, check_invariants
-from .schedule import ChaosConfig, ChaosSchedule
+from .invariants import (Violation, check_invariants,
+                         check_resilience_invariants)
+from .schedule import ChaosConfig, ChaosFault, ChaosSchedule
 
 #: Packet size used by chaos scenarios (larger than the paper's 256 B
 #: sweep point to keep the event count per scenario moderate).
@@ -54,6 +63,11 @@ class ChaosRunResult:
     attempts: int
     plans_aborted: int
     stale_ticks: int
+    #: Resilience accounting (zero when the run is not resilient).
+    shed: int = 0
+    protected_shed: int = 0
+    recoveries: int = 0
+    abandoned: int = 0
 
     @property
     def ok(self) -> bool:
@@ -85,15 +99,15 @@ class ChaosReport:
     def render(self) -> str:
         """A per-run summary plus any violations, for the CLI."""
         lines = [f"{'seed':>6} {'faults':>6} {'inj':>7} {'dlv':>7} "
-                 f"{'drop':>6} {'migr':>5} {'att':>4} {'abrt':>4} "
-                 f"{'stale':>5}  status"]
+                 f"{'drop':>6} {'shed':>6} {'migr':>5} {'att':>4} "
+                 f"{'abrt':>4} {'stale':>5} {'recov':>5}  status"]
         for r in self.results:
             status = "ok" if r.ok else f"{len(r.violations)} VIOLATIONS"
             lines.append(
                 f"{r.seed:>6} {len(r.schedule.faults):>6} {r.injected:>7} "
-                f"{r.delivered:>7} {r.dropped:>6} {r.migrations:>5} "
-                f"{r.attempts:>4} {r.plans_aborted:>4} "
-                f"{r.stale_ticks:>5}  {status}")
+                f"{r.delivered:>7} {r.dropped:>6} {r.shed:>6} "
+                f"{r.migrations:>5} {r.attempts:>4} {r.plans_aborted:>4} "
+                f"{r.stale_ticks:>5} {r.recoveries:>5}  {status}")
         for r in self.results:
             for violation in r.violations:
                 lines.append(f"seed {r.seed}: {violation}")
@@ -122,20 +136,62 @@ class ChaosRunner:
         return report
 
     def run_one(self, run_seed: int) -> ChaosRunResult:
-        """One fully seeded scenario: traffic, faults, control, checks."""
-        rng = random.Random(run_seed)
-        scenario = figure1()
-        server = scenario.build_server()
+        """One fully seeded scenario: traffic, faults, control, checks.
+
+        A scenario that *raises* is itself recorded as a violation
+        (``scenario-error``) instead of aborting the campaign — a chaos
+        harness that crashes on the bug it was built to surface would
+        be reporting exit code luck, not invariants.
+        """
+        schedule = ChaosSchedule.generate(
+            [nf.name for nf in figure1().chain], self.config,
+            seed=run_seed)
+        try:
+            return self._execute(run_seed, schedule)
+        # A faithfully-reporting top-level boundary: the crash becomes a
+        # recorded violation, never a swallowed one.
+        except Exception as exc:  # repro: noqa[EXC402]
+            return ChaosRunResult(
+                seed=run_seed, schedule=schedule,
+                violations=[Violation(
+                    "scenario-error",
+                    f"scenario raised {type(exc).__name__}: {exc}")],
+                injected=0, delivered=0, dropped=0, fault_losses=0,
+                migrations=0, attempts=0, plans_aborted=0, stale_ticks=0)
+
+    def _profile(self, rng: random.Random,
+                 overloads: List[ChaosFault]) -> RateProfile:
+        """The seeded spike, overridden inside any overload windows."""
         duration = self.config.duration_s
-        profile = spike(
+        base = spike(
             base_bps=gbps(rng.uniform(1.0, 1.4)),
             peak_bps=gbps(rng.uniform(1.6, 2.1)),
             start_s=0.2 * duration,
             duration_s=0.4 * duration)
+        if not overloads:
+            return base
+
+        def profile(t_s: float) -> float:
+            rate = base(t_s)
+            for window in overloads:
+                if window.at_s <= t_s < window.at_s + window.duration_s:
+                    rate = max(rate, window.magnitude)
+            return rate
+
+        return profile
+
+    def _execute(self, run_seed: int,
+                 schedule: ChaosSchedule) -> ChaosRunResult:
+        rng = random.Random(run_seed)
+        scenario = figure1()
+        server = scenario.build_server()
+        duration = self.config.duration_s
+        profile = self._profile(rng, [f for f in schedule.faults
+                                      if f.kind == "overload"])
         generator = ProfiledArrivals(profile, FixedSize(_PACKET_BYTES),
                                      duration_s=duration, seed=run_seed,
                                      jitter=False)
-        controller = HardenedController(
+        hardened = HardenedController(
             config=HardeningConfig(
                 cooldown_s=2 * _MONITOR_PERIOD_S,
                 flap_damp_s=0.01,
@@ -147,18 +203,25 @@ class ChaosRunner:
                                   backoff_base_s=usec(200.0))),
             failure_hook=ProbabilisticFailure(
                 self.config.migration_failure_rate, seed=run_seed))
+        resilient: Optional[ResilientController] = None
+        controller = hardened
+        if self.config.resilient:
+            resilient = ResilientController(hardened, ResilienceConfig())
+            controller = resilient
         sim = SimulationRunner(server, generator, controller,
                                monitor_period_s=_MONITOR_PERIOD_S)
         injector = FaultInjector(sim.network, sim.engine, seed=run_seed)
-        schedule = ChaosSchedule.generate(
-            [nf.name for nf in scenario.chain], self.config, seed=run_seed)
         schedule.apply(injector)
         result = sim.run()
         # Run the engine to exhaustion: fault restores, retry backoffs,
         # and packet events past the horizon all land before checking.
         sim.engine.run()
-        executor = controller.executor
+        executor = hardened.executor
         violations = check_invariants(sim.network, server, executor)
+        if resilient is not None:
+            violations.extend(check_resilience_invariants(
+                resilient,
+                resilient.config.degradation.max_shed_fraction))
         records = executor.records if executor else []
         outcomes = executor.outcomes if executor else []
         return ChaosRunResult(
@@ -173,4 +236,9 @@ class ChaosRunner:
                             if r.outcome == OUTCOME_SUCCEEDED]),
             attempts=len(records),
             plans_aborted=len([o for o in outcomes if not o.succeeded]),
-            stale_ticks=controller.stale_ticks)
+            stale_ticks=hardened.stale_ticks,
+            shed=resilient.shedder.shed_packets if resilient else 0,
+            protected_shed=resilient.shedder.protected_shed_packets()
+            if resilient else 0,
+            recoveries=len(resilient.recoveries) if resilient else 0,
+            abandoned=resilient.abandoned_packets if resilient else 0)

@@ -8,10 +8,13 @@ testing a debugging tool rather than a flakiness generator.
 
 Fault kinds composed (see :class:`repro.sim.faults.FaultInjector`):
 NF crashes (including repeated crashes of the same NF), device
-brownouts, PCIe link flaps, and telemetry dropouts.  Migration failures
-are injected separately through the executor's failure hook
-(:class:`repro.migration.executor.ProbabilisticFailure`) because they
-strike migration *attempts*, not wall-clock times.
+brownouts, PCIe link flaps, and telemetry dropouts.  Two resilience
+kinds are off by default: permanent SmartNIC death (``device-kill``)
+and sustained offered-load overload windows (``overload``, realised by
+the chaos runner's traffic profile rather than the injector).
+Migration failures are injected separately through the executor's
+failure hook (:class:`repro.migration.executor.ProbabilisticFailure`)
+because they strike migration *attempts*, not wall-clock times.
 """
 
 from __future__ import annotations
@@ -50,14 +53,29 @@ class ChaosConfig:
     #: Probability that any one migration attempt fails mid-transfer
     #: (fed to the executor's failure hook, not the schedule).
     migration_failure_rate: float = 0.3
+    #: Resilience fault kinds, off by default.  They only consume RNG
+    #: draws when enabled, so enabling them does not reshuffle the
+    #: faults an existing seed produces with them off.
+    max_device_kills: int = 0
+    max_overload_windows: int = 0
+    #: Peak rate an overload window forces (must exceed what any
+    #: planner-reachable placement of the chain can carry).
+    overload_peak_bps: float = 2.4e9
+    #: Put a ResilientController (health FSM, evacuation, degradation
+    #: ladder) in charge instead of the bare HardenedController, and
+    #: check the resilience invariants too.
+    resilient: bool = False
 
     def __post_init__(self) -> None:
         if self.duration_s <= 0:
             raise ConfigurationError("duration must be positive")
         for count in (self.max_crashes, self.max_brownouts,
-                      self.max_pcie_flaps, self.max_telemetry_dropouts):
+                      self.max_pcie_flaps, self.max_telemetry_dropouts,
+                      self.max_device_kills, self.max_overload_windows):
             if count < 0:
                 raise ConfigurationError("fault counts must be >= 0")
+        if self.overload_peak_bps <= 0:
+            raise ConfigurationError("overload peak must be positive")
         if not (0 < self.min_fault_duration_s <= self.max_fault_duration_s):
             raise ConfigurationError("invalid fault-duration range")
         if not (0.0 < self.brownout_scale_lo <=
@@ -74,6 +92,7 @@ class ChaosFault:
     """One scheduled fault."""
 
     kind: str  # crash | brownout | pcie-flap | telemetry-dropout
+    #        | device-kill | overload
     at_s: float
     duration_s: float
     nf_name: Optional[str] = None
@@ -145,6 +164,23 @@ class ChaosSchedule:
             start, length = window()
             faults.append(ChaosFault(kind="telemetry-dropout", at_s=start,
                                      duration_s=length))
+        # Resilience kinds draw only when enabled: a seed generates the
+        # same composition as before this knob existed when max == 0.
+        if config.max_device_kills:
+            for __ in range(rng.randint(0, config.max_device_kills)):
+                start, __length = window()
+                # Permanent, and SmartNIC-only: the chain must survive
+                # losing its accelerator (the CPU side also hosts the
+                # egress endpoint, which is outside the failure model).
+                faults.append(ChaosFault(
+                    kind="device-kill", at_s=start, duration_s=0.0,
+                    device=DeviceKind.SMARTNIC))
+        if config.max_overload_windows:
+            for __ in range(rng.randint(0, config.max_overload_windows)):
+                start, length = window()
+                faults.append(ChaosFault(
+                    kind="overload", at_s=start, duration_s=length,
+                    magnitude=config.overload_peak_bps))
         faults.sort(key=lambda f: f.at_s)
         return cls(seed=seed, config=config, faults=faults)
 
@@ -165,6 +201,13 @@ class ChaosSchedule:
             elif fault.kind == "telemetry-dropout":
                 events.append(injector.telemetry_dropout(
                     fault.at_s, fault.duration_s))
+            elif fault.kind == "device-kill":
+                events.append(injector.kill_device(fault.device, fault.at_s))
+            elif fault.kind == "overload":
+                # Realised by the runner's traffic profile, not the
+                # injector: an overload is offered load, not a fault in
+                # the data plane.
+                continue
             else:  # pragma: no cover - generate() only emits the above
                 raise ConfigurationError(f"unknown fault kind {fault.kind!r}")
         return events

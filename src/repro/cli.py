@@ -11,6 +11,8 @@ Gives operators the paper's experiments without writing Python:
 * ``run-config`` — execute a JSON experiment description,
 * ``suite``      — run or regression-check a directory of experiments,
 * ``chaos``      — randomized fault campaign with invariant checking,
+* ``resilience`` — canned device-failure / overload-degradation
+  scenarios with recovery and shedding verdicts,
 * ``lint``       — simulation-safety static analysis (determinism,
   units, event-ordering, exception hygiene).
 """
@@ -195,11 +197,53 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Run randomized chaos scenarios and check every invariant."""
     from .chaos import ChaosConfig, ChaosRunner
     config = ChaosConfig(duration_s=args.duration,
-                         migration_failure_rate=args.failure_rate)
+                         migration_failure_rate=args.failure_rate,
+                         max_device_kills=args.device_kills,
+                         max_overload_windows=args.overloads,
+                         resilient=args.resilient)
     report = ChaosRunner(runs=args.runs, seed=args.seed,
                          config=config).run()
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_resilience(args: argparse.Namespace) -> int:
+    """Run one canned resilience scenario and report its verdict."""
+    from .chaos.invariants import (check_invariants,
+                                   check_resilience_invariants)
+    from .resilience.scenarios import run_scenario
+    run = run_scenario(args.scenario, seed=args.seed,
+                       duration_s=args.duration)
+    controller = run.controller
+    print(f"scenario {run.name!r} (seed {run.seed}):")
+    print(f"  final placement: {run.result.final_placement}")
+    print(f"  delivered {run.result.delivered}/{run.result.injected} "
+          f"(dropped {run.result.dropped}, shed {run.result.shed})")
+    if controller.health.transitions:
+        print("  health transitions:")
+        for t in controller.health.transitions:
+            print(f"    {as_msec(t.at_s):7.2f}ms  {t.entity:<18} "
+                  f"{t.previous.value} -> {t.state.value}  ({t.reason})")
+    for recovery in run.stats.recoveries:
+        ttr = (f"{as_msec(recovery.time_to_recover_s):.3f}ms"
+               if recovery.time_to_recover_s is not None else "-")
+        print(f"  recovery of {recovery.device}: {recovery.status} "
+              f"in {recovery.attempts} attempt(s), time-to-recover {ttr}, "
+              f"evacuated [{', '.join(recovery.evacuated) or '-'}]")
+    print(f"  degraded for {as_msec(run.stats.degraded_time_s):.2f}ms "
+          f"(final ladder level {run.stats.final_ladder_level})")
+    for cls in run.stats.classes:
+        print(f"    class {cls.name:<8} offered {cls.offered_packets:>6} "
+              f"shed {cls.shed_packets:>6} ({cls.shed_fraction:.1%})"
+              f"{'' if cls.sheddable else '  [protected]'}")
+    violations = check_invariants(
+        controller.network, controller.server, controller.executor)
+    violations.extend(check_resilience_invariants(
+        controller, controller.config.degradation.max_shed_fraction))
+    for violation in violations:
+        print(f"  VIOLATION {violation}")
+    print(f"  verdict: {'ok' if not violations else 'INVARIANTS BROKEN'}")
+    return 0 if not violations else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -320,7 +364,24 @@ def build_parser() -> argparse.ArgumentParser:
                          help="simulated seconds per scenario")
     p_chaos.add_argument("--failure-rate", type=float, default=0.3,
                          help="per-attempt migration failure probability")
+    p_chaos.add_argument("--device-kills", type=int, default=0,
+                         help="max permanent SmartNIC deaths per scenario")
+    p_chaos.add_argument("--overloads", type=int, default=0,
+                         help="max sustained overload windows per scenario")
+    p_chaos.add_argument("--resilient", action="store_true",
+                         help="put the ResilientController in charge and "
+                              "check the resilience invariants too")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_res = sub.add_parser("resilience",
+                           help="run a canned failure/degradation "
+                                "scenario end to end")
+    p_res.add_argument("--scenario", default="device-kill",
+                       choices=["device-kill", "overload"])
+    p_res.add_argument("--seed", type=int, default=7)
+    p_res.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds (scenario default if unset)")
+    p_res.set_defaults(func=cmd_resilience)
 
     p_lint = sub.add_parser("lint",
                             help="simulation-safety static analysis")

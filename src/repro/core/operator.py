@@ -142,6 +142,16 @@ class HardenedController:
                 action_timeout_s=self.config.action_timeout_s)
         return self._executor
 
+    def ensure_executor(self, context: TickContext) -> MigrationExecutor:
+        """The executor, created on first use.
+
+        Public so wrapping layers (the resilience controller) can run
+        their plans through the *same* executor: one busy flag, one
+        retry RNG, one combined migration record — exactly as a real
+        control plane has one migration pipeline.
+        """
+        return self._executor_for(context)
+
     # -- guard rails --------------------------------------------------------
 
     def _cooling_down(self, now_s: float) -> bool:

@@ -43,6 +43,11 @@ class Device:
         #: model thermal throttling / partial hardware failure; every
         #: hosted NF's effective service rate scales with it.
         self._derate: float = 1.0
+        #: Permanent-failure flag: a dead device serves nothing and is
+        #: never restored by expiring transient faults (see
+        #: :meth:`fail`).  Recovery means moving the hosted NFs to a
+        #: survivor, not resurrecting the device.
+        self._failed: bool = False
 
     # -- hosting -----------------------------------------------------------
 
@@ -113,6 +118,24 @@ class Device:
         if not (0.0 < scale <= 1.0):
             raise ConfigurationError("derate scale must be in (0, 1]")
         self._derate = scale
+
+    @property
+    def is_failed(self) -> bool:
+        """Whether the device has failed permanently (whole-device death)."""
+        return self._failed
+
+    def fail(self) -> None:
+        """Mark the device permanently dead (NPU/core-complex failure).
+
+        The data plane stops serving on this device (the network drops
+        arrivals to stations still bound here and stations refuse to
+        start service), but the wire and the PCIe/DMA engines are a
+        *separate failure domain* and keep working — which is what lets
+        the recovery planner evacuate the hosted NFs to the survivor.
+        There is deliberately no ``unfail``: a transient capacity loss
+        is a brownout (:meth:`set_derate`), not a failure.
+        """
+        self._failed = True
 
     @property
     def overloaded(self) -> bool:

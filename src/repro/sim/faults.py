@@ -25,6 +25,11 @@ faults:
   window; the runner keeps reporting the last reading with a growing
   ``telemetry_age_s`` so hardened controllers can suppress planning on
   stale data.
+* **Device kill** — a *permanent* whole-device failure (NPU or core
+  complex dies): the queues of every hosted station are lost, the
+  device stops serving forever, and — unlike a brownout — nothing ever
+  restores it.  Recovery is the resilience layer's job: evacuate the
+  hosted NFs to the survivor (:mod:`repro.resilience`).
 
 Faults compose with controllers: a crash on an overloaded NIC looks to
 the monitor like load relief, and the tests pin down that the planner
@@ -82,6 +87,9 @@ class FaultInjector:
         self._loss_installed = False
         #: Latest brownout end per device kind.
         self._brownout_until: Dict[DeviceKind, float] = {}
+        #: Devices killed permanently (brownout expiry must not revive
+        #: them; the restored-faults invariant exempts them).
+        self._dead_devices: set = set()
         #: Latest flap end on the PCIe link.
         self._flap_until_s = 0.0
         #: Frozen (arrived_bytes, sample_time) during a telemetry
@@ -192,6 +200,45 @@ class FaultInjector:
         self.network._ingress = lossy_ingress  # type: ignore[method-assign]
         return event
 
+    # -- device kill (permanent) --------------------------------------------------
+
+    def kill_device(self, device: DeviceKind, at_s: float) -> FaultEvent:
+        """Kill ``device`` permanently at ``at_s``.
+
+        The failure domain is the *processing* complex: the wire and the
+        PCIe/DMA engines survive (they are separate silicon), which is
+        what lets the resilience layer evacuate the hosted NFs over PCIe
+        afterwards.  At kill time the queues of every hosted, non-paused
+        station are lost (counted on the event), and from then on the
+        network drops arrivals to stations still bound to the corpse.
+        Killing an already-dead device is a no-op beyond the record.
+        """
+        event = FaultEvent(kind="device-kill", nf_name=None, at_s=at_s,
+                           device=device.value)
+        self.events.append(event)
+        dev = self.network.server.device(device)
+
+        def kill() -> None:
+            if device in self._dead_devices:
+                return
+            self._dead_devices.add(device)
+            dev.fail()
+            for station in self.network.stations.values():
+                if station.device is not dev or station.paused:
+                    continue
+                lost = station.queue.drain()
+                for packet, __ in lost:
+                    packet.dropped_at = station.profile.name
+                    self.network.dropped.append(packet)
+                event.packets_lost += len(lost)
+
+        self.engine.at(at_s, kill, control=True)
+        return event
+
+    def is_device_dead(self, device: DeviceKind) -> bool:
+        """Whether ``device`` has been permanently killed."""
+        return device in self._dead_devices
+
     # -- device brownout ---------------------------------------------------------
 
     def brownout(self, device: DeviceKind, at_s: float, duration_s: float,
@@ -217,6 +264,11 @@ class FaultInjector:
             dev.set_derate(min(dev.derate, capacity_scale))
 
         def end() -> None:
+            if dev.is_failed:
+                # Fault composition: the device died while the brownout
+                # was in force.  Expiring the brownout must not
+                # "restore" capacity on a corpse.
+                return
             if self.engine.now_s >= \
                     self._brownout_until.get(device, 0.0) - 1e-12:
                 dev.set_derate(1.0)

@@ -12,7 +12,7 @@ the geometry behind Figure 1.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..chain.nf import DeviceKind
 from ..chain.placement import Placement
@@ -57,6 +57,14 @@ class ChainNetwork:
         self.dropped: List[Packet] = []
         #: Packets consumed on purpose by filtering NFs (not losses).
         self.filtered: List[Packet] = []
+        #: Packets refused by the admission hook before entering the
+        #: chain (degradation-ladder load shedding, not losses either).
+        self.shed: List[Packet] = []
+        #: Ingress admission hook: return False to shed the packet at
+        #: the wire, before it counts toward ``arrived_bytes`` — the
+        #: monitor (and therefore the planner) then sees *admitted*
+        #: load, which is exactly what the chain must carry.
+        self.admission: Optional[Callable[[Packet], bool]] = None
         self.injected: int = 0
         self.injected_bytes: int = 0
         #: Bytes that have actually arrived on the wire so far (advances
@@ -78,6 +86,12 @@ class ChainNetwork:
         host-side ingress (CPU: traffic originating from a local
         application) does not touch the wire.
         """
+        if self.admission is not None and not self.admission(packet):
+            # Shed at the wire: the NIC's flow table drops the packet
+            # before any NF (or the load monitor) sees it.
+            packet.dropped_at = "ingress-shed"
+            self.shed.append(packet)
+            return
         self.arrived_bytes += packet.size_bytes
         first_nf = self.chain[0].name
         if self.ingress_device is DeviceKind.SMARTNIC:
@@ -111,6 +125,13 @@ class ChainNetwork:
         # packet is delivered to wherever the NF lives *now*, matching
         # how flow re-steering behaves in UNO/OpenNF.
         station = self.stations[nf_name]
+        if station.device.is_failed and not station.paused:
+            # The hosting device died and nobody has paused the station
+            # for evacuation yet: the packet has nowhere to go.  (Paused
+            # stations buffer loss-free while the migration runs.)
+            packet.dropped_at = nf_name
+            self.dropped.append(packet)
+            return
         if not station.accept(packet):
             self.dropped.append(packet)
 
@@ -180,12 +201,13 @@ class ChainNetwork:
     def in_flight(self) -> int:
         """Packets injected with no final outcome yet."""
         return (self.injected - len(self.delivered)
-                - len(self.dropped) - len(self.filtered))
+                - len(self.dropped) - len(self.filtered)
+                - len(self.shed))
 
     def check_conservation(self) -> None:
-        """Assert injected == delivered + dropped + in-flight (>= 0)."""
+        """Assert injected == delivered + dropped + shed + in-flight (>= 0)."""
         if self.in_flight() < 0:
             raise SimulationError(
                 f"packet conservation violated: injected={self.injected}, "
                 f"delivered={len(self.delivered)}, dropped={len(self.dropped)}, "
-                f"filtered={len(self.filtered)}")
+                f"filtered={len(self.filtered)}, shed={len(self.shed)}")

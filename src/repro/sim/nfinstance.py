@@ -106,6 +106,12 @@ class NFStation:
     def _try_start_service(self) -> None:
         if self._busy or (self._paused and not self._draining):
             return
+        if self.device.is_failed:
+            # A dead device serves nothing: packets sit queued until the
+            # recovery planner pauses the station, rebinds it to a
+            # survivor, and resumes it there (or abandons it and drains
+            # the queue into the drop accounting).
+            return
         item = self.queue.dequeue()
         if item is None:
             return

@@ -76,6 +76,9 @@ class SimulationResult:
     migration_times_s: List[float] = field(default_factory=list)
     #: Names of NFs migrated, in order.
     migrated_nfs: List[str] = field(default_factory=list)
+    #: Packets refused at ingress by the degradation ladder's admission
+    #: control (not losses: a deliberate policy decision, like filtering).
+    shed: int = 0
 
     @property
     def delivery_rate(self) -> float:
@@ -184,7 +187,8 @@ class SimulationRunner:
             pcie=self.server.pcie.stats,
             final_placement=self.server.placement,
             migration_times_s=[m.completed_s for m in migrations],
-            migrated_nfs=[m.nf_name for m in migrations])
+            migrated_nfs=[m.nf_name for m in migrations],
+            shed=len(self.network.shed))
 
 
 def simulate(server: Server, generator: TrafficGenerator,

@@ -1,0 +1,167 @@
+"""Resilience telemetry: counters and export for degraded operation.
+
+The resilience layer answers for itself with three families of numbers:
+
+* **shed accounting** — per-priority-class offered/shed packet and byte
+  counters from the ingress shedder;
+* **degraded time** — how long the degradation ladder sat at a
+  non-zero level, plus its level-change trail;
+* **recovery latency** — detection-to-terminal time per device failure.
+
+:func:`snapshot_resilience` freezes them into a plain dataclass and
+:func:`resilience_to_json` renders a stable machine-readable form, in
+the same spirit as :mod:`repro.telemetry.export` for series and
+packets.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from .recorder import TimeSeriesRecorder
+
+if TYPE_CHECKING:  # telemetry stays importable without the resilience
+    # package (the dependency points resilience -> telemetry only at
+    # runtime, keeping the layering acyclic).
+    from ..resilience.controller import ResilientController
+
+#: Series names the resilience layer records (via record_resilience_series).
+LADDER_LEVEL_SERIES = "resilience.ladder_level"
+SHED_FRACTION_SERIES = "resilience.shed_fraction"
+TRUE_OFFERED_SERIES = "resilience.true_offered_bps"
+
+
+@dataclass(frozen=True)
+class ClassShedStats:
+    """Shed accounting for one priority class."""
+
+    name: str
+    sheddable: bool
+    offered_packets: int
+    offered_bytes: int
+    shed_packets: int
+    shed_bytes: int
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of this class's offered packets that were shed."""
+        return (self.shed_packets / self.offered_packets
+                if self.offered_packets else 0.0)
+
+
+@dataclass(frozen=True)
+class RecoveryStats:
+    """One device-failure recovery, flattened for reporting."""
+
+    device: str
+    status: Optional[str]
+    detected_s: float
+    completed_s: Optional[float]
+    time_to_recover_s: Optional[float]
+    attempts: int
+    evacuated: Tuple[str, ...]
+    unrecoverable: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ResilienceStats:
+    """Everything one resilient run produced, frozen for export."""
+
+    classes: Tuple[ClassShedStats, ...]
+    recoveries: Tuple[RecoveryStats, ...]
+    degraded_time_s: float
+    final_ladder_level: int
+    level_changes: Tuple[Tuple[float, int], ...]
+    shed_packets_total: int
+    shed_fraction: float
+    protected_shed_packets: int
+    abandoned_packets: int
+    health_transitions: int
+
+    @property
+    def recovered_devices(self) -> List[str]:
+        """Devices whose recovery reached a terminal status."""
+        return [r.device for r in self.recoveries if r.status is not None]
+
+
+def snapshot_resilience(controller: "ResilientController") -> ResilienceStats:
+    """Freeze a controller's resilience accounting for reports/tests."""
+    shedder = controller.shedder
+    classes = tuple(
+        ClassShedStats(
+            name=cls.name,
+            sheddable=cls.sheddable,
+            offered_packets=shedder.counters[cls.name].offered_packets,
+            offered_bytes=shedder.counters[cls.name].offered_bytes,
+            shed_packets=shedder.counters[cls.name].shed_packets,
+            shed_bytes=shedder.counters[cls.name].shed_bytes)
+        for cls in shedder.classes)
+    recoveries = tuple(
+        RecoveryStats(
+            device=r.device.value,
+            status=r.status,
+            detected_s=r.detected_s,
+            completed_s=r.completed_s,
+            time_to_recover_s=r.time_to_recover_s,
+            attempts=r.attempts,
+            evacuated=tuple(r.evacuated),
+            unrecoverable=tuple(r.unrecoverable))
+        for r in controller.recoveries)
+    return ResilienceStats(
+        classes=classes,
+        recoveries=recoveries,
+        degraded_time_s=controller.ladder.degraded_time_s,
+        final_ladder_level=shedder.level,
+        level_changes=tuple(controller.ladder.level_changes),
+        shed_packets_total=shedder.shed_packets,
+        shed_fraction=shedder.shed_fraction(),
+        protected_shed_packets=shedder.protected_shed_packets(),
+        abandoned_packets=controller.abandoned_packets,
+        health_transitions=len(controller.health.transitions))
+
+
+def record_resilience_series(recorder: TimeSeriesRecorder, now_s: float,
+                             controller: "ResilientController") -> None:
+    """Append the current ladder/shed state to a recorder (call per tick)."""
+    recorder.record(LADDER_LEVEL_SERIES, now_s,
+                    float(controller.shedder.level))
+    recorder.record(SHED_FRACTION_SERIES, now_s,
+                    controller.shedder.shed_fraction())
+    recorder.record(TRUE_OFFERED_SERIES, now_s,
+                    controller.true_offered_bps)
+
+
+def resilience_to_json(stats: ResilienceStats) -> str:
+    """Stable machine-readable rendering of one run's resilience stats."""
+    payload: Dict[str, object] = {
+        "version": 1,
+        "degraded_time_s": stats.degraded_time_s,
+        "final_ladder_level": stats.final_ladder_level,
+        "level_changes": [
+            {"at_s": at_s, "level": level}
+            for at_s, level in stats.level_changes],
+        "shed_packets_total": stats.shed_packets_total,
+        "shed_fraction": stats.shed_fraction,
+        "protected_shed_packets": stats.protected_shed_packets,
+        "abandoned_packets": stats.abandoned_packets,
+        "health_transitions": stats.health_transitions,
+        "classes": [
+            {"name": cls.name, "sheddable": cls.sheddable,
+             "offered_packets": cls.offered_packets,
+             "offered_bytes": cls.offered_bytes,
+             "shed_packets": cls.shed_packets,
+             "shed_bytes": cls.shed_bytes,
+             "shed_fraction": cls.shed_fraction}
+            for cls in stats.classes],
+        "recoveries": [
+            {"device": r.device, "status": r.status,
+             "detected_s": r.detected_s, "completed_s": r.completed_s,
+             "time_to_recover_s": r.time_to_recover_s,
+             "attempts": r.attempts,
+             "evacuated": list(r.evacuated),
+             "unrecoverable": list(r.unrecoverable)}
+            for r in stats.recoveries],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -5,6 +5,7 @@ import pytest
 from repro.chain.nf import DeviceKind
 from repro.chaos import (ChaosConfig, ChaosRunner, ChaosSchedule,
                          check_invariants)
+from repro.chaos.schedule import ChaosFault
 from repro.errors import ConfigurationError
 from repro.harness.scenarios import figure1
 from repro.sim.engine import Engine
@@ -139,6 +140,64 @@ class TestInvariants:
         assert any(v.invariant == "demand-refreshed" for v in violations)
 
 
+class TestResilienceKinds:
+    def test_new_knob_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(max_device_kills=-1)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(max_overload_windows=-1)
+        with pytest.raises(ConfigurationError):
+            ChaosConfig(overload_peak_bps=0.0)
+
+    def test_enabling_new_kinds_preserves_legacy_draws(self):
+        # Seed compatibility: the resilience kinds draw from the RNG
+        # only when enabled, so a pre-existing seed must produce the
+        # exact same crashes/brownouts/flaps/dropouts either way.
+        for seed in range(10):
+            base = ChaosSchedule.generate(NAMES, seed=seed)
+            extended = ChaosSchedule.generate(
+                NAMES, ChaosConfig(max_device_kills=2,
+                                   max_overload_windows=2,
+                                   resilient=True), seed=seed)
+            legacy = [f.as_dict() for f in extended.faults
+                      if f.kind not in ("device-kill", "overload")]
+            assert legacy == [f.as_dict() for f in base.faults]
+
+    def test_generated_kill_counts_bounded_and_smartnic_only(self):
+        config = ChaosConfig(max_device_kills=2, max_overload_windows=2)
+        for seed in range(25):
+            schedule = ChaosSchedule.generate(NAMES, config, seed=seed)
+            kills = [f for f in schedule.faults if f.kind == "device-kill"]
+            overloads = [f for f in schedule.faults if f.kind == "overload"]
+            assert len(kills) <= config.max_device_kills
+            assert len(overloads) <= config.max_overload_windows
+            assert all(f.device is DeviceKind.SMARTNIC for f in kills)
+            assert all(f.magnitude == config.overload_peak_bps
+                       for f in overloads)
+
+    def test_device_kill_fault_applies_to_the_injector(self):
+        schedule = ChaosSchedule(seed=0, config=ChaosConfig(), faults=[
+            ChaosFault(kind="device-kill", at_s=1e-4, duration_s=0.0,
+                       device=DeviceKind.SMARTNIC)])
+        __, engine, network = drained_network()
+        injector = FaultInjector(network, engine)
+        events = schedule.apply(injector)
+        assert len(events) == 1
+        engine.run()
+        assert injector.is_device_dead(DeviceKind.SMARTNIC)
+
+    def test_overload_fault_is_runner_realised(self):
+        # Overload is offered load, not a data-plane fault: apply()
+        # installs nothing, the runner's traffic profile carries it.
+        schedule = ChaosSchedule(seed=0, config=ChaosConfig(), faults=[
+            ChaosFault(kind="overload", at_s=0.01, duration_s=0.005,
+                       magnitude=2.4e9)])
+        __, engine, network = drained_network()
+        injector = FaultInjector(network, engine)
+        assert schedule.apply(injector) == []
+        assert injector.events == []
+
+
 class TestCampaign:
     def test_runner_validation(self):
         with pytest.raises(ConfigurationError):
@@ -169,3 +228,42 @@ class TestCampaign:
         assert sum(r.attempts for r in report.results) > 0
         rendered = report.render()
         assert "all invariants held" in rendered
+
+    def test_resilient_campaign_holds_all_invariants(self):
+        # With device kills and overload windows in the draw pool and
+        # the ResilientController in charge, every scenario must still
+        # end clean — recoveries terminal, protected classes untouched.
+        config = ChaosConfig(duration_s=0.04, max_device_kills=1,
+                             max_overload_windows=1, resilient=True)
+        report = ChaosRunner(runs=5, seed=7, config=config).run()
+        assert report.ok, report.render()
+        # The campaign must actually exercise the new machinery.
+        assert sum(r.recoveries for r in report.results) > 0
+        assert sum(r.shed for r in report.results) > 0
+        assert all(r.protected_shed == 0 for r in report.results)
+        assert "shed" in report.render()
+
+    def test_scenario_crash_is_recorded_as_violation(self, monkeypatch):
+        # A chaos harness that dies on the bug it was built to surface
+        # reports exit-code luck, not invariants: a raising scenario
+        # must become a 'scenario-error' violation and the campaign
+        # must carry on to the remaining seeds.
+        runner = ChaosRunner(runs=2, seed=3,
+                             config=ChaosConfig(duration_s=0.01))
+        calls = []
+
+        def explode(run_seed, schedule):
+            calls.append(run_seed)
+            if run_seed == 3:
+                raise RuntimeError("boom")
+            return original(run_seed, schedule)
+
+        original = runner._execute
+        monkeypatch.setattr(runner, "_execute", explode)
+        report = runner.run()
+        assert calls == [3, 4]
+        assert not report.ok
+        first = report.results[0]
+        assert [v.invariant for v in first.violations] == ["scenario-error"]
+        assert "RuntimeError" in first.violations[0].detail
+        assert report.results[1].ok

@@ -116,6 +116,52 @@ class TestOptimise:
         assert "scale out" in capsys.readouterr().out
 
 
+class TestResilienceCommand:
+    def test_device_kill_scenario_exits_clean(self, capsys):
+        assert main(["resilience", "--scenario", "device-kill"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery of smartnic: completed" in out
+        assert "time-to-recover" in out
+        assert "healthy -> suspect" in out
+        assert "suspect -> failed" in out
+        assert "verdict: ok" in out
+
+    def test_overload_scenario_exits_clean(self, capsys):
+        assert main(["resilience", "--scenario", "overload",
+                     "--duration", "0.04"]) == 0
+        out = capsys.readouterr().out
+        assert "class low" in out
+        assert "[protected]" in out
+        assert "verdict: ok" in out
+
+    def test_unknown_scenario_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["resilience", "--scenario", "meteor-strike"])
+
+
+class TestChaosResilienceFlags:
+    def test_resilient_campaign_exit_code(self, capsys):
+        assert main(["chaos", "--runs", "2", "--seed", "7",
+                     "--duration", "0.02", "--resilient",
+                     "--device-kills", "1", "--overloads", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "all invariants held" in out
+        assert "shed" in out
+
+    def test_crashing_scenario_exits_nonzero(self, capsys, monkeypatch):
+        # Satellite regression: a scenario crash must surface as a
+        # violation (exit 1), never as a clean campaign or a traceback.
+        from repro.chaos.runner import ChaosRunner
+
+        def explode(self, run_seed, schedule):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(ChaosRunner, "_execute", explode)
+        assert main(["chaos", "--runs", "1", "--seed", "3",
+                     "--duration", "0.01"]) == 1
+        assert "scenario-error" in capsys.readouterr().out
+
+
 class TestFigure2Chart:
     def test_chart_flag_appends_bars(self, capsys):
         assert main(["figure2", "--sizes", "64", "--duration", "0.004",

@@ -226,6 +226,39 @@ class TestExceptionRules:
                 raise
         """)
 
+    def test_exc403_fires_on_pass_in_resilience(self):
+        assert "EXC403" in _codes("""
+            try:
+                evacuate()
+            except MigrationError:
+                pass
+        """, path="src/repro/resilience/controller.py")
+
+    def test_exc403_fires_on_bare_return_in_migration(self):
+        assert "EXC403" in _codes("""
+            def attempt():
+                try:
+                    copy_state()
+                except OSError:
+                    return
+        """, path="src/repro/migration/executor.py")
+
+    def test_exc403_silent_when_failure_is_recorded(self):
+        assert "EXC403" not in _codes("""
+            try:
+                evacuate()
+            except MigrationError:
+                attempts -= 1
+        """, path="src/repro/resilience/controller.py")
+
+    def test_exc403_silent_outside_recovery_scopes(self):
+        assert "EXC403" not in _codes("""
+            try:
+                render()
+            except ValueError:
+                pass
+        """, path="src/repro/telemetry/recorder.py")
+
 
 # --- suppression --------------------------------------------------------
 

@@ -1,0 +1,429 @@
+"""Resilience units: health FSM, degradation ladder, recovery planning."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.builder import ChainBuilder
+from repro.chain.nf import DeviceKind
+from repro.errors import ConfigurationError
+from repro.harness.scenarios import figure1
+from repro.migration.cost import MigrationCostModel
+from repro.resilience import (DEFAULT_PRIORITY_CLASSES, DegradationConfig,
+                              DegradationLadder, HealthConfig, HealthState,
+                              HealthTracker, IngressShedder, PriorityClass,
+                              RecoveryConfig, StandbyAwareCostModel,
+                              StandbyPool, plan_evacuation,
+                              reachable_capacity_bps)
+from repro.traffic.packet import Packet
+from repro.units import gbps
+
+#: Jitter-free watchdog config so thresholds land exactly.
+EXACT = HealthConfig(suspect_after_s=0.004, failed_after_s=0.008,
+                     recover_confirm_s=0.004, watchdog_jitter_frac=0.0)
+
+
+class TestHealthConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HealthConfig(suspect_after_s=0.0)
+        with pytest.raises(ConfigurationError):
+            HealthConfig(suspect_after_s=0.01, failed_after_s=0.01)
+        with pytest.raises(ConfigurationError):
+            HealthConfig(min_reference_delta=0)
+        with pytest.raises(ConfigurationError):
+            HealthConfig(watchdog_jitter_frac=1.0)
+
+
+class TestHealthTracker:
+    def test_unobserved_entity_is_healthy(self):
+        tracker = HealthTracker(EXACT)
+        assert tracker.state_of("device:smartnic") is HealthState.HEALTHY
+        assert tracker.entities() == []
+
+    def test_first_observation_only_seeds(self):
+        tracker = HealthTracker(EXACT)
+        # Even a zero-progress first sample establishes watermarks,
+        # never a stall (there is no history to stall against).
+        assert tracker.observe("x", 0, 100, 0.0) is HealthState.HEALTHY
+        assert tracker.transitions == []
+
+    def test_stall_under_load_walks_suspect_then_failed(self):
+        tracker = HealthTracker(EXACT)
+        tracker.observe("x", 1, 10, 0.000)
+        tracker.observe("x", 1, 20, 0.002)  # stall clock starts here
+        assert tracker.observe("x", 1, 30, 0.006) is HealthState.SUSPECT
+        assert tracker.observe("x", 1, 40, 0.010) is HealthState.FAILED
+        assert [t.state for t in tracker.transitions] == \
+            [HealthState.SUSPECT, HealthState.FAILED]
+        assert all("no progress" in t.reason for t in tracker.transitions)
+
+    def test_one_late_observation_passes_through_both_thresholds(self):
+        # A single sample far past both thresholds must not get stuck
+        # at SUSPECT: detection latency is bounded by observation
+        # cadence, not doubled by it.
+        tracker = HealthTracker(EXACT)
+        tracker.observe("x", 1, 10, 0.000)
+        tracker.observe("x", 1, 20, 0.002)
+        assert tracker.observe("x", 1, 30, 0.012) is HealthState.FAILED
+        assert len(tracker.transitions) == 2
+
+    def test_idle_entity_never_suspected(self):
+        tracker = HealthTracker(EXACT)
+        tracker.observe("x", 5, 10, 0.0)
+        for i in range(1, 10):
+            # Reference flat: nothing was offered, flat progress is idle.
+            assert tracker.observe("x", 5, 10, i * 0.004) \
+                is HealthState.HEALTHY
+        assert tracker.transitions == []
+
+    def test_reference_delta_threshold_gates_stall(self):
+        config = replace(EXACT, min_reference_delta=100)
+        tracker = HealthTracker(config)
+        tracker.observe("x", 1, 0, 0.0)
+        for i in range(1, 8):
+            tracker.observe("x", 1, 50, i * 0.004)  # advance of 50 < 100
+        assert tracker.state_of("x") is HealthState.HEALTHY
+
+    def test_progress_withdraws_suspicion(self):
+        tracker = HealthTracker(EXACT)
+        tracker.observe("x", 1, 10, 0.000)
+        tracker.observe("x", 1, 20, 0.002)
+        tracker.observe("x", 1, 30, 0.006)
+        assert tracker.state_of("x") is HealthState.SUSPECT
+        assert tracker.observe("x", 2, 40, 0.008) is HealthState.HEALTHY
+        assert tracker.transitions[-1].reason == "progress resumed"
+
+    def test_recovery_needs_sustained_progress(self):
+        tracker = HealthTracker(EXACT)
+        tracker.observe("x", 1, 10, 0.000)
+        tracker.observe("x", 1, 20, 0.002)
+        tracker.observe("x", 1, 30, 0.012)
+        assert tracker.state_of("x") is HealthState.FAILED
+        # First progress only *starts* the confirmation dwell.
+        assert tracker.observe("x", 2, 40, 0.014) is HealthState.RECOVERING
+        assert tracker.observe("x", 3, 50, 0.016) is HealthState.RECOVERING
+        assert tracker.observe("x", 4, 60, 0.020) is HealthState.HEALTHY
+        assert tracker.transitions[-1].reason == "recovery confirmed"
+
+    def test_relapse_during_confirmation_fails_again(self):
+        tracker = HealthTracker(EXACT)
+        tracker.observe("x", 1, 10, 0.000)
+        tracker.observe("x", 1, 20, 0.002)
+        tracker.observe("x", 1, 30, 0.012)
+        tracker.observe("x", 2, 40, 0.014)  # RECOVERING
+        tracker.observe("x", 2, 50, 0.016)  # stall clock restarts
+        assert tracker.observe("x", 2, 60, 0.020) is HealthState.FAILED
+        assert tracker.transitions[-1].reason == \
+            "stalled again during recovery confirmation"
+
+    def test_exempt_freezes_state_and_resets_stall(self):
+        tracker = HealthTracker(EXACT)
+        tracker.observe("x", 1, 10, 0.000)
+        tracker.observe("x", 1, 20, 0.002)
+        tracker.observe("x", 1, 30, 0.006)
+        assert tracker.state_of("x") is HealthState.SUSPECT
+        # Paused for migration: no progress expected, state frozen.
+        for i in range(4, 10):
+            assert tracker.observe("x", 1, i * 10, i * 0.002,
+                                   exempt=True) is HealthState.SUSPECT
+        assert len(tracker.transitions) == 1
+        # The stall window restarts from scratch afterwards.
+        tracker.observe("x", 1, 200, 0.030)
+        tracker.observe("x", 1, 210, 0.032)
+        assert tracker.state_of("x") is HealthState.SUSPECT
+        assert tracker.observe("x", 1, 220, 0.040) is HealthState.FAILED
+
+    def test_force_failed_pins_and_is_idempotent(self):
+        tracker = HealthTracker(EXACT)
+        tracker.force_failed("nf:monitor", 0.01, "stranded")
+        assert tracker.state_of("nf:monitor") is HealthState.FAILED
+        assert tracker.transitions[-1].reason == "stranded"
+        tracker.force_failed("nf:monitor", 0.02, "stranded")
+        assert len(tracker.transitions) == 1
+
+    def test_in_state_lists_entities(self):
+        tracker = HealthTracker(EXACT)
+        tracker.observe("a", 1, 10, 0.0)
+        tracker.force_failed("b", 0.01, "test")
+        assert tracker.in_state(HealthState.HEALTHY) == ["a"]
+        assert tracker.in_state(HealthState.FAILED) == ["b"]
+
+    def test_jitter_is_deterministic_bounded_and_per_entity(self):
+        config = HealthConfig(watchdog_jitter_frac=0.1, seed=0)
+        first, second = HealthTracker(config), HealthTracker(config)
+        for entity in ("device:smartnic", "device:cpu", "nf:monitor"):
+            assert first.suspect_after_s(entity) == \
+                second.suspect_after_s(entity)
+            lo = 0.9 * config.suspect_after_s
+            hi = 1.1 * config.suspect_after_s
+            assert lo <= first.suspect_after_s(entity) < hi
+        assert first.suspect_after_s("device:smartnic") != \
+            first.suspect_after_s("device:cpu")
+
+    def test_zero_jitter_uses_configured_thresholds(self):
+        tracker = HealthTracker(EXACT)
+        assert tracker.suspect_after_s("anything") == EXACT.suspect_after_s
+        assert tracker.failed_after_s("anything") == EXACT.failed_after_s
+
+
+class TestPriorityClasses:
+    def test_class_validation(self):
+        with pytest.raises(ConfigurationError):
+            PriorityClass("", 0.5)
+        with pytest.raises(ConfigurationError):
+            PriorityClass("x", 0.0)
+        with pytest.raises(ConfigurationError):
+            PriorityClass("x", 1.5)
+
+    def test_shedder_validation(self):
+        with pytest.raises(ConfigurationError):
+            IngressShedder([])
+        with pytest.raises(ConfigurationError):
+            IngressShedder([PriorityClass("a", 0.5),
+                            PriorityClass("b", 0.4)])
+        with pytest.raises(ConfigurationError):
+            IngressShedder([PriorityClass("a", 1.0, sheddable=False)])
+
+    def test_degradation_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradationConfig(max_shed_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            DegradationConfig(headroom=1.0)
+        with pytest.raises(ConfigurationError):
+            DegradationConfig(dwell_s=-0.001)
+
+
+class TestIngressShedder:
+    @staticmethod
+    def packets(count, flow="f0"):
+        return [Packet(seq=i, size_bytes=512, arrival_s=i * 1e-6,
+                       flow_id=flow) for i in range(count)]
+
+    def test_classification_is_deterministic(self):
+        a, b = IngressShedder(seed=0), IngressShedder(seed=0)
+        for packet in self.packets(200):
+            assert a.classify(packet).name == b.classify(packet).name
+
+    def test_classification_tracks_shares(self):
+        shedder = IngressShedder(seed=0)
+        counts = {cls.name: 0 for cls in DEFAULT_PRIORITY_CLASSES}
+        total = 4000
+        for packet in self.packets(total):
+            counts[shedder.classify(packet).name] += 1
+        for cls in DEFAULT_PRIORITY_CLASSES:
+            assert abs(counts[cls.name] / total - cls.share) < 0.05
+
+    def test_levels_shed_lowest_classes_first(self):
+        shedder = IngressShedder()
+        assert shedder.max_level() == 2
+        assert shedder.shed_share_at(0) == 0.0
+        assert shedder.shed_share_at(1) == pytest.approx(0.3)
+        assert shedder.shed_share_at(2) == pytest.approx(0.8)
+
+    def test_set_level_clamps(self):
+        shedder = IngressShedder()
+        shedder.set_level(99)
+        assert shedder.level == 2
+        shedder.set_level(-3)
+        assert shedder.level == 0
+
+    def test_admit_sheds_only_engaged_classes(self):
+        shedder = IngressShedder(seed=0)
+        shedder.set_level(1)
+        for packet in self.packets(2000):
+            admitted = shedder.admit(packet)
+            assert admitted == (shedder.classify(packet).name != "low")
+        assert shedder.counters["low"].shed_packets > 0
+        assert shedder.counters["normal"].shed_packets == 0
+        assert shedder.counters["high"].shed_packets == 0
+        assert shedder.protected_shed_packets() == 0
+        # Offered counts admitted + shed alike.
+        assert sum(c.offered_packets
+                   for c in shedder.counters.values()) == 2000
+        assert 0.0 < shedder.shed_fraction() < 0.5
+
+    def test_protected_class_survives_deepest_level(self):
+        shedder = IngressShedder(seed=0)
+        shedder.set_level(shedder.max_level())
+        for packet in self.packets(2000):
+            shedder.admit(packet)
+        assert shedder.counters["high"].shed_packets == 0
+        assert shedder.protected_shed_packets() == 0
+        assert shedder.counters["low"].shed_packets > 0
+        assert shedder.counters["normal"].shed_packets > 0
+
+
+class TestDegradationLadder:
+    def test_required_level_is_smallest_sufficient(self):
+        ladder = DegradationLadder(IngressShedder())
+        assert ladder.required_level(gbps(1.0), gbps(2.0)) == 0
+        # 2.2 offered vs 2.0 * 0.95 usable: shed need ~0.136 < 0.3.
+        assert ladder.required_level(gbps(2.2), gbps(2.0)) == 1
+        assert ladder.required_level(gbps(100.0), gbps(2.0)) == 2
+        assert ladder.required_level(0.0, gbps(2.0)) == 0
+
+    def test_required_level_respects_shed_cap(self):
+        config = DegradationConfig(max_shed_fraction=0.25)
+        ladder = DegradationLadder(IngressShedder(), config)
+        # Even level 1 (30% share) would shed past the cap: stay at 0.
+        assert ladder.required_level(gbps(100.0), gbps(2.0)) == 0
+
+    def test_escalation_is_immediate(self):
+        shedder = IngressShedder()
+        ladder = DegradationLadder(shedder)
+        assert ladder.update(gbps(2.2), gbps(2.0), 0.0) == 1
+        assert shedder.level == 1
+        assert ladder.level_changes == [(0.0, 1)]
+
+    def test_deescalation_waits_out_dwell(self):
+        shedder = IngressShedder()
+        ladder = DegradationLadder(shedder,
+                                   DegradationConfig(dwell_s=0.008))
+        ladder.update(gbps(2.2), gbps(2.0), 0.000)
+        # Load drops; the ladder must not flap back instantly.
+        assert ladder.update(gbps(1.0), gbps(2.0), 0.002) == 1
+        assert ladder.update(gbps(1.0), gbps(2.0), 0.006) == 1
+        assert ladder.update(gbps(1.0), gbps(2.0), 0.010) == 0
+        assert ladder.level_changes == [(0.000, 1), (0.010, 0)]
+
+    def test_reescalation_resets_dwell(self):
+        ladder = DegradationLadder(IngressShedder(),
+                                   DegradationConfig(dwell_s=0.008))
+        ladder.update(gbps(2.2), gbps(2.0), 0.000)
+        ladder.update(gbps(1.0), gbps(2.0), 0.002)  # dwell starts
+        ladder.update(gbps(2.2), gbps(2.0), 0.004)  # back under pressure
+        # The earlier quiet spell must not count toward this dwell.
+        assert ladder.update(gbps(1.0), gbps(2.0), 0.011) == 1
+        assert ladder.update(gbps(1.0), gbps(2.0), 0.020) == 0
+
+    def test_degraded_time_accumulates_while_level_nonzero(self):
+        ladder = DegradationLadder(IngressShedder())
+        ladder.update(gbps(2.2), gbps(2.0), 0.000)
+        ladder.update(gbps(2.2), gbps(2.0), 0.004)
+        ladder.update(gbps(2.2), gbps(2.0), 0.010)
+        assert ladder.degraded_time_s == pytest.approx(0.010)
+
+
+class TestRecoveryPlanning:
+    def test_recovery_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RecoveryConfig(max_attempts_per_device=0)
+        with pytest.raises(ConfigurationError):
+            RecoveryConfig(standby_budget_bytes=-1)
+
+    def test_evacuation_moves_every_nic_nf_to_cpu(self):
+        placement = figure1().placement
+        planning = plan_evacuation(placement, gbps(1.0),
+                                   DeviceKind.SMARTNIC)
+        plan = planning.plan
+        assert [a.nf_name for a in plan.actions] == \
+            ["logger", "monitor", "firewall"]
+        assert all(a.target is DeviceKind.CPU for a in plan.actions)
+        assert plan.policy == "evacuation"
+        assert planning.unrecoverable == ()
+        for nf in plan.after.chain:
+            assert plan.after.device_of(nf.name) is DeviceKind.CPU
+        # All four NFs on the CPU: capacity 1/(1/4 + 1/4 + 1/10 + 1/4).
+        assert planning.survivor_capacity_bps == \
+            pytest.approx(gbps(1.0) / 0.85)
+
+    def test_feasible_load_marks_plan_alleviating(self):
+        planning = plan_evacuation(figure1().placement, gbps(1.0),
+                                   DeviceKind.SMARTNIC)
+        assert planning.plan.alleviates
+
+    def test_overloaded_survivor_defers_to_the_ladder(self):
+        planning = plan_evacuation(figure1().placement, gbps(1.8),
+                                   DeviceKind.SMARTNIC)
+        assert not planning.plan.alleviates
+        assert any("degradation ladder" in note
+                   for note in planning.plan.notes)
+
+    def test_nic_only_nf_is_unrecoverable(self):
+        profiles = dict(catalog.FIGURE1_SCENARIO)
+        profiles["monitor"] = replace(profiles["monitor"],
+                                      cpu_capable=False)
+        __, placement = (
+            ChainBuilder("pinned", profiles=profiles)
+            .cpu("load_balancer").nic("logger").nic("monitor")
+            .nic("firewall").build(egress=DeviceKind.CPU))
+        planning = plan_evacuation(placement, gbps(1.0),
+                                   DeviceKind.SMARTNIC)
+        assert planning.unrecoverable == ("monitor",)
+        assert [a.nf_name for a in planning.plan.actions] == \
+            ["logger", "firewall"]
+        assert any("unrecoverable: monitor" in note
+                   for note in planning.plan.notes)
+
+
+class TestReachableCapacity:
+    def test_figure1_reaches_the_border_move_optimum(self):
+        # One border move away: logger joins the load balancer on the
+        # CPU, giving min(1/(1/4+1/4), 1/(1/3.2+1/10)) = 2.0 Gbps.
+        assert reachable_capacity_bps(figure1().placement) == \
+            pytest.approx(gbps(2.0))
+
+    def test_never_below_current_capacity(self):
+        from repro.resources.model import LoadModel
+        placement = figure1().placement
+        current = LoadModel(placement, 0.0).chain_capacity()
+        assert reachable_capacity_bps(placement) >= current
+        evacuated = placement
+        for name in ("logger", "monitor", "firewall"):
+            evacuated = evacuated.moved(name, DeviceKind.CPU)
+        assert reachable_capacity_bps(evacuated) >= \
+            LoadModel(evacuated, 0.0).chain_capacity()
+
+
+class TestStandby:
+    MONITOR_STATE = 262144
+    FIREWALL_STATE = 65536
+
+    def test_greedy_picks_largest_state_first(self):
+        pool = StandbyPool(figure1().placement, DeviceKind.SMARTNIC,
+                           self.MONITOR_STATE)
+        assert pool.prewarmed == frozenset({"monitor"})
+        assert pool.spent_bytes == self.MONITOR_STATE
+
+    def test_greedy_continues_past_oversized_candidates(self):
+        # Monitor does not fit a 100 KiB budget; firewall still does.
+        pool = StandbyPool(figure1().placement, DeviceKind.SMARTNIC,
+                           100_000)
+        assert pool.prewarmed == frozenset({"firewall"})
+        assert pool.spent_bytes == self.FIREWALL_STATE
+
+    def test_stateless_nfs_never_prewarmed(self):
+        pool = StandbyPool(figure1().placement, DeviceKind.SMARTNIC,
+                           10 * 1024 * 1024)
+        assert pool.prewarmed == frozenset({"monitor", "firewall"})
+
+    def test_zero_budget_prewarms_nothing(self):
+        pool = StandbyPool(figure1().placement, DeviceKind.SMARTNIC, 0)
+        assert pool.prewarmed == frozenset()
+        assert pool.spent_bytes == 0
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StandbyPool(figure1().placement, DeviceKind.SMARTNIC, -1)
+
+    def test_warm_replica_moves_no_state(self):
+        scenario = figure1()
+        pcie = scenario.build_server().pcie
+        monitor = catalog.FIGURE1_SCENARIO["monitor"]
+        base = MigrationCostModel().estimate(monitor, pcie,
+                                             active_flows=10)
+        warm = StandbyAwareCostModel(
+            prewarmed=frozenset({"monitor"})).estimate(monitor, pcie,
+                                                       active_flows=10)
+        assert warm.transfer_s < base.transfer_s
+
+    def test_cold_nfs_cost_exactly_the_base_estimate(self):
+        scenario = figure1()
+        pcie = scenario.build_server().pcie
+        logger = catalog.FIGURE1_SCENARIO["logger"]
+        base = MigrationCostModel().estimate(logger, pcie)
+        warm = StandbyAwareCostModel(
+            prewarmed=frozenset({"monitor"})).estimate(logger, pcie)
+        assert warm == base
