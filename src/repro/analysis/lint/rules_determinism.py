@@ -171,6 +171,62 @@ class AddressOrderRule(LintRule):
 
 
 @register
+class SimStatePickleRule(LintRule):
+    """DET106: pickling/deepcopying live simulation state."""
+
+    code = "DET106"
+    name = "sim-state-pickle"
+    severity = Severity.ERROR
+    rationale = ("pickle and copy.deepcopy happily serialize an Engine, "
+                 "an EventQueue, or an RNG — closures, bound methods, "
+                 "heap entries and all — producing snapshots that are "
+                 "huge, version-fragile, and wrong to restore (a copied "
+                 "closure still points at the old object graph). "
+                 "Checkpointing goes through repro.checkpoint's explicit "
+                 "snapshot_state()/restore_state() hooks instead.")
+
+    _PICKLE_FNS = ("pickle.dump", "pickle.dumps", "pickle.load",
+                   "pickle.loads", "copy.deepcopy", "deepcopy")
+    _STATE_MARKERS = ("engine", "queue", "rng", "random")
+
+    def _names_sim_state(self, node: ast.AST) -> Optional[str]:
+        """A name/attribute in ``node`` that smells like sim state."""
+        for inner in ast.walk(node):
+            text = None
+            if isinstance(inner, ast.Name):
+                text = inner.id
+            elif isinstance(inner, ast.Attribute):
+                text = inner.attr
+            if text is None:
+                continue
+            lowered = text.lower()
+            for marker in self._STATE_MARKERS:
+                if marker in lowered:
+                    return text
+        return None
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        """Flag pickle/deepcopy calls whose argument is sim state."""
+        if ctx.module is not None and \
+                ctx.module.startswith("repro.checkpoint"):
+            # The one module allowed to serialize simulation state.
+            return
+        chain = dotted_name(node.func)
+        matched = _chain_matches(chain, self._PICKLE_FNS)
+        if matched is None:
+            return
+        for arg in node.args:
+            named = self._names_sim_state(arg)
+            if named is not None:
+                ctx.report(self, node,
+                           f"{matched}({named}, ...) serializes live "
+                           "simulation state; checkpoint through "
+                           "repro.checkpoint snapshot_state()/"
+                           "restore_state() hooks instead")
+                return
+
+
+@register
 class SetIterationRule(LintRule):
     """DET105: iterating a set where order can leak into behaviour."""
 

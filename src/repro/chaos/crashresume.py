@@ -1,0 +1,138 @@
+"""SIGKILL-and-resume check: the chaos journal survives a dead process.
+
+This automates the scenario the write-ahead journal exists for: a
+campaign process dies without warning (SIGKILL — no ``atexit``, no
+``finally``), leaving the journal with a possibly torn trailing record,
+and a fresh process resumes from it.  The check passes only if the
+merged report renders **bit-exact** against an uninterrupted campaign —
+the property ``python -m repro crash-resume`` asserts in CI.
+
+The torn tail is additionally forced deterministically (a half-written
+record is appended after the kill) so the tolerance path is exercised
+on every check, not just when the kill happens to land mid-write.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+import warnings
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..checkpoint import read_journal
+from ..errors import CheckpointError
+from .runner import ChaosConfig, ChaosRunner
+
+#: Seconds between journal polls while the campaign subprocess runs.
+#: The bounded retry count caps total waiting — no wall-clock deadline
+#: arithmetic, so the check stays deterministic in what it *does* even
+#: though the kill's landing point depends on scheduling.
+_POLL_INTERVAL_S = 0.05
+_MAX_POLLS = 1200
+
+
+@dataclass
+class CrashResumeOutcome:
+    """What the crash-resume check observed."""
+
+    runs: int
+    seed: int
+    #: run-result records intact in the journal when the kill landed.
+    journaled_before_kill: int
+    #: Whether the subprocess was actually SIGKILLed mid-flight (False
+    #: when it finished before the poll caught it — the resume then
+    #: replays every run, which still must match).
+    killed: bool
+    #: Runs the resumed campaign replayed from the journal.
+    replayed_runs: int
+    #: Rendered report of the resumed campaign.
+    resumed: str
+    #: Rendered report of the uninterrupted reference campaign.
+    reference: str
+
+    @property
+    def match(self) -> bool:
+        """Whether the merged report is bit-exact vs the reference."""
+        return self.resumed == self.reference
+
+    def render(self) -> str:
+        """One-line verdict for the CLI."""
+        verdict = "bit-exact" if self.match else "MISMATCH"
+        how = "SIGKILLed" if self.killed else "finished before the kill"
+        return (f"crash-resume: {self.runs} runs (seed {self.seed}); "
+                f"campaign {how} with {self.journaled_before_kill} "
+                f"journaled run(s); resume replayed {self.replayed_runs} "
+                f"and re-ran {self.runs - self.replayed_runs}; "
+                f"merged report {verdict} vs uninterrupted reference")
+
+
+def _count_run_results(journal_path: str) -> int:
+    """Intact run-result records currently in the journal."""
+    if not os.path.exists(journal_path):
+        return 0
+    return len(read_journal(journal_path,
+                            tolerate_torn_tail=True).of_kind("run-result"))
+
+
+def run_crash_resume_check(runs: int = 6, seed: int = 7,
+                           duration_s: float = 0.02,
+                           journal_path: str = "crash-resume-journal.jsonl",
+                           kill_after_runs: int = 2) -> CrashResumeOutcome:
+    """SIGKILL a campaign subprocess mid-flight and resume its journal.
+
+    Launches ``python -m repro chaos --journal ...`` as a subprocess,
+    polls the journal until ``kill_after_runs`` run-results are intact,
+    SIGKILLs it, deterministically appends a torn record, resumes the
+    campaign in-process from the journal, and compares the merged
+    report against an uninterrupted reference campaign.
+    """
+    config = ChaosConfig(duration_s=duration_s)
+    src_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    command = [sys.executable, "-m", "repro", "chaos",
+               "--runs", str(runs), "--seed", str(seed),
+               "--duration", str(duration_s),
+               "--journal", journal_path, "--checkpoint-every", "1"]
+    process = subprocess.Popen(command, env=env,
+                               stdout=subprocess.DEVNULL,
+                               stderr=subprocess.DEVNULL)
+    killed = False
+    try:
+        for _ in range(_MAX_POLLS):
+            if _count_run_results(journal_path) >= kill_after_runs:
+                break
+            if process.poll() is not None:
+                break
+            time.sleep(_POLL_INTERVAL_S)
+        if process.poll() is None:
+            process.send_signal(signal.SIGKILL)
+            killed = True
+    finally:
+        process.wait()
+    if not os.path.exists(journal_path):
+        raise CheckpointError(
+            f"campaign subprocess exited (code {process.returncode}) "
+            f"without writing {journal_path}")
+    journaled = _count_run_results(journal_path)
+    # Force the torn-write path: whatever state the kill left the file
+    # in, the resume must shrug off a half-written final record.
+    with open(journal_path, "a", encoding="utf-8") as handle:
+        handle.write('{"crc": 0, "record": {"kind": "run-res')
+    resumer = ChaosRunner(runs=runs, seed=seed, config=config,
+                          resume_from=journal_path, checkpoint_every=1)
+    with warnings.catch_warnings():
+        # The torn tail we just planted warns by design.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        resumed = resumer.run()
+    reference = ChaosRunner(runs=runs, seed=seed, config=config).run()
+    return CrashResumeOutcome(
+        runs=runs, seed=seed, journaled_before_kill=journaled,
+        killed=killed, replayed_runs=resumer.replayed_runs,
+        resumed=resumed.render(), reference=reference.render())

@@ -53,6 +53,15 @@ class Violation:
     def __str__(self) -> str:
         return f"{self.invariant}: {self.detail}"
 
+    def to_dict(self) -> dict:
+        """JSON-friendly form for journal records."""
+        return {"invariant": self.invariant, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Violation":
+        """Inverse of :meth:`to_dict` (journal round-trip)."""
+        return cls(invariant=data["invariant"], detail=data["detail"])
+
 
 def check_invariants(network: ChainNetwork, server: Server,
                      executor: Optional[MigrationExecutor] = None

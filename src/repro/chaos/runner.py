@@ -23,9 +23,12 @@ violating run replays exactly from its reported seed.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
+from ..checkpoint import (JournalWriter, canonical_json, read_journal,
+                          record_checksum)
 from ..core.operator import HardenedController, HardeningConfig
 from ..core.reverse import PullbackConfig
 from ..errors import ConfigurationError
@@ -74,6 +77,52 @@ class ChaosRunResult:
         """Whether the scenario upheld every invariant."""
         return not self.violations
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for journal records.
+
+        Every field round-trips bit-exact (ints, and floats via JSON's
+        repr-based serialization), so a report merged from replayed
+        records renders identically to the uninterrupted one.
+        """
+        return {
+            "seed": self.seed,
+            "schedule": self.schedule.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "injected": self.injected,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "fault_losses": self.fault_losses,
+            "migrations": self.migrations,
+            "attempts": self.attempts,
+            "plans_aborted": self.plans_aborted,
+            "stale_ticks": self.stale_ticks,
+            "shed": self.shed,
+            "protected_shed": self.protected_shed,
+            "recoveries": self.recoveries,
+            "abandoned": self.abandoned,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosRunResult":
+        """Inverse of :meth:`to_dict` (journal replay)."""
+        return cls(
+            seed=int(data["seed"]),
+            schedule=ChaosSchedule.from_dict(data["schedule"]),
+            violations=[Violation.from_dict(v)
+                        for v in data["violations"]],
+            injected=int(data["injected"]),
+            delivered=int(data["delivered"]),
+            dropped=int(data["dropped"]),
+            fault_losses=int(data["fault_losses"]),
+            migrations=int(data["migrations"]),
+            attempts=int(data["attempts"]),
+            plans_aborted=int(data["plans_aborted"]),
+            stale_ticks=int(data["stale_ticks"]),
+            shed=int(data["shed"]),
+            protected_shed=int(data["protected_shed"]),
+            recoveries=int(data["recoveries"]),
+            abandoned=int(data["abandoned"]))
+
 
 @dataclass
 class ChaosReport:
@@ -117,22 +166,126 @@ class ChaosReport:
         return "\n".join(lines)
 
 
+@dataclass
+class ChaosScenario:
+    """One fully wired scenario: faults applied, not yet run.
+
+    Exposed so checkpoint tests and the crash-resume check can build
+    the *identical* seeded scenario the campaign would run, snapshot it
+    mid-flight, and resume it in a fresh process.
+    """
+
+    seed: int
+    schedule: ChaosSchedule
+    sim: SimulationRunner
+    hardened: HardenedController
+    resilient: Optional[ResilientController]
+    injector: FaultInjector
+
+
 class ChaosRunner:
-    """Drives ``runs`` randomized scenarios and collects violations."""
+    """Drives ``runs`` randomized scenarios and collects violations.
+
+    With ``journal_path`` set, campaign progress is logged to a
+    write-ahead journal (append-only JSONL, fsync'd per record): a
+    ``campaign-start`` fingerprint, one ``run-result`` per completed
+    scenario, a ``campaign-progress`` digest every ``checkpoint_every``
+    executed runs, and a ``campaign-end`` marker.  ``resume_from``
+    replays the completed runs out of such a journal — each is restored
+    bit-exact from its record instead of re-simulated — and the campaign
+    continues from the first run the journal does not cover.
+    """
 
     def __init__(self, runs: int = 20, seed: int = 7,
-                 config: Optional[ChaosConfig] = None) -> None:
+                 config: Optional[ChaosConfig] = None,
+                 journal_path: Optional[str] = None,
+                 resume_from: Optional[str] = None,
+                 checkpoint_every: int = 5) -> None:
         if runs < 1:
             raise ConfigurationError("need at least one chaos run")
+        if checkpoint_every < 1:
+            raise ConfigurationError("checkpoint interval must be >= 1")
         self.runs = runs
         self.seed = seed
         self.config = config or ChaosConfig()
+        #: Journal to append to; defaults to the resume source so an
+        #: interrupted campaign keeps extending the same history.
+        self.journal_path = journal_path or resume_from
+        self.resume_from = resume_from
+        self.checkpoint_every = checkpoint_every
+        #: Runs restored from the journal by the last :meth:`run` call.
+        self.replayed_runs = 0
+
+    # -- journal protocol --------------------------------------------------
+
+    def _fingerprint(self) -> Dict[str, object]:
+        """Campaign identity: resuming under different parameters would
+        silently splice incompatible runs into one report."""
+        return {"runs": self.runs, "seed": self.seed,
+                "config": self.config.to_dict()}
+
+    def _replay_journal(self) -> Dict[int, ChaosRunResult]:
+        """Completed results by run index, validated against this
+        campaign's fingerprint."""
+        outcome = read_journal(self.resume_from, tolerate_torn_tail=True)
+        if outcome.dropped_tail:
+            warnings.warn(
+                f"journal {self.resume_from}: {outcome.dropped_detail}; "
+                f"resuming from the last intact record",
+                RuntimeWarning, stacklevel=3)
+        starts = outcome.of_kind("campaign-start")
+        if not starts:
+            raise ConfigurationError(
+                f"journal {self.resume_from} has no campaign-start record")
+        recorded = {key: starts[0][key] for key in ("runs", "seed", "config")}
+        expected = self._fingerprint()
+        if canonical_json(recorded) != canonical_json(expected):
+            raise ConfigurationError(
+                f"journal {self.resume_from} was written by a different "
+                f"campaign: recorded {recorded}, resuming {expected}")
+        completed: Dict[int, ChaosRunResult] = {}
+        for record in outcome.of_kind("run-result"):
+            completed[int(record["index"])] = \
+                ChaosRunResult.from_dict(record["result"])
+        return completed
 
     def run(self) -> ChaosReport:
         """Run every scenario; never raises on violations (report them)."""
+        completed: Dict[int, ChaosRunResult] = {}
+        if self.resume_from is not None:
+            completed = self._replay_journal()
+        self.replayed_runs = 0
+        writer: Optional[JournalWriter] = None
+        if self.journal_path is not None:
+            mode = "append" if self.resume_from is not None else "truncate"
+            writer = JournalWriter(self.journal_path, mode=mode)
+            if self.resume_from is None:
+                writer.append({"kind": "campaign-start",
+                               **self._fingerprint()})
         report = ChaosReport()
-        for index in range(self.runs):
-            report.results.append(self.run_one(self.seed + index))
+        try:
+            for index in range(self.runs):
+                if index in completed:
+                    report.results.append(completed[index])
+                    self.replayed_runs += 1
+                    continue
+                result = self.run_one(self.seed + index)
+                report.results.append(result)
+                if writer is not None:
+                    writer.append({"kind": "run-result", "index": index,
+                                   "result": result.to_dict()})
+                    if (index + 1) % self.checkpoint_every == 0:
+                        writer.append({
+                            "kind": "campaign-progress",
+                            "completed": index + 1,
+                            "digest": record_checksum(
+                                [r.to_dict() for r in report.results])})
+            if writer is not None:
+                writer.append({"kind": "campaign-end", "runs": self.runs,
+                               "violations": report.total_violations})
+        finally:
+            if writer is not None:
+                writer.close()
         return report
 
     def run_one(self, run_seed: int) -> ChaosRunResult:
@@ -180,11 +333,16 @@ class ChaosRunner:
 
         return profile
 
-    def _execute(self, run_seed: int,
-                 schedule: ChaosSchedule) -> ChaosRunResult:
+    def build_scenario(self, run_seed: int,
+                       schedule: Optional[ChaosSchedule] = None
+                       ) -> ChaosScenario:
+        """Wire one seeded scenario, faults applied but not yet run."""
+        if schedule is None:
+            schedule = ChaosSchedule.generate(
+                [nf.name for nf in figure1().chain], self.config,
+                seed=run_seed)
         rng = random.Random(run_seed)
-        scenario = figure1()
-        server = scenario.build_server()
+        server = figure1().build_server()
         duration = self.config.duration_s
         profile = self._profile(rng, [f for f in schedule.faults
                                       if f.kind == "overload"])
@@ -204,7 +362,7 @@ class ChaosRunner:
             failure_hook=ProbabilisticFailure(
                 self.config.migration_failure_rate, seed=run_seed))
         resilient: Optional[ResilientController] = None
-        controller = hardened
+        controller: object = hardened
         if self.config.resilient:
             resilient = ResilientController(hardened, ResilienceConfig())
             controller = resilient
@@ -212,6 +370,18 @@ class ChaosRunner:
                                monitor_period_s=_MONITOR_PERIOD_S)
         injector = FaultInjector(sim.network, sim.engine, seed=run_seed)
         schedule.apply(injector)
+        return ChaosScenario(seed=run_seed, schedule=schedule, sim=sim,
+                             hardened=hardened, resilient=resilient,
+                             injector=injector)
+
+    def _execute(self, run_seed: int,
+                 schedule: ChaosSchedule) -> ChaosRunResult:
+        scenario = self.build_scenario(run_seed, schedule)
+        sim = scenario.sim
+        server = sim.server
+        hardened = scenario.hardened
+        resilient = scenario.resilient
+        injector = scenario.injector
         result = sim.run()
         # Run the engine to exhaustion: fault restores, retry backoffs,
         # and packet events past the horizon all land before checking.

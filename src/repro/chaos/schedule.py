@@ -20,7 +20,7 @@ because they strike migration *attempts*, not wall-clock times.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..chain.nf import DeviceKind
@@ -86,6 +86,15 @@ class ChaosConfig:
         if not (0.0 <= self.migration_failure_rate <= 1.0):
             raise ConfigurationError("failure rate must be in [0, 1]")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (journal fingerprinting and round-trip)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosConfig":
+        """Inverse of :meth:`to_dict` (validates on construction)."""
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class ChaosFault:
@@ -112,6 +121,18 @@ class ChaosFault:
         if self.magnitude:
             out["magnitude"] = self.magnitude
         return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosFault":
+        """Inverse of :meth:`as_dict` (journal round-trip)."""
+        device = data.get("device")
+        return cls(
+            kind=str(data["kind"]),
+            at_s=float(data["at_s"]),
+            duration_s=float(data["duration_s"]),
+            nf_name=data.get("nf"),
+            device=DeviceKind(device) if device is not None else None,
+            magnitude=float(data.get("magnitude", 0.0)))
 
 
 @dataclass
@@ -211,6 +232,23 @@ class ChaosSchedule:
             else:  # pragma: no cover - generate() only emits the above
                 raise ConfigurationError(f"unknown fault kind {fault.kind!r}")
         return events
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form for journal records."""
+        return {
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "faults": [fault.as_dict() for fault in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ChaosSchedule":
+        """Inverse of :meth:`to_dict` (journal round-trip)."""
+        return cls(
+            seed=int(data["seed"]),
+            config=ChaosConfig.from_dict(data["config"]),
+            faults=[ChaosFault.from_dict(fault)
+                    for fault in data["faults"]])
 
     def describe(self) -> str:
         """One line per fault, for reports."""

@@ -1,0 +1,38 @@
+"""Crash-safe campaigns: write-ahead run journal + quiescent snapshots.
+
+Two complementary durability layers:
+
+* :mod:`repro.checkpoint.journal` — an append-only, fsync'd, per-record
+  checksummed JSONL write-ahead log of campaign/sweep progress, so
+  ``ChaosRunner`` and the harness sweeps replay completed work and skip
+  it on restart (torn trailing records from the crash are tolerated).
+* :mod:`repro.checkpoint.snapshot` / :mod:`repro.checkpoint.manager` —
+  deterministic quiescent-point snapshots of one simulation at
+  monitor-tick boundaries, restored by fast-forward replay plus
+  per-component verify/restore hooks.
+
+This module is the only place allowed to serialize engine, event-queue,
+or RNG state (lint rule ``DET106`` enforces it everywhere else).
+"""
+
+from .journal import (JournalReadResult, JournalWriter, canonical_json,
+                      frame_record, read_journal, record_checksum)
+from .manager import CheckpointManager, resume_simulation, simulation_registry
+from .snapshot import (SimulationSnapshot, SnapshotRegistry,
+                       rng_state_from_json, rng_state_to_json)
+
+__all__ = [
+    "CheckpointManager",
+    "JournalReadResult",
+    "JournalWriter",
+    "SimulationSnapshot",
+    "SnapshotRegistry",
+    "canonical_json",
+    "frame_record",
+    "read_journal",
+    "record_checksum",
+    "resume_simulation",
+    "rng_state_from_json",
+    "rng_state_to_json",
+    "simulation_registry",
+]

@@ -1,0 +1,215 @@
+"""Write-ahead run journal: append-only, fsync'd, checksummed JSONL.
+
+The journal is the durability primitive for long campaigns: before a
+runner *uses* a result it appends one record describing it, flushes,
+and ``os.fsync``\\ s the file descriptor, so a SIGKILL at any point
+loses at most the record being written.  Each line carries a CRC32 of
+its canonical-JSON payload; on read, a corrupt *trailing* record is the
+signature of a torn write and is dropped with a warning, while a
+corrupt record *followed by good ones* means the file was damaged after
+the fact and raises :class:`~repro.errors.CheckpointError` — resuming
+from a silently-holed history would produce a merged report that looks
+complete but is not.
+
+Record framing (one per line)::
+
+    {"crc": 3735928559, "record": {"kind": "...", ...}}
+
+The CRC is computed over the canonical JSON of the ``record`` object
+(sorted keys, no whitespace), which is also exactly how the payload is
+serialized, so a record round-trips bit-exact: Python's ``json`` module
+emits floats via ``repr`` (shortest round-trip form) and parses them
+back to the identical IEEE-754 double.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, TextIO
+
+from ..errors import CheckpointError
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace, repr floats."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def record_checksum(payload: Any) -> int:
+    """CRC32 of the canonical JSON of ``payload``."""
+    return zlib.crc32(canonical_json(payload).encode("utf-8"))
+
+
+def frame_record(payload: Dict[str, Any]) -> str:
+    """One journal line (without trailing newline) for ``payload``."""
+    return canonical_json({"crc": record_checksum(payload),
+                           "record": payload})
+
+
+def _parse_line(line: str) -> Optional[Dict[str, Any]]:
+    """Decode one framed line; ``None`` when corrupt or truncated."""
+    try:
+        frame = json.loads(line)
+    except ValueError:
+        return None
+    if not isinstance(frame, dict):
+        return None
+    payload = frame.get("record")
+    if not isinstance(payload, dict) or "crc" not in frame:
+        return None
+    if frame["crc"] != record_checksum(payload):
+        return None
+    return payload
+
+
+@dataclass
+class JournalReadResult:
+    """Decoded journal content plus torn-tail diagnostics."""
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Whether a corrupt/partial trailing record was dropped.
+    dropped_tail: bool = False
+    #: Human-readable description of what was dropped (for the warning).
+    dropped_detail: str = ""
+
+    def of_kind(self, kind: str) -> List[Dict[str, Any]]:
+        """Records whose ``kind`` field equals ``kind``, in order."""
+        return [r for r in self.records if r.get("kind") == kind]
+
+
+def read_journal(path: str,
+                 tolerate_torn_tail: bool = True) -> JournalReadResult:
+    """Read and verify a journal file.
+
+    A corrupt or truncated *final* record is a torn write from the
+    crash that the journal exists to survive: it is dropped (recorded
+    in ``dropped_tail``/``dropped_detail``) when ``tolerate_torn_tail``
+    is set, and raises otherwise.  A corrupt record anywhere *before*
+    the final one always raises: that is file damage, not a crash
+    artifact, and skipping it would fabricate history.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read journal {path}: {exc}") from exc
+    result = JournalReadResult()
+    # Ignore trailing blank lines (an fsync'd file never has interior
+    # blanks; a trailing one is the newline of the last good record).
+    while lines and not lines[-1].strip():
+        lines.pop()
+    for index, line in enumerate(lines):
+        payload = _parse_line(line)
+        if payload is not None:
+            result.records.append(payload)
+            continue
+        if index == len(lines) - 1:
+            detail = (f"dropped torn trailing record at line {index + 1} "
+                      f"({len(line)} bytes)")
+            if not tolerate_torn_tail:
+                raise CheckpointError(f"journal {path}: {detail}")
+            result.dropped_tail = True
+            result.dropped_detail = detail
+            break
+        raise CheckpointError(
+            f"journal {path}: corrupt record at line {index + 1} "
+            f"with valid records after it — refusing to resume from a "
+            f"damaged history")
+    return result
+
+
+def _repair_tail(path: str) -> Optional[str]:
+    """Truncate a torn final record so appends extend a clean history.
+
+    A crash can leave the file ending in a half-written line (no
+    newline) or a complete-but-corrupt one; appending after either
+    would strand garbage *mid*-file, which readers rightly treat as
+    fatal damage.  Only a contiguous garbage suffix is cut — corrupt
+    bytes with valid records after them are real damage and raise.
+
+    Returns a description of what was cut, or ``None`` when the tail
+    was already clean (including when the file does not exist).
+    """
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return None
+    except OSError as exc:
+        raise CheckpointError(f"cannot read journal {path}: {exc}") from exc
+    keep = 0
+    saw_garbage = False
+    cursor = 0
+    while cursor < len(data):
+        newline = data.find(b"\n", cursor)
+        end = len(data) if newline == -1 else newline + 1
+        text = data[cursor:end].rstrip(b"\n").decode("utf-8",
+                                                     errors="replace")
+        if newline != -1 and _parse_line(text) is not None:
+            if saw_garbage:
+                raise CheckpointError(
+                    f"journal {path}: corrupt record with valid records "
+                    f"after it — refusing to repair a damaged history")
+            keep = end
+        elif text.strip():
+            saw_garbage = True
+        cursor = end
+    if keep == len(data):
+        return None
+    with open(path, "rb+") as handle:
+        handle.truncate(keep)
+    return f"truncated {len(data) - keep} bytes of torn tail"
+
+
+class JournalWriter:
+    """Appends checksummed records to a journal file, fsync'ing each.
+
+    ``mode='append'`` continues an existing journal (the resume path),
+    first truncating any torn trailing record left by a crash so every
+    new record starts on a clean line; ``mode='truncate'`` starts a
+    fresh journal.  The writer owns the file descriptor; use as a
+    context manager or call :meth:`close`.
+    """
+
+    def __init__(self, path: str, mode: str = "append") -> None:
+        if mode not in ("append", "truncate"):
+            raise CheckpointError(f"unknown journal mode {mode!r}")
+        self.path = path
+        parent = os.path.dirname(os.path.abspath(path))
+        os.makedirs(parent, exist_ok=True)
+        #: What tail repair removed on open (``None`` = nothing).
+        self.repaired_detail: Optional[str] = None
+        if mode == "append":
+            self.repaired_detail = _repair_tail(path)
+        flag = "a" if mode == "append" else "w"
+        self._handle: Optional[TextIO] = None
+        try:
+            self._handle = open(path, flag, encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot open journal {path}: {exc}") from exc
+        self.records_written = 0
+
+    def append(self, payload: Dict[str, Any]) -> None:
+        """Write one record durably: line, flush, fsync."""
+        if self._handle is None:
+            raise CheckpointError("journal writer is closed")
+        self._handle.write(frame_record(payload) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.records_written += 1
+
+    def close(self) -> None:
+        """Flush and release the file descriptor (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,124 @@
+"""Capture scheduling and fast-forward resume for simulations.
+
+The quiescent point is the **start of a monitor tick**: the runner's
+tick hooks fire with the tick's index before the index increments and
+before any estimator/controller state mutates, and the engine's
+``events_processed`` at that instant counts exactly the events that ran
+*before* the tick event's action.  Resume therefore works by replay:
+
+1. rebuild the identical seeded scenario in a fresh process,
+2. ``runner.prepare()`` + ``engine.run(max_events=...)`` to land just
+   before the same tick event pops,
+3. **verify** every registered component's live state against the
+   snapshot (divergence raises — a resumed run must be *the* run),
+4. **restore** the authoritative bits (RNG positions, counters), and
+5. hand control back to ``runner.run()``, which re-executes the tick
+   and continues — bit-exact by determinism.
+
+Recurring control events (monitor ticks, resilience pulses, fault
+start/stop actions) re-arm themselves through the replayed prefix, so
+nothing is ever pickled off the event queue.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional
+
+from ..errors import CheckpointError
+from .snapshot import SimulationSnapshot, SnapshotRegistry
+
+
+def simulation_registry(sim: Any, controller: Any = None,
+                        injector: Any = None) -> SnapshotRegistry:
+    """The standard component registry for one :class:`SimulationRunner`.
+
+    ``controller``/``injector`` are optional because bare replays (no
+    control loop, no faults) are legitimate checkpoint subjects too.
+    The engine's ``now_s``/``pending`` are excluded from verification:
+    capture happens *inside* the tick event's action (tick popped, clock
+    on the tick time) while replay stops *before* that pop.
+    """
+    registry = SnapshotRegistry()
+    registry.register("engine", sim.engine,
+                      verify_exclude=("now_s", "pending"))
+    registry.register("runner", sim)
+    registry.register("network", sim.network)
+    for nf_name, station in sim.network.stations.items():
+        registry.register(f"station:{nf_name}", station)
+    registry.register("device:smartnic", sim.server.nic)
+    registry.register("device:cpu", sim.server.cpu)
+    registry.register("pcie", sim.server.pcie)
+    registry.register("server", sim.server)
+    if controller is not None:
+        registry.register("controller", controller)
+    if injector is not None:
+        registry.register("injector", injector)
+    return registry
+
+
+class CheckpointManager:
+    """Writes a snapshot every N monitor ticks via a runner tick hook."""
+
+    def __init__(self, runner: Any, registry: SnapshotRegistry,
+                 directory: str, every: int,
+                 meta: Optional[Dict[str, Any]] = None) -> None:
+        if every < 1:
+            raise CheckpointError("checkpoint interval must be >= 1 ticks")
+        self.runner = runner
+        self.registry = registry
+        self.directory = directory
+        self.every = every
+        self.meta = dict(meta or {})
+        #: Paths written so far, in capture order.
+        self.written: List[str] = []
+        runner.add_tick_hook(self._on_tick)
+
+    def snapshot_path(self, tick_index: int) -> str:
+        """Filename for the snapshot taken at ``tick_index``."""
+        return os.path.join(self.directory,
+                            f"snapshot-tick{tick_index:05d}.json")
+
+    def _on_tick(self, tick_index: int) -> None:
+        # Tick 0 is skipped: nothing has happened yet and the scenario
+        # builder already *is* that state.
+        if tick_index == 0 or tick_index % self.every != 0:
+            return
+        snapshot = self.capture(tick_index)
+        path = self.snapshot_path(tick_index)
+        snapshot.save(path)
+        self.written.append(path)
+
+    def capture(self, tick_index: int) -> SimulationSnapshot:
+        """Capture the current quiescent point (tick hook context)."""
+        engine = self.runner.engine
+        return SimulationSnapshot(
+            meta=dict(self.meta),
+            time_s=engine.now_s,
+            events_processed=engine.events_processed,
+            tick_index=tick_index,
+            components=self.registry.capture())
+
+
+def resume_simulation(snapshot: SimulationSnapshot, runner: Any,
+                      registry: SnapshotRegistry) -> None:
+    """Fast-forward a freshly built ``runner`` to ``snapshot``'s point.
+
+    The caller must have rebuilt the *identical* seeded scenario (same
+    seeds, same config — typically from ``snapshot.meta``).  After this
+    returns, ``runner.run()`` continues the interrupted run bit-exactly.
+    """
+    engine = runner.engine
+    if engine.events_processed != 0:
+        raise CheckpointError(
+            "resume requires a freshly built simulation (engine has "
+            f"already processed {engine.events_processed} events)")
+    runner.prepare()
+    engine.run(max_events=snapshot.events_processed)
+    if engine.events_processed != snapshot.events_processed:
+        raise CheckpointError(
+            f"replay exhausted after {engine.events_processed} events, "
+            f"snapshot expects {snapshot.events_processed} — the rebuilt "
+            f"scenario does not match the checkpointed one")
+    registry.verify(snapshot.components)
+    registry.restore(snapshot.components)

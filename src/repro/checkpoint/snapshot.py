@@ -1,0 +1,217 @@
+"""Quiescent-point snapshots built from registered component hooks.
+
+A snapshot is **not** a pickle of the event queue: closures scheduled
+on the engine are unpicklable and, worse, opaque — restoring them would
+couple the checkpoint format to every lambda in the codebase.  Instead
+each stateful component registers a ``snapshot_state()`` /
+``restore_state()`` pair returning plain JSON-serializable dicts, and a
+resume **replays** the deterministic prefix of the run (same seeds,
+same scenario) up to the captured event count, *verifies* every
+component's live state against the snapshot, then re-imposes the
+authoritative bits (RNG states, counters).  Determinism does the heavy
+lifting; the snapshot is the proof the replay landed in the right
+place.
+
+Snapshot files are single JSON documents wrapped with a SHA-256 digest
+of their canonical payload and written atomically (tmp + fsync +
+``os.replace``), so a crash mid-write can never leave a plausible but
+corrupt snapshot behind.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..errors import CheckpointError
+from .journal import canonical_json
+
+#: JSON shape of one component's state: a flat-or-nested dict of plain
+#: JSON values (the registry never inspects deeper than the top level).
+ComponentState = Dict[str, Any]
+
+SNAPSHOT_VERSION = 1
+
+
+def rng_state_to_json(state: Tuple[Any, ...]) -> List[Any]:
+    """``random.Random.getstate()`` as a JSON-serializable list.
+
+    The Mersenne Twister state is ``(version, tuple_of_625_ints,
+    gauss_next)``; only the inner tuple needs converting.
+    """
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(data: Sequence[Any]) -> Tuple[Any, ...]:
+    """Inverse of :func:`rng_state_to_json`, ready for ``setstate``."""
+    if len(data) != 3:
+        raise CheckpointError(
+            f"malformed RNG state: expected 3 fields, got {len(data)}")
+    version, internal, gauss_next = data
+    return (version, tuple(internal), gauss_next)
+
+
+@dataclass
+class _Registration:
+    """One registered component and its verify exemptions."""
+
+    name: str
+    component: Any
+    #: Top-level state keys excluded from capture-vs-replay comparison
+    #: (context that legitimately differs between the two observation
+    #: points, e.g. the engine clock inside vs before a tick pop).
+    verify_exclude: Tuple[str, ...] = ()
+
+
+class SnapshotRegistry:
+    """Ordered collection of snapshot/restore hooks for one simulation."""
+
+    def __init__(self) -> None:
+        self._registrations: List[_Registration] = []
+
+    def register(self, name: str, component: Any,
+                 verify_exclude: Sequence[str] = ()) -> None:
+        """Add ``component`` under ``name`` (unique, stable across runs)."""
+        if any(r.name == name for r in self._registrations):
+            raise CheckpointError(f"duplicate snapshot component {name!r}")
+        for method in ("snapshot_state", "restore_state"):
+            if not callable(getattr(component, method, None)):
+                raise CheckpointError(
+                    f"snapshot component {name!r} lacks {method}()")
+        self._registrations.append(_Registration(
+            name=name, component=component,
+            verify_exclude=tuple(verify_exclude)))
+
+    def names(self) -> List[str]:
+        """Registered component names, in registration order."""
+        return [r.name for r in self._registrations]
+
+    def capture(self) -> Dict[str, ComponentState]:
+        """Every component's current state, keyed by registered name."""
+        return {r.name: r.component.snapshot_state()
+                for r in self._registrations}
+
+    def verify(self, expected: Dict[str, ComponentState]) -> None:
+        """Compare live state against ``expected``; raise on mismatch.
+
+        Comparison is canonical-JSON equality per component with each
+        registration's ``verify_exclude`` keys removed from both sides,
+        so a drifted replay fails loudly instead of resuming a run that
+        is not the one that was interrupted.
+        """
+        for reg in self._registrations:
+            if reg.name not in expected:
+                raise CheckpointError(
+                    f"snapshot lacks component {reg.name!r}")
+            live = _without(reg.component.snapshot_state(),
+                            reg.verify_exclude)
+            want = _without(expected[reg.name], reg.verify_exclude)
+            live_json = canonical_json(live)
+            want_json = canonical_json(want)
+            if live_json != want_json:
+                raise CheckpointError(
+                    f"replay diverged from snapshot at component "
+                    f"{reg.name!r}:\n  snapshot: {_truncate(want_json)}"
+                    f"\n  replayed: {_truncate(live_json)}")
+        extra = set(expected) - set(self.names())
+        if extra:
+            raise CheckpointError(
+                f"snapshot has unknown components: {sorted(extra)}")
+
+    def restore(self, states: Dict[str, ComponentState]) -> None:
+        """Re-impose the snapshot's authoritative state on every component."""
+        for reg in self._registrations:
+            if reg.name not in states:
+                raise CheckpointError(
+                    f"snapshot lacks component {reg.name!r}")
+            reg.component.restore_state(states[reg.name])
+
+
+def _without(state: ComponentState,
+             exclude: Tuple[str, ...]) -> ComponentState:
+    return {k: v for k, v in state.items() if k not in exclude}
+
+
+def _truncate(text: str, limit: int = 400) -> str:
+    return text if len(text) <= limit else text[:limit] + "..."
+
+
+@dataclass
+class SimulationSnapshot:
+    """One quiescent-point capture, serializable to a single JSON file."""
+
+    #: Scenario identity (seeds, durations, scenario name) — enough for
+    #: the resume path to rebuild the identical simulation.
+    meta: Dict[str, Any]
+    #: Engine clock at capture (the monitor tick's timestamp).
+    time_s: float
+    #: Events fully processed before the capturing tick's action — the
+    #: replay target for ``engine.run(max_events=...)``.
+    events_processed: int
+    #: Monitor tick index at which the capture ran.
+    tick_index: int
+    components: Dict[str, ComponentState] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The digest-covered JSON body."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "meta": self.meta,
+            "time_s": self.time_s,
+            "events_processed": self.events_processed,
+            "tick_index": self.tick_index,
+            "components": self.components,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SimulationSnapshot":
+        """Rebuild from a digest-verified payload dict."""
+        if payload.get("version") != SNAPSHOT_VERSION:
+            raise CheckpointError(
+                f"unsupported snapshot version {payload.get('version')!r}")
+        return cls(meta=payload["meta"],
+                   time_s=payload["time_s"],
+                   events_processed=payload["events_processed"],
+                   tick_index=payload["tick_index"],
+                   components=payload["components"])
+
+    def save(self, path: str) -> None:
+        """Write atomically: tmp file, fsync, then ``os.replace``."""
+        payload = self.to_payload()
+        body = canonical_json(payload)
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        document = canonical_json({"sha256": digest, "snapshot": payload})
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+
+    @classmethod
+    def load(cls, path: str) -> "SimulationSnapshot":
+        """Read and digest-verify a snapshot file."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read snapshot {path}: {exc}") from exc
+        except ValueError as exc:
+            raise CheckpointError(
+                f"snapshot {path} is not valid JSON: {exc}") from exc
+        if not isinstance(document, dict) or "snapshot" not in document:
+            raise CheckpointError(f"snapshot {path} has no payload")
+        payload = document["snapshot"]
+        body = canonical_json(payload)
+        digest = hashlib.sha256(body.encode("utf-8")).hexdigest()
+        if document.get("sha256") != digest:
+            raise CheckpointError(
+                f"snapshot {path} failed its SHA-256 integrity check")
+        return cls.from_payload(payload)

@@ -75,7 +75,9 @@ def cmd_figure1(args: argparse.Namespace) -> int:
 def cmd_figure2(args: argparse.Namespace) -> int:
     """Run and print the Figure 2 packet-size sweep."""
     points = packet_size_sweep(figure1(), sizes=tuple(args.sizes),
-                               duration_s=args.duration)
+                               duration_s=args.duration,
+                               journal_path=args.journal,
+                               resume_from=args.resume_from)
     print(render_figure2_latency(points))
     print()
     print(render_figure2_throughput(points))
@@ -201,19 +203,50 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                          max_device_kills=args.device_kills,
                          max_overload_windows=args.overloads,
                          resilient=args.resilient)
-    report = ChaosRunner(runs=args.runs, seed=args.seed,
-                         config=config).run()
+    runner = ChaosRunner(runs=args.runs, seed=args.seed, config=config,
+                         journal_path=args.journal,
+                         resume_from=args.resume_from,
+                         checkpoint_every=args.checkpoint_every)
+    report = runner.run()
+    if runner.replayed_runs:
+        print(f"replayed {runner.replayed_runs} run(s) from journal "
+              f"{args.resume_from}")
     print(report.render())
     return 0 if report.ok else 1
+
+
+def cmd_crash_resume(args: argparse.Namespace) -> int:
+    """SIGKILL a chaos campaign mid-flight; verify bit-exact resume."""
+    import os
+    import tempfile
+    from .chaos.crashresume import run_crash_resume_check
+    journal = args.journal
+    if journal is None:
+        journal = os.path.join(
+            tempfile.mkdtemp(prefix="repro-crash-resume-"),
+            "journal.jsonl")
+    outcome = run_crash_resume_check(
+        runs=args.runs, seed=args.seed, duration_s=args.duration,
+        journal_path=journal, kill_after_runs=args.kill_after)
+    print(outcome.render())
+    return 0 if outcome.match else 1
 
 
 def cmd_resilience(args: argparse.Namespace) -> int:
     """Run one canned resilience scenario and report its verdict."""
     from .chaos.invariants import (check_invariants,
                                    check_resilience_invariants)
-    from .resilience.scenarios import run_scenario
-    run = run_scenario(args.scenario, seed=args.seed,
-                       duration_s=args.duration)
+    from .resilience.scenarios import resume_scenario, run_scenario
+    if args.resume_from is not None:
+        run = resume_scenario(args.resume_from)
+        print(f"resumed from snapshot {args.resume_from}")
+    else:
+        run = run_scenario(args.scenario, seed=args.seed,
+                           duration_s=args.duration,
+                           checkpoint_every=args.checkpoint_every,
+                           checkpoint_dir=args.checkpoint_dir)
+        for path in run.checkpoints:
+            print(f"checkpoint written: {path}")
     controller = run.controller
     print(f"scenario {run.name!r} (seed {run.seed}):")
     print(f"  final placement: {run.result.final_placement}")
@@ -311,6 +344,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig2.add_argument("--duration", type=float, default=0.008)
     p_fig2.add_argument("--chart", action="store_true",
                         help="append an ASCII bar chart")
+    p_fig2.add_argument("--journal", metavar="PATH",
+                        help="write-ahead journal logging each completed "
+                             "sweep point")
+    p_fig2.add_argument("--resume-from", metavar="PATH",
+                        help="journal to replay completed sweep points "
+                             "from")
     p_fig2.set_defaults(func=cmd_figure2)
 
     p_plan = sub.add_parser("plan", help="run a selection policy")
@@ -371,7 +410,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--resilient", action="store_true",
                          help="put the ResilientController in charge and "
                               "check the resilience invariants too")
+    p_chaos.add_argument("--journal", metavar="PATH",
+                         help="write-ahead run journal (JSONL) logging "
+                              "campaign progress")
+    p_chaos.add_argument("--resume-from", metavar="PATH",
+                         help="journal to replay completed runs from "
+                              "(continues appending to it)")
+    p_chaos.add_argument("--checkpoint-every", type=int, default=5,
+                         help="journal a campaign-progress digest every "
+                              "N runs")
     p_chaos.set_defaults(func=cmd_chaos)
+
+    p_crash = sub.add_parser("crash-resume",
+                             help="SIGKILL a chaos campaign mid-flight "
+                                  "and verify the journal resume is "
+                                  "bit-exact")
+    p_crash.add_argument("--runs", type=int, default=6)
+    p_crash.add_argument("--seed", type=int, default=7)
+    p_crash.add_argument("--duration", type=float, default=0.02,
+                         help="simulated seconds per scenario")
+    p_crash.add_argument("--kill-after", type=int, default=2,
+                         help="SIGKILL once this many runs are journaled")
+    p_crash.add_argument("--journal", metavar="PATH",
+                         help="journal path (default: a temp directory)")
+    p_crash.set_defaults(func=cmd_crash_resume)
 
     p_res = sub.add_parser("resilience",
                            help="run a canned failure/degradation "
@@ -381,6 +443,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--seed", type=int, default=7)
     p_res.add_argument("--duration", type=float, default=None,
                        help="simulated seconds (scenario default if unset)")
+    p_res.add_argument("--checkpoint-every", type=int, default=0,
+                       help="write a deterministic snapshot every N "
+                            "monitor ticks (needs --checkpoint-dir)")
+    p_res.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="directory for snapshot files")
+    p_res.add_argument("--resume-from", metavar="PATH",
+                       help="resume from a snapshot file (scenario/seed/"
+                            "duration come from its meta block)")
     p_res.set_defaults(func=cmd_resilience)
 
     p_lint = sub.add_parser("lint",

@@ -54,6 +54,17 @@ class InfeasiblePlanError(MigrationError):
     """
 
 
+class CheckpointError(ReproError):
+    """A checkpoint artifact failed an integrity or fidelity check.
+
+    Raised by :mod:`repro.checkpoint` when a journal record fails its
+    checksum mid-file, a snapshot file's digest does not match its
+    payload, or a restored component's state disagrees with the
+    snapshot it claims to resume — anything where continuing would
+    silently produce a run that is *not* the one that was interrupted.
+    """
+
+
 class AnalysisError(ReproError):
     """A static-analysis run could not proceed (bad path, baseline, or flag).
 

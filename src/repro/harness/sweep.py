@@ -1,24 +1,48 @@
 """Parameter sweeps: packet size (Figure 2), load ramps (Table 1), and
 the ablation axes (PCIe latency, chain length).
+
+The packet-size sweep is crash-safe: with ``journal_path`` set it logs
+each completed point to a write-ahead journal
+(:mod:`repro.checkpoint`), and ``resume_from`` replays journaled points
+instead of re-simulating them, so an interrupted sweep continues from
+where it died and renders an identical figure.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..chain.nf import DeviceKind, NFProfile
 from ..chain.chain import ServiceChain
 from ..chain.placement import Placement
+from ..checkpoint import JournalWriter, canonical_json, read_journal
 from ..core.planner import SelectionPolicy
 from ..devices.server import ServerProfile
 from ..errors import ConfigurationError
 from ..traffic.packet import PAPER_SIZE_SWEEP
-from ..units import as_gbps
+from ..units import as_gbps, as_usec
 from .compare import PolicyOutcome, compare_policies
 from .experiment import steady_state
 from .scenarios import (FIGURE1_BASE_LOAD_BPS, FIGURE1_SATURATION_BPS,
                         Scenario)
+
+
+@dataclass(frozen=True)
+class ReplayedPolicyOutcome:
+    """A policy outcome restored from a sweep journal record.
+
+    Duck-type compatible with :class:`~repro.harness.compare.
+    PolicyOutcome` for everything the figure renderers consume; the
+    full simulation runs behind a journaled point are not kept (that
+    is the point of not re-running them).
+    """
+
+    policy: str
+    mean_latency_s: float
+    goodput_bps: float
+    pcie_crossings: int
 
 
 @dataclass(frozen=True)
@@ -30,11 +54,60 @@ class SizeSweepPoint:
 
     def mean_latency_usec(self, policy: str) -> float:
         """Average latency of ``policy`` at this size, microseconds."""
-        return self.outcomes[policy].latency_run.latency.mean_usec
+        return as_usec(self.outcomes[policy].mean_latency_s)
 
     def goodput_gbps(self, policy: str) -> float:
         """Saturated goodput of ``policy`` at this size, Gbps."""
         return as_gbps(self.outcomes[policy].goodput_bps)
+
+    def to_record(self) -> Dict[str, object]:
+        """JSON-friendly journal form (floats round-trip bit-exact)."""
+        return {
+            "size": self.packet_size_bytes,
+            "outcomes": {
+                name: {"mean_latency_s": outcome.mean_latency_s,
+                       "goodput_bps": outcome.goodput_bps,
+                       "pcie_crossings": outcome.pcie_crossings}
+                for name, outcome in self.outcomes.items()},
+        }
+
+    @classmethod
+    def from_record(cls, record: Dict[str, object]) -> "SizeSweepPoint":
+        """Inverse of :meth:`to_record` (journal replay)."""
+        outcomes = {
+            name: ReplayedPolicyOutcome(
+                policy=name,
+                mean_latency_s=float(fields["mean_latency_s"]),
+                goodput_bps=float(fields["goodput_bps"]),
+                pcie_crossings=int(fields["pcie_crossings"]))
+            for name, fields in record["outcomes"].items()}
+        return cls(packet_size_bytes=int(record["size"]),
+                   outcomes=outcomes)
+
+
+def _replay_sweep_journal(resume_from: str,
+                          fingerprint: Dict[str, object]
+                          ) -> Dict[int, SizeSweepPoint]:
+    """Completed sweep points by index, validated against the sweep's
+    fingerprint (sizes and loads — splicing a different sweep's points
+    into this one would be a silent lie)."""
+    outcome = read_journal(resume_from, tolerate_torn_tail=True)
+    if outcome.dropped_tail:
+        warnings.warn(
+            f"sweep journal {resume_from}: {outcome.dropped_detail}; "
+            f"resuming from the last intact record",
+            RuntimeWarning, stacklevel=3)
+    starts = outcome.of_kind("sweep-start")
+    if not starts:
+        raise ConfigurationError(
+            f"journal {resume_from} has no sweep-start record")
+    recorded = {key: starts[0][key] for key in fingerprint}
+    if canonical_json(recorded) != canonical_json(fingerprint):
+        raise ConfigurationError(
+            f"journal {resume_from} was written by a different sweep: "
+            f"recorded {recorded}, resuming {fingerprint}")
+    return {int(record["index"]): SizeSweepPoint.from_record(record)
+            for record in outcome.of_kind("sweep-point")}
 
 
 def packet_size_sweep(scenario: Scenario,
@@ -42,17 +115,52 @@ def packet_size_sweep(scenario: Scenario,
                       policies: Optional[Sequence[SelectionPolicy]] = None,
                       latency_load_bps: float = FIGURE1_BASE_LOAD_BPS,
                       throughput_load_bps: float = FIGURE1_SATURATION_BPS,
-                      duration_s: float = 0.02) -> List[SizeSweepPoint]:
-    """Figure 2's x-axis: the full policy comparison per packet size."""
-    points = []
-    for size in sizes:
-        outcomes = compare_policies(
-            scenario, policies=policies, packet_size_bytes=size,
-            latency_load_bps=latency_load_bps,
-            throughput_load_bps=throughput_load_bps,
-            duration_s=duration_s)
-        points.append(SizeSweepPoint(packet_size_bytes=size,
-                                     outcomes=outcomes))
+                      duration_s: float = 0.02,
+                      journal_path: Optional[str] = None,
+                      resume_from: Optional[str] = None
+                      ) -> List[SizeSweepPoint]:
+    """Figure 2's x-axis: the full policy comparison per packet size.
+
+    ``journal_path`` write-ahead-logs each completed point;
+    ``resume_from`` replays points out of such a journal and only
+    simulates the remainder.
+    """
+    fingerprint: Dict[str, object] = {
+        "sizes": list(sizes), "duration_s": duration_s,
+        "latency_load_bps": latency_load_bps,
+        "throughput_load_bps": throughput_load_bps}
+    completed: Dict[int, SizeSweepPoint] = {}
+    if resume_from is not None:
+        completed = _replay_sweep_journal(resume_from, fingerprint)
+    writer: Optional[JournalWriter] = None
+    target = journal_path or resume_from
+    if target is not None:
+        mode = "append" if resume_from is not None else "truncate"
+        writer = JournalWriter(target, mode=mode)
+        if resume_from is None:
+            writer.append({"kind": "sweep-start", **fingerprint})
+    points: List[SizeSweepPoint] = []
+    try:
+        for index, size in enumerate(sizes):
+            if index in completed:
+                points.append(completed[index])
+                continue
+            outcomes = compare_policies(
+                scenario, policies=policies, packet_size_bytes=size,
+                latency_load_bps=latency_load_bps,
+                throughput_load_bps=throughput_load_bps,
+                duration_s=duration_s)
+            point = SizeSweepPoint(packet_size_bytes=size,
+                                   outcomes=outcomes)
+            points.append(point)
+            if writer is not None:
+                writer.append({"kind": "sweep-point", "index": index,
+                               **point.to_record()})
+        if writer is not None:
+            writer.append({"kind": "sweep-end", "points": len(points)})
+    finally:
+        if writer is not None:
+            writer.close()
     return points
 
 

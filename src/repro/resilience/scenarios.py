@@ -19,10 +19,13 @@ same recovery timeline — which is what lets the CLI, the tests, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import List, Optional
 
 from ..chain.nf import DeviceKind
+from ..checkpoint import (CheckpointManager, SimulationSnapshot,
+                          SnapshotRegistry, resume_simulation,
+                          simulation_registry)
 from ..core.operator import HardenedController, HardeningConfig
 from ..core.reverse import PullbackConfig
 from ..errors import ConfigurationError
@@ -58,6 +61,8 @@ class ResilienceScenarioResult:
     stats: ResilienceStats
     controller: ResilientController
     recorder: TimeSeriesRecorder
+    #: Snapshot files written during the run (checkpointing enabled).
+    checkpoints: List[str] = field(default_factory=list)
 
     @property
     def time_to_recover_s(self) -> Optional[float]:
@@ -104,16 +109,39 @@ def build_resilient_controller(
 def _run(name: str, seed: int, generator: ProfiledArrivals,
          controller: ResilientController,
          kill_device: Optional[DeviceKind] = None,
-         kill_at_s: float = 0.0) -> ResilienceScenarioResult:
+         kill_at_s: float = 0.0,
+         checkpoint_every: int = 0,
+         checkpoint_dir: Optional[str] = None,
+         resume_snapshot: Optional[str] = None
+         ) -> ResilienceScenarioResult:
     scenario = figure1()
     server = scenario.build_server()
     recorder = TimeSeriesRecorder()
     sim = SimulationRunner(server, generator,
                            _RecordingController(controller, recorder),
                            monitor_period_s=_MONITOR_PERIOD_S)
+    injector: Optional[FaultInjector] = None
     if kill_device is not None:
         injector = FaultInjector(sim.network, sim.engine, seed=seed)
         injector.kill_device(kill_device, kill_at_s)
+    registry: Optional[SnapshotRegistry] = None
+    if checkpoint_every > 0 or resume_snapshot is not None:
+        # Register the resilient controller itself, not the recording
+        # wrapper: the recorder's series is rebuilt by replay.
+        registry = simulation_registry(sim, controller=controller,
+                                       injector=injector)
+    manager: Optional[CheckpointManager] = None
+    if checkpoint_every > 0:
+        if checkpoint_dir is None:
+            raise ConfigurationError(
+                "checkpoint_every needs a checkpoint_dir to write to")
+        manager = CheckpointManager(
+            sim, registry, checkpoint_dir, every=checkpoint_every,
+            meta={"scenario": name, "seed": seed,
+                  "duration_s": generator.duration_s})
+    if resume_snapshot is not None:
+        resume_simulation(SimulationSnapshot.load(resume_snapshot),
+                          sim, registry)
     result = sim.run()
     # Run to exhaustion: recovery continuation pulses, retry backoffs,
     # and queued packets all settle before the snapshot.
@@ -121,11 +149,15 @@ def _run(name: str, seed: int, generator: ProfiledArrivals,
     return ResilienceScenarioResult(
         name=name, seed=seed, result=result,
         stats=snapshot_resilience(controller),
-        controller=controller, recorder=recorder)
+        controller=controller, recorder=recorder,
+        checkpoints=list(manager.written) if manager is not None else [])
 
 
 def run_device_kill(seed: int = 7, duration_s: float = 0.08,
-                    config: ResilienceConfig = ResilienceConfig()
+                    config: ResilienceConfig = ResilienceConfig(),
+                    checkpoint_every: int = 0,
+                    checkpoint_dir: Optional[str] = None,
+                    resume_snapshot: Optional[str] = None
                     ) -> ResilienceScenarioResult:
     """Kill the SmartNIC mid-spike; recover onto the CPU."""
     if duration_s <= 0:
@@ -138,12 +170,18 @@ def run_device_kill(seed: int = 7, duration_s: float = 0.08,
     return _run("device-kill", seed, generator,
                 build_resilient_controller(config),
                 kill_device=DeviceKind.SMARTNIC,
-                kill_at_s=0.3 * duration_s)
+                kill_at_s=0.3 * duration_s,
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+                resume_snapshot=resume_snapshot)
 
 
 def run_overload_shed(seed: int = 7, duration_s: float = 0.06,
                       offered_bps: float = INFEASIBLE_LOAD_BPS,
-                      config: ResilienceConfig = ResilienceConfig()
+                      config: ResilienceConfig = ResilienceConfig(),
+                      checkpoint_every: int = 0,
+                      checkpoint_dir: Optional[str] = None,
+                      resume_snapshot: Optional[str] = None
                       ) -> ResilienceScenarioResult:
     """Sustained load beyond every placement; shed low priority only."""
     if duration_s <= 0:
@@ -153,7 +191,10 @@ def run_overload_shed(seed: int = 7, duration_s: float = 0.06,
                                  duration_s=duration_s, seed=seed,
                                  jitter=False)
     return _run("overload", seed, generator,
-                build_resilient_controller(config))
+                build_resilient_controller(config),
+                checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir,
+                resume_snapshot=resume_snapshot)
 
 
 SCENARIOS = {
@@ -163,7 +204,10 @@ SCENARIOS = {
 
 
 def run_scenario(name: str, seed: int = 7,
-                 duration_s: Optional[float] = None
+                 duration_s: Optional[float] = None,
+                 checkpoint_every: int = 0,
+                 checkpoint_dir: Optional[str] = None,
+                 resume_snapshot: Optional[str] = None
                  ) -> ResilienceScenarioResult:
     """Dispatch one named scenario (the CLI entry point)."""
     try:
@@ -173,6 +217,29 @@ def run_scenario(name: str, seed: int = 7,
         raise ConfigurationError(
             f"unknown resilience scenario {name!r} (known: {known})") \
             from None
-    if duration_s is None:
-        return runner(seed=seed)
-    return runner(seed=seed, duration_s=duration_s)
+    kwargs = {"seed": seed, "checkpoint_every": checkpoint_every,
+              "checkpoint_dir": checkpoint_dir,
+              "resume_snapshot": resume_snapshot}
+    if duration_s is not None:
+        kwargs["duration_s"] = duration_s
+    return runner(**kwargs)
+
+
+def resume_scenario(path: str) -> ResilienceScenarioResult:
+    """Resume a canned scenario from one of its snapshot files.
+
+    The snapshot's meta block records which scenario, seed, and
+    duration produced it, so the path is all a fresh process needs:
+    the identical seeded scenario is rebuilt, fast-forwarded to the
+    capture point, verified against the snapshot, and run to the end.
+    """
+    snapshot = SimulationSnapshot.load(path)
+    meta = snapshot.meta
+    name = str(meta.get("scenario", ""))
+    if name not in SCENARIOS:
+        raise ConfigurationError(
+            f"snapshot {path} does not name a known scenario "
+            f"(meta: {meta})")
+    return run_scenario(name, seed=int(meta["seed"]),
+                        duration_s=float(meta["duration_s"]),
+                        resume_snapshot=path)

@@ -7,7 +7,7 @@ lives in the modules that schedule events on it.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..errors import SchedulingError
 from .events import PRIORITY_CONTROL, PRIORITY_DATA, Event, EventQueue
@@ -25,23 +25,55 @@ class Engine:
         self._queue = EventQueue()
         self._running = False
         self.events_processed: int = 0
-        #: Optional observer invoked with each event just before it runs.
-        #: Determinism tooling subscribes here to record the executed
-        #: ``(time_s, priority, seq)`` trace; two seeded runs of the same
-        #: scenario must produce identical traces.
-        self.on_event: Optional[EventObserver] = None
+        # Observers are a list so determinism tracing and checkpoint
+        # journaling can subscribe side by side; the deprecated
+        # `on_event` property maps onto one slot of it.
+        self._observers: List[EventObserver] = []
+        self._legacy_observer: Optional[EventObserver] = None
+
+    # -- observers ---------------------------------------------------------
+
+    def add_observer(self, observer: EventObserver) -> None:
+        """Subscribe ``observer`` to every executed event, in order."""
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: EventObserver) -> None:
+        """Unsubscribe a previously added observer (no-op if absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+        if observer is self._legacy_observer:
+            self._legacy_observer = None
+
+    @property
+    def on_event(self) -> Optional[EventObserver]:
+        """Deprecated single-slot observer; use :meth:`add_observer`.
+
+        Kept for compatibility: assigning replaces only the observer
+        previously assigned through this property, never subscribers
+        added with :meth:`add_observer`.
+        """
+        return self._legacy_observer
+
+    @on_event.setter
+    def on_event(self, observer: Optional[EventObserver]) -> None:
+        if self._legacy_observer is not None:
+            self.remove_observer(self._legacy_observer)
+        self._legacy_observer = observer
+        if observer is not None:
+            self._observers.append(observer)
 
     def trace_to(self, sink: "list") -> None:
         """Record ``(time_s, priority, seq)`` of every executed event.
 
-        Convenience wrapper around :attr:`on_event` for replay checks::
+        Convenience wrapper around :meth:`add_observer` for replay
+        checks::
 
             trace: list = []
             runner.engine.trace_to(trace)
         """
         def _observe(event: Event) -> None:
             sink.append((event.time_s, event.priority, event.seq))
-        self.on_event = _observe
+        self.add_observer(_observe)
 
     # -- scheduling -------------------------------------------------------
 
@@ -93,10 +125,39 @@ class Engine:
                 event = self._queue.pop()
                 assert event is not None  # peek said non-empty
                 self.now_s = event.time_s
-                if self.on_event is not None:
-                    self.on_event(event)
+                if self._observers:
+                    # Tuple copy: an observer may unsubscribe mid-event.
+                    for observer in tuple(self._observers):
+                        observer(event)
                 event.action()
                 self.events_processed += 1
                 processed_this_run += 1
         finally:
             self._running = False
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Deterministic engine state for :mod:`repro.checkpoint`.
+
+        ``now_s`` and ``pending`` are verify-only context: a snapshot
+        is captured *inside* a tick action (the tick event already
+        popped) while replay stops *before* that pop, so the checkpoint
+        registry excludes them from the capture/replay comparison.
+        """
+        return {
+            "now_s": self.now_s,
+            "events_processed": self.events_processed,
+            "seq_counter": self._queue.seq_counter,
+            "pending": self.pending(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Re-impose checkpointed engine counters after replay.
+
+        Deliberately leaves ``now_s`` alone: the clock advances when
+        the replayed tick event pops, and overwriting it here would
+        jump the clock past events still queued before the tick.
+        """
+        self.events_processed = int(state["events_processed"])
+        self._queue.set_seq_counter(int(state["seq_counter"]))

@@ -10,7 +10,6 @@ migration and telemetry machinery.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple
 
@@ -46,10 +45,30 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
-        self._counter = itertools.count()
+        # Plain int rather than itertools.count(): the counter is part
+        # of the deterministic simulation state a checkpoint captures,
+        # so it must be readable and settable.
+        self._seq = 0
 
     def __len__(self) -> int:
         return len(self._heap)
+
+    @property
+    def seq_counter(self) -> int:
+        """The seq number the next pushed event will receive."""
+        return self._seq
+
+    def set_seq_counter(self, value: int) -> None:
+        """Restore the insertion counter (checkpoint restore only).
+
+        Rewinding below an already-issued seq would let two live events
+        share an ordering key, so only forward moves are allowed.
+        """
+        if value < self._seq:
+            raise SchedulingError(
+                f"cannot rewind event seq counter from {self._seq} "
+                f"to {value}")
+        self._seq = value
 
     def push(self, time_s: float, action: Action,
              priority: int = PRIORITY_DATA) -> Event:
@@ -57,7 +76,8 @@ class EventQueue:
         if time_s < 0:
             raise SchedulingError(f"cannot schedule at negative time {time_s}")
         event = Event(time_s=time_s, priority=priority,
-                      seq=next(self._counter), action=action)
+                      seq=self._seq, action=action)
+        self._seq += 1
         heapq.heappush(self._heap, event)
         return event
 

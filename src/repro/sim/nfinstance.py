@@ -152,6 +152,36 @@ class NFStation:
             return
         self.on_complete(packet, self.profile.name, self.engine.now_s)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot_state(self) -> dict:
+        """Station state for :mod:`repro.checkpoint`.
+
+        Queue and pause-buffer *contents* are verify-only lengths — the
+        packets are reconstructed by deterministic replay — while the
+        served counters and mode flags are restored authoritatively.
+        """
+        return {
+            "device": self.device.name,
+            "busy": self._busy,
+            "paused": self._paused,
+            "draining": self._draining,
+            "queued": len(self.queue),
+            "buffered": len(self._pause_buffer),
+            "served_packets": self.served_packets,
+            "served_bytes": self.served_bytes,
+            "filtered_packets": self.filtered_packets,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Re-impose checkpointed counters and mode flags."""
+        self._busy = bool(state["busy"])
+        self._paused = bool(state["paused"])
+        self._draining = bool(state["draining"])
+        self.served_packets = int(state["served_packets"])
+        self.served_bytes = int(state["served_bytes"])
+        self.filtered_packets = int(state["filtered_packets"])
+
     # -- migration support ----------------------------------------------------
 
     def pause(self) -> List[Tuple[Packet, float]]:

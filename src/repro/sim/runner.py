@@ -14,7 +14,7 @@ method works.  :mod:`repro.core.planner` provides the PAM controller and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
 from ..chain.placement import Placement
 from ..devices.pcie import PCIeStats
@@ -112,10 +112,27 @@ class SimulationRunner:
         self._last_window_bytes = 0
         self._last_sample_s = 0.0
         self._offered_estimate_bps = 0.0
+        self._offered_mean_bps = 0.0
+        self._prepared = False
+        self._tick_index = 0
+        #: Hooks invoked at the very start of every monitor tick with
+        #: the tick's index — before the index increments and before
+        #: any estimator/controller state mutates.  That ordering makes
+        #: the hook a quiescent point: a checkpoint captured there can
+        #: be resumed by replaying to the same event count, and the
+        #: re-executed tick body is identical on both sides.
+        self._tick_hooks: List[Callable[[int], None]] = []
 
     # -- control loop ---------------------------------------------------------
 
+    def add_tick_hook(self, hook: Callable[[int], None]) -> None:
+        """Subscribe ``hook(tick_index)`` to run first on every tick."""
+        self._tick_hooks.append(hook)
+
     def _tick(self) -> None:
+        for hook in tuple(self._tick_hooks):
+            hook(self._tick_index)
+        self._tick_index += 1
         now = self.engine.now_s
         sample_bytes, sample_s = self.network.telemetry_sample()
         age_s = max(0.0, now - sample_s)
@@ -147,16 +164,46 @@ class SimulationRunner:
 
     # -- execution ----------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Inject the workload, run to completion, and aggregate."""
-        offered_mean = self.generator.mean_rate_bps()
-        self.server.refresh_demand(offered_mean)
+    def prepare(self) -> None:
+        """Inject the workload and arm the first monitor tick.
+
+        Idempotent, and split from :meth:`run` so checkpoint resume can
+        build the identical seeded event population, fast-forward the
+        engine partway, and only then hand control back to :meth:`run`.
+        """
+        if self._prepared:
+            return
+        self._prepared = True
+        self._offered_mean_bps = self.generator.mean_rate_bps()
+        self.server.refresh_demand(self._offered_mean_bps)
         for packet in self.generator.packets():
             self.network.inject(packet)
         self.engine.after(self.monitor_period_s, self._tick, control=True)
+
+    def run(self) -> SimulationResult:
+        """Inject the workload, run to completion, and aggregate."""
+        self.prepare()
         self.engine.run(until_s=self.generator.duration_s + self.drain_grace_s)
         self.network.check_conservation()
-        return self._collect(offered_mean)
+        return self._collect(self._offered_mean_bps)
+
+    # -- checkpointing -----------------------------------------------------
+
+    def snapshot_state(self) -> Dict[str, object]:
+        """Monitor-estimator state for :mod:`repro.checkpoint`."""
+        return {
+            "tick_index": self._tick_index,
+            "last_window_bytes": self._last_window_bytes,
+            "last_sample_s": self._last_sample_s,
+            "offered_estimate_bps": self._offered_estimate_bps,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Re-impose checkpointed monitor-estimator state."""
+        self._tick_index = int(state["tick_index"])
+        self._last_window_bytes = int(state["last_window_bytes"])
+        self._last_sample_s = float(state["last_sample_s"])
+        self._offered_estimate_bps = float(state["offered_estimate_bps"])
 
     def _collect(self, offered_bps: float) -> SimulationResult:
         delivered = self.network.delivered

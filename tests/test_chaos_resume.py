@@ -1,0 +1,106 @@
+"""Campaign-level journal resume: replay completed runs, redo the rest."""
+
+import os
+import signal
+
+import pytest
+
+from repro.chaos.crashresume import run_crash_resume_check
+from repro.chaos.runner import ChaosRunner
+from repro.chaos.schedule import ChaosConfig
+from repro.checkpoint import read_journal
+from repro.errors import ConfigurationError
+
+_CONFIG = ChaosConfig(duration_s=0.01)
+
+
+def _campaign(**kwargs):
+    return ChaosRunner(runs=4, seed=11, config=_CONFIG, **kwargs)
+
+
+def _truncate_after_results(path, keep):
+    """Rewrite the journal with only campaign-start + ``keep`` results."""
+    outcome = read_journal(path)
+    kept = 0
+    lines = []
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = handle.read().splitlines()
+    for line, record in zip(raw, outcome.records):
+        kind = record.get("kind")
+        if kind == "run-result":
+            if kept == keep:
+                break
+            kept += 1
+        elif kind not in ("campaign-start", "campaign-progress"):
+            break
+        lines.append(line)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
+class TestCampaignResume:
+    def test_resume_is_bit_exact_and_counts_replays(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        reference = _campaign().run()
+        _campaign(journal_path=journal, checkpoint_every=1).run()
+        _truncate_after_results(journal, keep=2)
+
+        resumed_runner = _campaign(resume_from=journal)
+        resumed = resumed_runner.run()
+        assert resumed_runner.replayed_runs == 2
+        assert resumed.render() == reference.render()
+        # The rewritten journal holds the full campaign again.
+        kinds = [r["kind"] for r in read_journal(journal).records]
+        assert kinds.count("run-result") == 4
+        assert kinds[-1] == "campaign-end"
+
+    def test_full_journal_resume_replays_everything(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        reference = _campaign(journal_path=journal).run()
+        resumed_runner = _campaign(resume_from=journal)
+        assert resumed_runner.run().render() == reference.render()
+        assert resumed_runner.replayed_runs == 4
+
+    def test_torn_tail_resumes_with_warning(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        reference = _campaign(journal_path=journal,
+                              checkpoint_every=1).run()
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"crc": 3, "record": {"kind": "run-res')
+        resumed_runner = _campaign(resume_from=journal)
+        with pytest.warns(RuntimeWarning, match="resuming from the last"):
+            resumed = resumed_runner.run()
+        assert resumed.render() == reference.render()
+
+    def test_fingerprint_mismatch_refuses_resume(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        _campaign(journal_path=journal).run()
+        different_seed = ChaosRunner(runs=4, seed=99, config=_CONFIG,
+                                     resume_from=journal)
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            different_seed.run()
+
+    def test_journal_without_campaign_start_rejected(self, tmp_path):
+        journal = str(tmp_path / "campaign.jsonl")
+        _campaign(journal_path=journal).run()
+        with open(journal, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[1:]) + "\n")
+        with pytest.raises(ConfigurationError):
+            _campaign(resume_from=journal).run()
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"),
+                    reason="requires POSIX SIGKILL")
+class TestCrashResumeSmoke:
+    def test_sigkilled_campaign_resumes_bit_exact(self, tmp_path):
+        outcome = run_crash_resume_check(
+            runs=4, seed=7, duration_s=0.01,
+            journal_path=str(tmp_path / "journal.jsonl"),
+            kill_after_runs=1)
+        assert outcome.killed
+        assert outcome.journaled_before_kill >= 1
+        assert outcome.replayed_runs == outcome.journaled_before_kill
+        assert outcome.match, outcome.render()
+        assert os.path.exists(str(tmp_path / "journal.jsonl"))

@@ -1,0 +1,113 @@
+"""Tests for the engine's observer list (and the deprecated on_event)."""
+
+from repro.sim.engine import Engine
+
+
+def _schedule_three(engine):
+    order = []
+    engine.at(0.001, lambda: order.append("a"))
+    engine.at(0.002, lambda: order.append("b"))
+    engine.at(0.003, lambda: order.append("c"))
+    return order
+
+
+class TestObserverList:
+    def test_observer_sees_every_event_in_order(self):
+        engine = Engine()
+        _schedule_three(engine)
+        seen = []
+        engine.add_observer(lambda event: seen.append(event.time_s))
+        engine.run()
+        assert seen == [0.001, 0.002, 0.003]
+
+    def test_observers_fire_in_subscription_order(self):
+        engine = Engine()
+        _schedule_three(engine)
+        calls = []
+        engine.add_observer(lambda event: calls.append("first"))
+        engine.add_observer(lambda event: calls.append("second"))
+        engine.run(max_events=1)
+        assert calls == ["first", "second"]
+
+    def test_remove_observer_stops_delivery(self):
+        engine = Engine()
+        _schedule_three(engine)
+        seen = []
+        def observer(event):
+            seen.append(event.time_s)
+        engine.add_observer(observer)
+        engine.run(max_events=1)
+        engine.remove_observer(observer)
+        engine.run()
+        assert seen == [0.001]
+
+    def test_remove_absent_observer_is_noop(self):
+        engine = Engine()
+        engine.remove_observer(lambda event: None)
+
+    def test_observer_may_unsubscribe_mid_event(self):
+        engine = Engine()
+        _schedule_three(engine)
+        seen = []
+        def once(event):
+            seen.append(event.time_s)
+            engine.remove_observer(once)
+        engine.add_observer(once)
+        engine.run()
+        assert seen == [0.001]
+
+    def test_trace_to_records_time_priority_seq(self):
+        engine = Engine()
+        _schedule_three(engine)
+        engine.at(0.001, lambda: None, control=True)
+        trace = []
+        engine.trace_to(trace)
+        engine.run()
+        assert trace == sorted(trace)
+        assert all(len(entry) == 3 for entry in trace)
+
+
+class TestDeprecatedOnEvent:
+    def test_assignment_still_observes(self):
+        engine = Engine()
+        _schedule_three(engine)
+        seen = []
+        engine.on_event = lambda event: seen.append(event.time_s)
+        engine.run()
+        assert seen == [0.001, 0.002, 0.003]
+
+    def test_getter_returns_assigned_observer(self):
+        engine = Engine()
+        assert engine.on_event is None
+        def observer(event):
+            pass
+        engine.on_event = observer
+        assert engine.on_event is observer
+
+    def test_reassignment_replaces_only_the_legacy_slot(self):
+        engine = Engine()
+        _schedule_three(engine)
+        calls = []
+        engine.add_observer(lambda event: calls.append("listed"))
+        engine.on_event = lambda event: calls.append("old")
+        engine.on_event = lambda event: calls.append("new")
+        engine.run(max_events=1)
+        assert calls == ["listed", "new"]
+
+    def test_assigning_none_clears_the_legacy_observer(self):
+        engine = Engine()
+        _schedule_three(engine)
+        seen = []
+        engine.on_event = lambda event: seen.append(event.time_s)
+        engine.on_event = None
+        engine.run()
+        assert seen == []
+        assert engine.on_event is None
+
+    def test_remove_observer_clears_legacy_slot_too(self):
+        engine = Engine()
+        def observer(event):
+            pass
+        engine.on_event = observer
+        engine.remove_observer(observer)
+        assert engine.on_event is None

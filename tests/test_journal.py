@@ -1,0 +1,177 @@
+"""Tests for the write-ahead run journal (repro.checkpoint.journal)."""
+
+import json
+
+import pytest
+
+from repro.checkpoint import (JournalWriter, canonical_json, frame_record,
+                              read_journal, record_checksum)
+from repro.errors import CheckpointError
+
+
+def _write(path, payloads):
+    with JournalWriter(str(path), mode="truncate") as writer:
+        for payload in payloads:
+            writer.append(payload)
+    return writer
+
+
+class TestFraming:
+    def test_canonical_json_is_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1.5, None]}) == \
+            '{"a":[1.5,null],"b":1}'
+
+    def test_checksum_is_stable_under_key_order(self):
+        assert record_checksum({"a": 1, "b": 2}) == \
+            record_checksum({"b": 2, "a": 1})
+
+    def test_frame_embeds_matching_crc(self):
+        frame = json.loads(frame_record({"kind": "x"}))
+        assert frame["crc"] == record_checksum({"kind": "x"})
+        assert frame["record"] == {"kind": "x"}
+
+    def test_floats_round_trip_bit_exact(self, tmp_path):
+        value = 0.1 + 0.2  # not representable as a short decimal
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "m", "v": value}])
+        record = read_journal(str(path)).records[0]
+        assert record["v"] == value  # exact IEEE-754 equality
+
+
+class TestWriterAndReader:
+    def test_round_trip_preserves_records_in_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        payloads = [{"kind": "a", "i": i} for i in range(5)]
+        writer = _write(path, payloads)
+        assert writer.records_written == 5
+        outcome = read_journal(str(path))
+        assert outcome.records == payloads
+        assert not outcome.dropped_tail
+
+    def test_of_kind_filters_in_order(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a", "i": 0}, {"kind": "b"},
+                      {"kind": "a", "i": 1}])
+        outcome = read_journal(str(path))
+        assert [r["i"] for r in outcome.of_kind("a")] == [0, 1]
+
+    def test_append_mode_extends_existing_journal(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}])
+        with JournalWriter(str(path), mode="append") as writer:
+            writer.append({"kind": "b"})
+        kinds = [r["kind"] for r in read_journal(str(path)).records]
+        assert kinds == ["a", "b"]
+
+    def test_truncate_mode_starts_fresh(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "old"}])
+        _write(path, [{"kind": "new"}])
+        assert [r["kind"] for r in read_journal(str(path)).records] == ["new"]
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            JournalWriter(str(tmp_path / "j.jsonl"), mode="overwrite")
+
+    def test_append_after_close_raises(self, tmp_path):
+        writer = _write(tmp_path / "j.jsonl", [])
+        writer.close()  # idempotent
+        with pytest.raises(CheckpointError):
+            writer.append({"kind": "late"})
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            read_journal(str(tmp_path / "absent.jsonl"))
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "j.jsonl"
+        _write(path, [{"kind": "a"}])
+        assert read_journal(str(path)).records == [{"kind": "a"}]
+
+
+class TestTornWrites:
+    def test_partial_final_line_dropped_with_detail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}, {"kind": "b"}])
+        with open(path, "a") as handle:
+            handle.write('{"crc": 1, "record": {"kind": "to')
+        outcome = read_journal(str(path))
+        assert [r["kind"] for r in outcome.records] == ["a", "b"]
+        assert outcome.dropped_tail
+        assert "line 3" in outcome.dropped_detail
+
+    def test_partial_final_line_raises_when_not_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}])
+        with open(path, "a") as handle:
+            handle.write("{garbage")
+        with pytest.raises(CheckpointError):
+            read_journal(str(path), tolerate_torn_tail=False)
+
+    def test_crc_mismatch_on_final_line_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}])
+        with open(path, "a") as handle:
+            handle.write('{"crc": 12345, "record": {"kind": "bad"}}\n')
+        outcome = read_journal(str(path))
+        assert [r["kind"] for r in outcome.records] == ["a"]
+        assert outcome.dropped_tail
+
+    def test_corrupt_record_mid_file_always_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}, {"kind": "b"}])
+        lines = path.read_text().splitlines()
+        lines[0] = '{"crc": 99, "record": {"kind": "a"}}'
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError):
+            read_journal(str(path))
+        with pytest.raises(CheckpointError):
+            read_journal(str(path), tolerate_torn_tail=False)
+
+    def test_trailing_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}])
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        outcome = read_journal(str(path))
+        assert [r["kind"] for r in outcome.records] == ["a"]
+        assert not outcome.dropped_tail
+
+
+class TestTailRepairOnAppend:
+    def test_append_truncates_torn_tail_first(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}])
+        with open(path, "a") as handle:
+            handle.write('{"crc": 1, "record": {"kin')  # no newline
+        with JournalWriter(str(path), mode="append") as writer:
+            assert writer.repaired_detail is not None
+            writer.append({"kind": "b"})
+        outcome = read_journal(str(path))
+        assert [r["kind"] for r in outcome.records] == ["a", "b"]
+        assert not outcome.dropped_tail
+
+    def test_append_truncates_complete_but_corrupt_final_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}])
+        with open(path, "a") as handle:
+            handle.write('{"crc": 777, "record": {"kind": "bad"}}\n')
+        with JournalWriter(str(path), mode="append") as writer:
+            writer.append({"kind": "b"})
+        assert [r["kind"] for r in read_journal(str(path)).records] == \
+            ["a", "b"]
+
+    def test_clean_tail_left_untouched(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}])
+        with JournalWriter(str(path), mode="append") as writer:
+            assert writer.repaired_detail is None
+
+    def test_refuses_to_repair_mid_file_damage(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        _write(path, [{"kind": "a"}, {"kind": "b"}])
+        lines = path.read_text().splitlines()
+        lines[0] = "{damaged"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError):
+            JournalWriter(str(path), mode="append")

@@ -112,6 +112,36 @@ class TestDeterminismRules:
                 schedule(name)
         """)
 
+    def test_det106_fires_on_pickling_engine(self):
+        assert "DET106" in _codes("""
+            import pickle
+            blob = pickle.dumps(sim.engine)
+        """)
+
+    def test_det106_fires_on_deepcopy_of_rng(self):
+        assert "DET106" in _codes("""
+            import copy
+            saved_rng = copy.deepcopy(self._rng)
+        """)
+
+    def test_det106_fires_on_queue_attribute(self):
+        assert "DET106" in _codes("""
+            from copy import deepcopy
+            backup = deepcopy(engine._queue)
+        """)
+
+    def test_det106_silent_on_plain_data(self):
+        assert "DET106" not in _codes("""
+            import copy
+            settings = copy.deepcopy(config)
+        """)
+
+    def test_det106_silent_inside_checkpoint_package(self):
+        assert "DET106" not in _codes("""
+            import pickle
+            blob = pickle.dumps(engine_state)
+        """, path="src/repro/checkpoint/snapshot.py")
+
 
 # --- unit-hygiene rules -------------------------------------------------
 
