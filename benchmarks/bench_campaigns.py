@@ -1,0 +1,92 @@
+"""Perf trajectory seed: campaign throughput, serial vs parallel.
+
+Times one fixed 32-run chaos campaign through the unified execution
+core at ``workers=1`` and ``workers=4`` and writes the measurements to
+``BENCH_campaigns.json`` so future PRs have a baseline to regress
+against.  Correctness is asserted unconditionally — the two merged
+reports must be bit-identical; the speedup assertion only applies on
+hosts with enough cores to express it (a single-core runner can prove
+determinism, not parallelism).
+
+Wall-clock here is the *measurement*, not simulation state, so the
+``time.perf_counter`` reads are deliberate (DET103 suppressions).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import report
+from repro.chaos import ChaosConfig, ChaosRunner
+
+RUNS = 32
+SEED = 7
+DURATION_S = 0.01
+#: Cores needed before the parallel leg is expected to actually win.
+MIN_CORES_FOR_SPEEDUP = 4
+OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_campaigns.json"
+
+
+def _timed_campaign(workers):
+    runner = ChaosRunner(runs=RUNS, seed=SEED,
+                         config=ChaosConfig(duration_s=DURATION_S),
+                         workers=workers)
+    start = time.perf_counter()  # repro: noqa[DET103]
+    campaign = runner.run()
+    wall_s = time.perf_counter() - start  # repro: noqa[DET103]
+    return campaign, wall_s
+
+
+def test_campaign_throughput(benchmark):
+    results = {}
+
+    def run():
+        results.clear()
+        for workers in (1, MIN_CORES_FOR_SPEEDUP):
+            results[workers] = _timed_campaign(workers)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    serial, serial_s = results[1]
+    parallel, parallel_s = results[MIN_CORES_FOR_SPEEDUP]
+    speedup = serial_s / parallel_s if parallel_s else 0.0
+    cpu_count = os.cpu_count() or 1
+
+    payload = {
+        "benchmark": "campaigns",
+        "campaign": "chaos",
+        "runs": RUNS,
+        "seed": SEED,
+        "duration_s": DURATION_S,
+        "cpu_count": cpu_count,
+        "workers": {
+            "1": {"wall_s": round(serial_s, 3),
+                  "runs_per_s": round(RUNS / serial_s, 3)},
+            str(MIN_CORES_FOR_SPEEDUP): {
+                "wall_s": round(parallel_s, 3),
+                "runs_per_s": round(RUNS / parallel_s, 3)},
+        },
+        "speedup": round(speedup, 3),
+        "bit_identical": serial.render() == parallel.render(),
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+
+    body = (f"serial:   {serial_s:7.2f}s  "
+            f"({RUNS / serial_s:5.2f} runs/s)\n"
+            f"parallel: {parallel_s:7.2f}s  "
+            f"({RUNS / parallel_s:5.2f} runs/s, "
+            f"workers={MIN_CORES_FOR_SPEEDUP})\n"
+            f"speedup:  {speedup:.2f}x on {cpu_count} core(s)\n"
+            f"wrote {OUTPUT.name}")
+    report(f"Campaign throughput ({RUNS}-run chaos, seed {SEED})", body)
+
+    # The core contract: executors change wall-clock, never results.
+    assert serial.render() == parallel.render()
+    assert serial.ok and parallel.ok
+    # The perf contract, only where the hardware can express it.
+    if cpu_count >= MIN_CORES_FOR_SPEEDUP:
+        assert speedup >= 2.5, (
+            f"expected >= 2.5x speedup on {cpu_count} cores, "
+            f"got {speedup:.2f}x")

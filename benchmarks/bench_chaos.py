@@ -9,7 +9,7 @@ accounting is the experiment: loss-free migration survives a hostile
 run, not just the happy path.
 """
 
-from conftest import report
+from conftest import campaign_workers, report
 from repro.chaos import ChaosConfig, ChaosRunner
 
 RUNS = 10
@@ -22,7 +22,8 @@ def test_chaos_campaign(benchmark):
     def run():
         results.clear()
         runner = ChaosRunner(runs=RUNS, seed=SEED,
-                             config=ChaosConfig(duration_s=0.02))
+                             config=ChaosConfig(duration_s=0.02),
+                             workers=campaign_workers())
         results.append(runner.run())
 
     benchmark.pedantic(run, rounds=1, iterations=1)

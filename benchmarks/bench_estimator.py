@@ -22,7 +22,7 @@ from repro.telemetry.estimator import (EwmaEstimator, HoltEstimator,
                                        SmoothedController)
 from repro.traffic.packet import FixedSize
 from repro.traffic.patterns import ProfiledArrivals, sawtooth
-from repro.units import gbps
+from repro.units import as_msec, gbps
 
 
 def run_profile(profile, controller, duration):
@@ -73,8 +73,8 @@ def test_estimator_ablation(benchmark):
         ["sawtooth: infeasible plans (scale-out events)",
          str(raw_noise), str(ewma_noise)],
         ["ramp: first migration (ms)",
-         f"{raw_times[0] * 1e3:.1f}" if raw_times else "-",
-         f"{holt_times[0] * 1e3:.1f}" if holt_times else "-"],
+         f"{as_msec(raw_times[0]):.1f}" if raw_times else "-",
+         f"{as_msec(holt_times[0]):.1f}" if holt_times else "-"],
     ]
     report("Ablation A11 — raw vs smoothed load estimation",
            render_table(["metric", "raw loop", "smoothed"], rows))

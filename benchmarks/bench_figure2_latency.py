@@ -10,7 +10,7 @@ import statistics
 
 import pytest
 
-from conftest import report
+from conftest import campaign_workers, report
 from repro.harness.scenarios import figure1
 from repro.harness.sweep import packet_size_sweep
 from repro.harness.tables import render_figure2_latency
@@ -24,7 +24,8 @@ def test_figure2_latency_series(benchmark):
     def run():
         points.clear()
         points.extend(packet_size_sweep(figure1(), sizes=PAPER_SIZE_SWEEP,
-                                        duration_s=0.008))
+                                        duration_s=0.008,
+                                        workers=campaign_workers()))
         return points
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -18,7 +18,7 @@ from repro.harness.tables import render_table
 from repro.telemetry.metrics import relative_change
 from repro.traffic.generators import PoissonArrivals
 from repro.traffic.packet import IMixSize
-from repro.units import as_usec, gbps
+from repro.units import as_gbps, as_usec, gbps
 
 
 def measure(placement_scenario, load_bps):
@@ -49,7 +49,7 @@ def test_imix_headline(benchmark):
         rows.append([policy,
                      f"{as_usec(result.latency.mean_s):.1f}",
                      f"{as_usec(result.latency.p99_s):.1f}",
-                     f"{result.goodput_bps / 1e9:.2f}"])
+                     f"{as_gbps(result.goodput_bps):.2f}"])
     gap = relative_change(state["pam"].latency.mean_s,
                           state["naive"].latency.mean_s)
     report("Ablation A12 — the Figure 2 comparison under IMIX traffic",

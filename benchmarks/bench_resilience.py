@@ -15,8 +15,7 @@ reproducible artifacts, not samples.
 """
 
 from conftest import report
-from repro.chaos.invariants import (check_invariants,
-                                    check_resilience_invariants)
+from repro.resilience.campaign import scenario_payload
 from repro.resilience.scenarios import run_device_kill, run_overload_shed
 from repro.units import as_msec
 
@@ -24,12 +23,8 @@ SEED = 7
 
 
 def _violations(run):
-    controller = run.controller
-    out = check_invariants(controller.network, controller.server,
-                           controller.executor)
-    out.extend(check_resilience_invariants(
-        controller, controller.config.degradation.max_shed_fraction))
-    return out
+    """Invariant verdict, via the campaign layer's payload flattening."""
+    return scenario_payload(run)["violations"]
 
 
 def _class_rows(stats):

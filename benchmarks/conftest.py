@@ -13,7 +13,19 @@ not the wall-clock — is the scientific output.
 
 from __future__ import annotations
 
+import os
 import sys
+
+
+def campaign_workers() -> int:
+    """Worker count for campaign-shaped benches.
+
+    Defaults to serial; ``REPRO_BENCH_WORKERS=N`` fans campaigns out
+    through :mod:`repro.exec`'s parallel executor.  Safe to raise on
+    any host: parallel campaigns are bit-identical to serial ones, so
+    only the wall-clock changes.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 def report(title: str, body: str) -> None:

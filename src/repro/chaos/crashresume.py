@@ -81,7 +81,8 @@ def _count_run_results(journal_path: str) -> int:
 def run_crash_resume_check(runs: int = 6, seed: int = 7,
                            duration_s: float = 0.02,
                            journal_path: str = "crash-resume-journal.jsonl",
-                           kill_after_runs: int = 2) -> CrashResumeOutcome:
+                           kill_after_runs: int = 2,
+                           workers: int = 1) -> CrashResumeOutcome:
     """SIGKILL a campaign subprocess mid-flight and resume its journal.
 
     Launches ``python -m repro chaos --journal ...`` as a subprocess,
@@ -89,6 +90,12 @@ def run_crash_resume_check(runs: int = 6, seed: int = 7,
     SIGKILLs it, deterministically appends a torn record, resumes the
     campaign in-process from the journal, and compares the merged
     report against an uninterrupted reference campaign.
+
+    ``workers`` applies to the killed campaign and the resume; the
+    reference always runs serially, so with ``workers > 1`` the check
+    additionally proves the parallel merged report is bit-exact against
+    the serial one.  A parallel journal's run-results may land out of
+    index order — the merge is by index, so resume handles the gaps.
     """
     config = ChaosConfig(duration_s=duration_s)
     src_root = Path(__file__).resolve().parents[2]
@@ -99,6 +106,7 @@ def run_crash_resume_check(runs: int = 6, seed: int = 7,
     command = [sys.executable, "-m", "repro", "chaos",
                "--runs", str(runs), "--seed", str(seed),
                "--duration", str(duration_s),
+               "--workers", str(workers),
                "--journal", journal_path, "--checkpoint-every", "1"]
     process = subprocess.Popen(command, env=env,
                                stdout=subprocess.DEVNULL,
@@ -126,7 +134,8 @@ def run_crash_resume_check(runs: int = 6, seed: int = 7,
     with open(journal_path, "a", encoding="utf-8") as handle:
         handle.write('{"crc": 0, "record": {"kind": "run-res')
     resumer = ChaosRunner(runs=runs, seed=seed, config=config,
-                          resume_from=journal_path, checkpoint_every=1)
+                          resume_from=journal_path, checkpoint_every=1,
+                          workers=workers)
     with warnings.catch_warnings():
         # The torn tail we just planted warns by design.
         warnings.simplefilter("ignore", RuntimeWarning)

@@ -23,21 +23,20 @@ violating run replays exactly from its reported seed.
 from __future__ import annotations
 
 import random
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..checkpoint import (JournalWriter, canonical_json, read_journal,
-                          record_checksum)
 from ..core.operator import HardenedController, HardeningConfig
 from ..core.reverse import PullbackConfig
 from ..errors import ConfigurationError
+from ..exec import (Campaign, RunRequest, make_executor, register_campaign,
+                    run_campaign, seed_for)
 from ..harness.scenarios import figure1
 from ..migration.executor import (OUTCOME_SUCCEEDED, ProbabilisticFailure,
                                   RetryPolicy)
 from ..resilience.controller import ResilienceConfig, ResilientController
 from ..sim.faults import FaultInjector
-from ..sim.runner import SimulationRunner
+from ..sim.runner import SimulationResult, SimulationRunner
 from ..traffic.packet import FixedSize
 from ..traffic.patterns import ProfiledArrivals, RateProfile, spike
 from ..units import gbps, usec
@@ -170,9 +169,11 @@ class ChaosReport:
 class ChaosScenario:
     """One fully wired scenario: faults applied, not yet run.
 
-    Exposed so checkpoint tests and the crash-resume check can build
-    the *identical* seeded scenario the campaign would run, snapshot it
-    mid-flight, and resume it in a fresh process.
+    Implements the :class:`repro.exec.Scenario` protocol
+    (``prepare``/``run``/``collect``).  Exposed so checkpoint tests and
+    the crash-resume check can build the *identical* seeded scenario
+    the campaign would run, snapshot it mid-flight, and resume it in a
+    fresh process.
     """
 
     seed: int
@@ -181,6 +182,58 @@ class ChaosScenario:
     hardened: HardenedController
     resilient: Optional[ResilientController]
     injector: FaultInjector
+    #: Set by :meth:`run`; consumed by :meth:`collect`.
+    result: Optional[SimulationResult] = None
+
+    def prepare(self) -> None:
+        """Inject the seeded workload and arm the monitor (idempotent)."""
+        self.sim.prepare()
+
+    def run(self) -> SimulationResult:
+        """Run the workload, then drain the engine to exhaustion.
+
+        The drain matters: fault restores, retry backoffs, and packet
+        events past the horizon must all land before the invariant
+        checks inspect the end state.
+        """
+        self.result = self.sim.run()
+        self.sim.engine.run()
+        return self.result
+
+    def collect(self) -> ChaosRunResult:
+        """Aggregate the drained end state and check every invariant."""
+        if self.result is None:
+            raise ConfigurationError("collect() before run()")
+        sim = self.sim
+        server = sim.server
+        hardened = self.hardened
+        resilient = self.resilient
+        violations = check_invariants(sim.network, server,
+                                      hardened.executor)
+        if resilient is not None:
+            violations.extend(check_resilience_invariants(
+                resilient,
+                resilient.config.degradation.max_shed_fraction))
+        records = hardened.executor.records if hardened.executor else []
+        outcomes = hardened.executor.outcomes if hardened.executor else []
+        return ChaosRunResult(
+            seed=self.seed,
+            schedule=self.schedule,
+            violations=violations,
+            injected=self.result.injected,
+            delivered=len(sim.network.delivered),
+            dropped=len(sim.network.dropped),
+            fault_losses=self.injector.total_lost,
+            migrations=len([r for r in records
+                            if r.outcome == OUTCOME_SUCCEEDED]),
+            attempts=len(records),
+            plans_aborted=len([o for o in outcomes if not o.succeeded]),
+            stale_ticks=hardened.stale_ticks,
+            shed=resilient.shedder.shed_packets if resilient else 0,
+            protected_shed=resilient.shedder.protected_shed_packets()
+            if resilient else 0,
+            recoveries=len(resilient.recoveries) if resilient else 0,
+            abandoned=resilient.abandoned_packets if resilient else 0)
 
 
 class ChaosRunner:
@@ -200,11 +253,14 @@ class ChaosRunner:
                  config: Optional[ChaosConfig] = None,
                  journal_path: Optional[str] = None,
                  resume_from: Optional[str] = None,
-                 checkpoint_every: int = 5) -> None:
+                 checkpoint_every: int = 5,
+                 workers: int = 1) -> None:
         if runs < 1:
             raise ConfigurationError("need at least one chaos run")
         if checkpoint_every < 1:
             raise ConfigurationError("checkpoint interval must be >= 1")
+        if workers < 1:
+            raise ConfigurationError("worker count must be >= 1")
         self.runs = runs
         self.seed = seed
         self.config = config or ChaosConfig()
@@ -213,80 +269,24 @@ class ChaosRunner:
         self.journal_path = journal_path or resume_from
         self.resume_from = resume_from
         self.checkpoint_every = checkpoint_every
+        self.workers = workers
         #: Runs restored from the journal by the last :meth:`run` call.
         self.replayed_runs = 0
 
-    # -- journal protocol --------------------------------------------------
-
-    def _fingerprint(self) -> Dict[str, object]:
-        """Campaign identity: resuming under different parameters would
-        silently splice incompatible runs into one report."""
-        return {"runs": self.runs, "seed": self.seed,
-                "config": self.config.to_dict()}
-
-    def _replay_journal(self) -> Dict[int, ChaosRunResult]:
-        """Completed results by run index, validated against this
-        campaign's fingerprint."""
-        outcome = read_journal(self.resume_from, tolerate_torn_tail=True)
-        if outcome.dropped_tail:
-            warnings.warn(
-                f"journal {self.resume_from}: {outcome.dropped_detail}; "
-                f"resuming from the last intact record",
-                RuntimeWarning, stacklevel=3)
-        starts = outcome.of_kind("campaign-start")
-        if not starts:
-            raise ConfigurationError(
-                f"journal {self.resume_from} has no campaign-start record")
-        recorded = {key: starts[0][key] for key in ("runs", "seed", "config")}
-        expected = self._fingerprint()
-        if canonical_json(recorded) != canonical_json(expected):
-            raise ConfigurationError(
-                f"journal {self.resume_from} was written by a different "
-                f"campaign: recorded {recorded}, resuming {expected}")
-        completed: Dict[int, ChaosRunResult] = {}
-        for record in outcome.of_kind("run-result"):
-            completed[int(record["index"])] = \
-                ChaosRunResult.from_dict(record["result"])
-        return completed
-
     def run(self) -> ChaosReport:
-        """Run every scenario; never raises on violations (report them)."""
-        completed: Dict[int, ChaosRunResult] = {}
-        if self.resume_from is not None:
-            completed = self._replay_journal()
-        self.replayed_runs = 0
-        writer: Optional[JournalWriter] = None
-        if self.journal_path is not None:
-            mode = "append" if self.resume_from is not None else "truncate"
-            writer = JournalWriter(self.journal_path, mode=mode)
-            if self.resume_from is None:
-                writer.append({"kind": "campaign-start",
-                               **self._fingerprint()})
-        report = ChaosReport()
-        try:
-            for index in range(self.runs):
-                if index in completed:
-                    report.results.append(completed[index])
-                    self.replayed_runs += 1
-                    continue
-                result = self.run_one(self.seed + index)
-                report.results.append(result)
-                if writer is not None:
-                    writer.append({"kind": "run-result", "index": index,
-                                   "result": result.to_dict()})
-                    if (index + 1) % self.checkpoint_every == 0:
-                        writer.append({
-                            "kind": "campaign-progress",
-                            "completed": index + 1,
-                            "digest": record_checksum(
-                                [r.to_dict() for r in report.results])})
-            if writer is not None:
-                writer.append({"kind": "campaign-end", "runs": self.runs,
-                               "violations": report.total_violations})
-        finally:
-            if writer is not None:
-                writer.close()
-        return report
+        """Run every scenario; never raises on violations (report them).
+
+        Delegates the loop, journal middleware, and merge to
+        :func:`repro.exec.run_campaign`; this runner only knows how to
+        execute one scenario and how to shape the report.
+        """
+        outcome = run_campaign(
+            ChaosCampaign(self), executor=make_executor(self.workers),
+            journal_path=self.journal_path, resume_from=self.resume_from,
+            checkpoint_every=self.checkpoint_every)
+        self.replayed_runs = outcome.replayed
+        return ChaosReport(results=[ChaosRunResult.from_dict(payload)
+                                    for payload in outcome.payloads])
 
     def run_one(self, run_seed: int) -> ChaosRunResult:
         """One fully seeded scenario: traffic, faults, control, checks.
@@ -376,39 +376,71 @@ class ChaosRunner:
 
     def _execute(self, run_seed: int,
                  schedule: ChaosSchedule) -> ChaosRunResult:
+        """Build → prepare → run → collect, the Scenario protocol."""
         scenario = self.build_scenario(run_seed, schedule)
-        sim = scenario.sim
-        server = sim.server
-        hardened = scenario.hardened
-        resilient = scenario.resilient
-        injector = scenario.injector
-        result = sim.run()
-        # Run the engine to exhaustion: fault restores, retry backoffs,
-        # and packet events past the horizon all land before checking.
-        sim.engine.run()
-        executor = hardened.executor
-        violations = check_invariants(sim.network, server, executor)
-        if resilient is not None:
-            violations.extend(check_resilience_invariants(
-                resilient,
-                resilient.config.degradation.max_shed_fraction))
-        records = executor.records if executor else []
-        outcomes = executor.outcomes if executor else []
+        scenario.prepare()
+        scenario.run()
+        return scenario.collect()
+
+
+@register_campaign
+class ChaosCampaign(Campaign):
+    """The chaos campaign grid: ``runs`` seeded scenarios, one config.
+
+    Payloads are :meth:`ChaosRunResult.to_dict` records — exactly what
+    the journal has always stored, so pre-existing chaos journals keep
+    resuming.  Workers rebuild the campaign (and its runner) from the
+    ``runs``/``seed``/``config`` spec alone.
+    """
+
+    kind = "chaos"
+
+    def __init__(self, runner: ChaosRunner) -> None:
+        self.runner = runner
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Campaign identity: runs, base seed, and the full config."""
+        return {"runs": self.runner.runs, "seed": self.runner.seed,
+                "config": self.runner.config.to_dict()}
+
+    def spec(self) -> Dict[str, object]:
+        """Everything a worker needs to rebuild this campaign."""
+        return self.fingerprint()
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "ChaosCampaign":
+        """Rebuild from :meth:`spec` (worker-side construction)."""
+        return cls(ChaosRunner(
+            runs=int(spec["runs"]), seed=int(spec["seed"]),
+            config=ChaosConfig.from_dict(spec["config"])))
+
+    def requests(self) -> List[RunRequest]:
+        """Scenario ``i`` runs at ``seed_for(seed, i)`` — ``seed + i``."""
+        return [RunRequest(index=index,
+                           seed=seed_for(self.runner.seed, index))
+                for index in range(self.runner.runs)]
+
+    def run_request(self, request: RunRequest) -> Dict[str, object]:
+        """One scenario; crashes inside become scenario-error results."""
+        return self.runner.run_one(request.seed).to_dict()
+
+    def error_payload(self, request: RunRequest,
+                      error: str) -> Dict[str, object]:
+        """Crash isolation: a dead worker's run is itself a violation."""
+        schedule = ChaosSchedule.generate(
+            [nf.name for nf in figure1().chain], self.runner.config,
+            seed=request.seed)
         return ChaosRunResult(
-            seed=run_seed,
-            schedule=schedule,
-            violations=violations,
-            injected=result.injected,
-            delivered=len(sim.network.delivered),
-            dropped=len(sim.network.dropped),
-            fault_losses=injector.total_lost,
-            migrations=len([r for r in records
-                            if r.outcome == OUTCOME_SUCCEEDED]),
-            attempts=len(records),
-            plans_aborted=len([o for o in outcomes if not o.succeeded]),
-            stale_ticks=hardened.stale_ticks,
-            shed=resilient.shedder.shed_packets if resilient else 0,
-            protected_shed=resilient.shedder.protected_shed_packets()
-            if resilient else 0,
-            recoveries=len(resilient.recoveries) if resilient else 0,
-            abandoned=resilient.abandoned_packets if resilient else 0)
+            seed=request.seed, schedule=schedule,
+            violations=[Violation(
+                "scenario-error", f"worker failed: {error}")],
+            injected=0, delivered=0, dropped=0, fault_losses=0,
+            migrations=0, attempts=0, plans_aborted=0,
+            stale_ticks=0).to_dict()
+
+    def end_record(self, payloads: List[Dict[str, object]]
+                   ) -> Dict[str, object]:
+        """Campaign totals, matching the established journal schema."""
+        return {"runs": self.runner.runs,
+                "violations": sum(len(payload["violations"])
+                                  for payload in payloads)}

@@ -77,7 +77,8 @@ def cmd_figure2(args: argparse.Namespace) -> int:
     points = packet_size_sweep(figure1(), sizes=tuple(args.sizes),
                                duration_s=args.duration,
                                journal_path=args.journal,
-                               resume_from=args.resume_from)
+                               resume_from=args.resume_from,
+                               workers=args.workers)
     print(render_figure2_latency(points))
     print()
     print(render_figure2_throughput(points))
@@ -206,7 +207,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     runner = ChaosRunner(runs=args.runs, seed=args.seed, config=config,
                          journal_path=args.journal,
                          resume_from=args.resume_from,
-                         checkpoint_every=args.checkpoint_every)
+                         checkpoint_every=args.checkpoint_every,
+                         workers=args.workers)
     report = runner.run()
     if runner.replayed_runs:
         print(f"replayed {runner.replayed_runs} run(s) from journal "
@@ -227,56 +229,56 @@ def cmd_crash_resume(args: argparse.Namespace) -> int:
             "journal.jsonl")
     outcome = run_crash_resume_check(
         runs=args.runs, seed=args.seed, duration_s=args.duration,
-        journal_path=journal, kill_after_runs=args.kill_after)
+        journal_path=journal, kill_after_runs=args.kill_after,
+        workers=args.workers)
     print(outcome.render())
     return 0 if outcome.match else 1
 
 
 def cmd_resilience(args: argparse.Namespace) -> int:
-    """Run one canned resilience scenario and report its verdict."""
-    from .chaos.invariants import (check_invariants,
-                                   check_resilience_invariants)
+    """Run canned resilience scenario(s) and report their verdicts."""
+    from .exec import make_executor, run_campaign
+    from .resilience.campaign import (ResilienceCampaign, render_payload,
+                                      scenario_payload)
     from .resilience.scenarios import resume_scenario, run_scenario
-    if args.resume_from is not None:
-        run = resume_scenario(args.resume_from)
-        print(f"resumed from snapshot {args.resume_from}")
+    snapshotting = (args.resume_from is not None
+                    or args.checkpoint_every > 0)
+    if snapshotting:
+        # Quiescent-point snapshots cover one simulation, not a grid:
+        # the campaign options make no sense alongside them.
+        if (args.runs != 1 or args.workers != 1
+                or args.journal is not None
+                or args.resume_journal is not None):
+            raise ReproError(
+                "snapshot checkpoint/resume applies to a single run; "
+                "drop --runs/--workers/--journal/--resume-journal")
+        if args.resume_from is not None:
+            run = resume_scenario(args.resume_from)
+            print(f"resumed from snapshot {args.resume_from}")
+        else:
+            run = run_scenario(args.scenario, seed=args.seed,
+                               duration_s=args.duration,
+                               checkpoint_every=args.checkpoint_every,
+                               checkpoint_dir=args.checkpoint_dir)
+            for path in run.checkpoints:
+                print(f"checkpoint written: {path}")
+        payloads = [scenario_payload(run)]
     else:
-        run = run_scenario(args.scenario, seed=args.seed,
-                           duration_s=args.duration,
-                           checkpoint_every=args.checkpoint_every,
-                           checkpoint_dir=args.checkpoint_dir)
-        for path in run.checkpoints:
-            print(f"checkpoint written: {path}")
-    controller = run.controller
-    print(f"scenario {run.name!r} (seed {run.seed}):")
-    print(f"  final placement: {run.result.final_placement}")
-    print(f"  delivered {run.result.delivered}/{run.result.injected} "
-          f"(dropped {run.result.dropped}, shed {run.result.shed})")
-    if controller.health.transitions:
-        print("  health transitions:")
-        for t in controller.health.transitions:
-            print(f"    {as_msec(t.at_s):7.2f}ms  {t.entity:<18} "
-                  f"{t.previous.value} -> {t.state.value}  ({t.reason})")
-    for recovery in run.stats.recoveries:
-        ttr = (f"{as_msec(recovery.time_to_recover_s):.3f}ms"
-               if recovery.time_to_recover_s is not None else "-")
-        print(f"  recovery of {recovery.device}: {recovery.status} "
-              f"in {recovery.attempts} attempt(s), time-to-recover {ttr}, "
-              f"evacuated [{', '.join(recovery.evacuated) or '-'}]")
-    print(f"  degraded for {as_msec(run.stats.degraded_time_s):.2f}ms "
-          f"(final ladder level {run.stats.final_ladder_level})")
-    for cls in run.stats.classes:
-        print(f"    class {cls.name:<8} offered {cls.offered_packets:>6} "
-              f"shed {cls.shed_packets:>6} ({cls.shed_fraction:.1%})"
-              f"{'' if cls.sheddable else '  [protected]'}")
-    violations = check_invariants(
-        controller.network, controller.server, controller.executor)
-    violations.extend(check_resilience_invariants(
-        controller, controller.config.degradation.max_shed_fraction))
-    for violation in violations:
-        print(f"  VIOLATION {violation}")
-    print(f"  verdict: {'ok' if not violations else 'INVARIANTS BROKEN'}")
-    return 0 if not violations else 1
+        campaign = ResilienceCampaign(args.scenario, runs=args.runs,
+                                      seed=args.seed,
+                                      duration_s=args.duration)
+        outcome = run_campaign(campaign,
+                               executor=make_executor(args.workers),
+                               journal_path=args.journal,
+                               resume_from=args.resume_journal)
+        if outcome.replayed:
+            print(f"replayed {outcome.replayed} run(s) from journal "
+                  f"{args.resume_journal}")
+        payloads = outcome.payloads
+    for payload in payloads:
+        print(render_payload(payload))
+    total = sum(len(payload["violations"]) for payload in payloads)
+    return 0 if total == 0 else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -338,7 +340,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="seconds of simulated traffic per run")
     p_fig1.set_defaults(func=cmd_figure1)
 
-    p_fig2 = sub.add_parser("figure2", help="packet-size sweep")
+    p_fig2 = sub.add_parser("figure2", aliases=["sweep"],
+                            help="packet-size sweep")
     p_fig2.add_argument("--sizes", type=int, nargs="+",
                         default=list(PAPER_SIZE_SWEEP))
     p_fig2.add_argument("--duration", type=float, default=0.008)
@@ -350,6 +353,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig2.add_argument("--resume-from", metavar="PATH",
                         help="journal to replay completed sweep points "
                              "from")
+    p_fig2.add_argument("--workers", type=int, default=1,
+                        help="process-pool size; results are "
+                             "bit-identical to --workers 1")
     p_fig2.set_defaults(func=cmd_figure2)
 
     p_plan = sub.add_parser("plan", help="run a selection policy")
@@ -419,6 +425,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--checkpoint-every", type=int, default=5,
                          help="journal a campaign-progress digest every "
                               "N runs")
+    p_chaos.add_argument("--workers", type=int, default=1,
+                         help="process-pool size; the merged report is "
+                              "bit-identical to --workers 1")
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_crash = sub.add_parser("crash-resume",
@@ -433,6 +442,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="SIGKILL once this many runs are journaled")
     p_crash.add_argument("--journal", metavar="PATH",
                          help="journal path (default: a temp directory)")
+    p_crash.add_argument("--workers", type=int, default=1,
+                         help="process-pool size for the killed and "
+                              "resumed campaigns (the reference stays "
+                              "serial, so this also proves parallel == "
+                              "serial)")
     p_crash.set_defaults(func=cmd_crash_resume)
 
     p_res = sub.add_parser("resilience",
@@ -443,6 +457,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--seed", type=int, default=7)
     p_res.add_argument("--duration", type=float, default=None,
                        help="simulated seconds (scenario default if unset)")
+    p_res.add_argument("--runs", type=int, default=1,
+                       help="repetitions; run i uses seed+i")
+    p_res.add_argument("--workers", type=int, default=1,
+                       help="process-pool size; reports are "
+                            "bit-identical to --workers 1")
+    p_res.add_argument("--journal", metavar="PATH",
+                       help="write-ahead run journal (JSONL) logging "
+                            "campaign progress")
+    p_res.add_argument("--resume-journal", metavar="PATH",
+                       help="run journal to replay completed runs from "
+                            "(distinct from --resume-from, which takes "
+                            "a simulation snapshot)")
     p_res.add_argument("--checkpoint-every", type=int, default=0,
                        help="write a deterministic snapshot every N "
                             "monitor ticks (needs --checkpoint-dir)")

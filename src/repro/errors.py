@@ -54,6 +54,13 @@ class InfeasiblePlanError(MigrationError):
     """
 
 
+class ExecutionError(ReproError):
+    """A campaign run failed in an executor worker and the campaign has
+    no way to record the failure as a result (no violation vocabulary),
+    so the crash propagates — the same thing the serial loop would do.
+    """
+
+
 class CheckpointError(ReproError):
     """A checkpoint artifact failed an integrity or fidelity check.
 

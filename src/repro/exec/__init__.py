@@ -1,0 +1,54 @@
+"""The layered campaign-execution core.
+
+Every batch of simulations in this repository — chaos campaigns,
+resilience scenario runs, the figure-2 packet-size sweep, experiment
+suites — used to carry its own run loop, its own journal plumbing, and
+its own merge logic.  This package is the single replacement:
+
+* :mod:`repro.exec.scenario` — the :class:`Scenario` protocol
+  (build → ``prepare`` → ``run`` → ``collect``) one unit of simulated
+  work implements, and :func:`seed_for`, the one derivation of a
+  per-run seed from a campaign seed.
+* :mod:`repro.exec.campaign` — a :class:`Campaign` expands a JSON-clean
+  spec into an ordered list of :class:`RunRequest`\\ s and turns each
+  into a JSON-clean result payload; a kind registry lets worker
+  processes rebuild campaigns from their specs alone.
+* :mod:`repro.exec.executors` — pluggable executors:
+  :class:`SerialExecutor` (default, behaviour-identical to the old
+  loops) and the :class:`ProcessPoolExecutor`-backed
+  :class:`ParallelExecutor` (worker-side campaign construction, never
+  pickling an engine/queue/RNG, crash isolation per run).
+* :mod:`repro.exec.driver` — :func:`run_campaign`, which owns the one
+  remaining campaign loop: journal middleware (``campaign-start``
+  fingerprint, ``run-result`` per completion, ``campaign-progress``
+  digests, ``campaign-end``), journal replay on resume, and the
+  deterministic merge of results by request index regardless of
+  completion order.
+
+Determinism contract: a campaign's merged payload list depends only on
+its spec and seed — never on the executor, worker count, or completion
+order.  ``--workers 4`` and ``--workers 1`` render byte-identical
+reports.
+"""
+
+from .campaign import (Campaign, RunRequest, build_campaign,
+                       register_campaign)
+from .driver import CampaignOutcome, run_campaign
+from .executors import (Executor, ParallelExecutor, SerialExecutor,
+                        make_executor)
+from .scenario import Scenario, seed_for
+
+__all__ = [
+    "Campaign",
+    "CampaignOutcome",
+    "Executor",
+    "ParallelExecutor",
+    "RunRequest",
+    "Scenario",
+    "SerialExecutor",
+    "build_campaign",
+    "make_executor",
+    "register_campaign",
+    "run_campaign",
+    "seed_for",
+]

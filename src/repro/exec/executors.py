@@ -1,0 +1,143 @@
+"""Pluggable executors: serial (default) and process-pool parallel.
+
+Both executors expose one generator, ``map(campaign, requests)``,
+yielding ``(index, payload)`` pairs **in completion order** — the
+driver journals completions as they land and merges by index at the
+end, so the merged result is identical whichever executor ran.
+
+The parallel executor ships only JSON across the process boundary: the
+campaign's ``(kind, spec)`` and each request's dict go out, payload
+dicts come back.  Workers rebuild the campaign from its spec
+(:func:`repro.exec.campaign.build_campaign`) and construct every
+scenario on their side — no engine, event queue, or RNG is ever
+pickled (lint rule ``DET106``).  A worker whose run raises returns the
+error as data; the driver converts it through the campaign's
+``error_payload`` hook, so one crashed run becomes a recorded
+``scenario-error`` instead of killing the campaign.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, Iterator, List, Protocol, Tuple
+
+from ..checkpoint import canonical_json
+from ..errors import ConfigurationError
+from .campaign import Campaign, RunRequest, build_campaign
+
+#: Yield type of ``Executor.map``: (request index, result payload).
+Completion = Tuple[int, Dict[str, object]]
+
+
+class Executor(Protocol):
+    """How a campaign's pending requests get executed."""
+
+    #: Worker count (1 for the serial executor); reports/benches record it.
+    workers: int
+
+    def map(self, campaign: Campaign,
+            requests: List[RunRequest]) -> Iterator[Completion]:
+        """Yield ``(index, payload)`` per request, in completion order."""
+
+
+class SerialExecutor:
+    """In-process, in-order execution — the old loops, distilled.
+
+    Exceptions propagate exactly as they did from the bespoke loops
+    (campaigns that want crash isolation catch inside
+    ``run_request``, as the chaos runner always has).
+    """
+
+    workers = 1
+
+    def map(self, campaign: Campaign,
+            requests: List[RunRequest]) -> Iterator[Completion]:
+        """Run each request in request order."""
+        for request in requests:
+            yield request.index, campaign.run_request(request)
+
+
+def _run_request_in_worker(kind: str, spec: Dict[str, object],
+                           request_dict: Dict[str, object]
+                           ) -> Tuple[bool, Dict[str, object]]:
+    """Worker-side entry: rebuild the campaign, execute one request.
+
+    Module-level so it pickles by reference.  The campaign is rebuilt
+    from its JSON spec and cached per process (keyed by canonical spec,
+    so a pool reused across campaigns never serves a stale one).
+    Returns ``(True, payload)`` or ``(False, error-description)`` — a
+    crash travels back as data, to be shaped by the campaign's
+    ``error_payload`` hook in the parent.
+    """
+    key = (kind, canonical_json(spec))
+    campaign = _WORKER_CAMPAIGNS.get(key)
+    if campaign is None:
+        campaign = build_campaign(kind, spec)
+        _WORKER_CAMPAIGNS.clear()
+        _WORKER_CAMPAIGNS[key] = campaign
+    request = RunRequest.from_dict(request_dict)
+    try:
+        return True, campaign.run_request(request)
+    # Crash isolation boundary: the failure is reported to the parent
+    # as data, never swallowed — the campaign decides how to record it.
+    except Exception as exc:  # repro: noqa[EXC402]
+        return False, {"error": f"{type(exc).__name__}: {exc}"}
+
+
+#: Per-worker-process campaign cache (see :func:`_run_request_in_worker`).
+_WORKER_CAMPAIGNS: Dict[Tuple[str, str], Campaign] = {}
+
+
+class ParallelExecutor:
+    """``ProcessPoolExecutor``-backed fan-out over a campaign's grid.
+
+    Determinism: every run's behaviour depends only on its request
+    (seed derived as ``seed_for(campaign_seed, index)``), so executing
+    runs concurrently changes wall-clock, never results.  Completion
+    order is scheduling-dependent; the driver's merge-by-index erases
+    it from every report.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 2:
+            raise ConfigurationError(
+                "ParallelExecutor needs at least 2 workers "
+                "(use SerialExecutor for 1)")
+        self.workers = workers
+
+    def map(self, campaign: Campaign,
+            requests: List[RunRequest]) -> Iterator[Completion]:
+        """Fan requests out to worker processes; yield as they finish."""
+        if not requests:
+            return
+        kind = campaign.kind
+        spec = campaign.spec()
+        # Round-trip the spec through the registry eagerly: a campaign
+        # that cannot be rebuilt from JSON must fail before any worker
+        # starts, not midway through the pool.
+        build_campaign(kind, spec)
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            pending = {
+                pool.submit(_run_request_in_worker, kind, spec,
+                            request.to_dict()): request
+                for request in requests}
+            while pending:
+                finished, _ = wait(list(pending),
+                                   return_when=FIRST_COMPLETED)
+                for future in finished:
+                    request = pending.pop(future)
+                    ok, payload = future.result()
+                    if ok:
+                        yield request.index, payload
+                    else:
+                        yield request.index, campaign.error_payload(
+                            request, str(payload["error"]))
+
+
+def make_executor(workers: int) -> Executor:
+    """The executor for a ``--workers N`` request (1 means serial)."""
+    if workers < 1:
+        raise ConfigurationError("worker count must be >= 1")
+    if workers == 1:
+        return SerialExecutor()
+    return ParallelExecutor(workers)

@@ -1,0 +1,50 @@
+"""The Scenario protocol: one unit of simulated work.
+
+A scenario is built fully wired (server, workload, controller, faults)
+but not yet run.  The three phases after building are:
+
+* ``prepare()`` — inject the seeded workload and arm control events.
+  Idempotent; split out so checkpoint resume can rebuild the identical
+  event population before fast-forwarding.
+* ``run()`` — drive the engine to completion (including any drain the
+  scenario needs before its end state is meaningful).
+* ``collect()`` — aggregate the end state into the scenario's result
+  object.  Pure inspection: calling it twice returns equal results.
+
+:class:`~repro.sim.runner.SimulationRunner`, chaos scenarios
+(:class:`~repro.chaos.runner.ChaosScenario`), resilience scenarios
+(:class:`~repro.resilience.scenarios.ResilienceScenario`), and harness
+experiments (:class:`~repro.harness.experiment.ExperimentScenario`)
+all implement this shape, which is what lets one campaign loop drive
+every kind of run.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class Scenario(Protocol):
+    """What the execution core asks of one unit of work."""
+
+    def prepare(self) -> None:
+        """Inject the workload and arm control events (idempotent)."""
+
+    def run(self) -> object:
+        """Drive the simulation to completion; return the raw result."""
+
+    def collect(self) -> object:
+        """Aggregate the end state into the scenario's result object."""
+
+
+def seed_for(campaign_seed: int, index: int) -> int:
+    """The per-run seed derived from a campaign seed and run index.
+
+    This is *the* derivation — identical for every campaign type and
+    every executor, and identical to the scheme the chaos runner has
+    always used (``seed + i``), so existing journals, reports, and
+    replay instructions stay valid.  A parallel worker computing run
+    ``i`` draws exactly the randomness the serial loop would have.
+    """
+    return campaign_seed + index

@@ -55,15 +55,41 @@ class ExperimentConfig:
             seed=self.seed)
 
 
+class ExperimentScenario:
+    """One experiment as a :class:`repro.exec.Scenario`.
+
+    Building wires the server and runner from the declarative config;
+    ``prepare``/``run``/``collect`` delegate to the simulation runner,
+    which implements the same protocol.
+    """
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.runner = SimulationRunner(
+            server=config.scenario.build_server(),
+            generator=config.build_generator(),
+            controller=config.controller,
+            monitor_period_s=config.monitor_period_s)
+
+    def prepare(self) -> None:
+        """Inject the workload and arm the monitor (idempotent)."""
+        self.runner.prepare()
+
+    def run(self) -> SimulationResult:
+        """Drive the simulation to completion."""
+        return self.runner.run()
+
+    def collect(self) -> SimulationResult:
+        """Aggregate the end state (pure inspection)."""
+        return self.runner.collect()
+
+
 def run_experiment(config: ExperimentConfig) -> SimulationResult:
-    """Build the server, run the workload, return the aggregates."""
-    server = config.scenario.build_server()
-    runner = SimulationRunner(
-        server=server,
-        generator=config.build_generator(),
-        controller=config.controller,
-        monitor_period_s=config.monitor_period_s)
-    return runner.run()
+    """Build the scenario, run the workload, return the aggregates."""
+    scenario = ExperimentScenario(config)
+    scenario.prepare()
+    scenario.run()
+    return scenario.collect()
 
 
 def steady_state(scenario: Scenario, offered_bps: float,

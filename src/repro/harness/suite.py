@@ -12,11 +12,13 @@ regression gate a CI job needs:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 from ..errors import ConfigurationError
+from ..exec import Campaign, RunRequest, register_campaign, run_campaign
 from .config import load as load_config
 from .results import Mismatch, ResultRecord, compare
 
@@ -68,13 +70,62 @@ def discover(directory: Union[str, Path]) -> List[Path]:
     return configs
 
 
-def run_suite(directory: Union[str, Path],
-              write_baselines: bool = True) -> List[SuiteEntry]:
-    """Execute every config; optionally (re)write the baseline records."""
-    entries = []
-    for config_path in discover(directory):
-        spec = load_config(config_path)
+@register_campaign
+class SuiteCampaign(Campaign):
+    """A directory of experiment configs as a campaign grid.
+
+    One request per discovered config file; the payload is the flat
+    :class:`ResultRecord` JSON document, so records survive the process
+    boundary and journal round-trips without a second format.
+    """
+
+    kind = "suite"
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.configs = discover(self.directory)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Suite identity: the config files it would execute."""
+        return {"directory": str(self.directory),
+                "configs": [path.name for path in self.configs]}
+
+    def spec(self) -> Dict[str, object]:
+        """Worker-rebuildable description (the directory path)."""
+        return {"directory": str(self.directory)}
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "SuiteCampaign":
+        """Rebuild from :meth:`spec` (worker-side construction)."""
+        return cls(str(spec["directory"]))
+
+    def requests(self) -> List[RunRequest]:
+        """One request per config, in discovery (sorted-name) order."""
+        return [RunRequest(index=index, params={"config": path.name})
+                for index, path in enumerate(self.configs)]
+
+    def run_request(self, request: RunRequest) -> Dict[str, object]:
+        """Execute one config and flatten its result record."""
+        spec = load_config(self.configs[request.index])
         record = ResultRecord.from_result(spec.run(), label=spec.name)
+        return json.loads(record.dumps())
+
+
+def _record_from_payload(payload: Dict[str, object]) -> ResultRecord:
+    """Rehydrate a campaign payload into a :class:`ResultRecord`."""
+    return ResultRecord.loads(json.dumps(payload))
+
+
+def run_suite(directory: Union[str, Path],
+              write_baselines: bool = True,
+              workers: int = 1) -> List[SuiteEntry]:
+    """Execute every config; optionally (re)write the baseline records."""
+    from ..exec import make_executor
+    campaign = SuiteCampaign(directory)
+    outcome = run_campaign(campaign, executor=make_executor(workers))
+    entries = []
+    for config_path, payload in zip(campaign.configs, outcome.payloads):
+        record = _record_from_payload(payload)
         if write_baselines:
             record.save(baseline_path(config_path))
         entries.append(SuiteEntry(config_path=config_path, record=record))
@@ -83,12 +134,15 @@ def run_suite(directory: Union[str, Path],
 
 def check_suite(directory: Union[str, Path],
                 latency_rtol: float = 0.05,
-                goodput_rtol: float = 0.05) -> List[SuiteCheck]:
+                goodput_rtol: float = 0.05,
+                workers: int = 1) -> List[SuiteCheck]:
     """Re-run every config and diff against committed baselines."""
+    from ..exec import make_executor
+    campaign = SuiteCampaign(directory)
+    outcome = run_campaign(campaign, executor=make_executor(workers))
     checks = []
-    for config_path in discover(directory):
-        spec = load_config(config_path)
-        fresh = ResultRecord.from_result(spec.run(), label=spec.name)
+    for config_path, payload in zip(campaign.configs, outcome.payloads):
+        fresh = _record_from_payload(payload)
         baseline_file = baseline_path(config_path)
         if not baseline_file.exists():
             checks.append(SuiteCheck(config_path=config_path,

@@ -1,32 +1,33 @@
 """Parameter sweeps: packet size (Figure 2), load ramps (Table 1), and
 the ablation axes (PCIe latency, chain length).
 
-The packet-size sweep is crash-safe: with ``journal_path`` set it logs
-each completed point to a write-ahead journal
-(:mod:`repro.checkpoint`), and ``resume_from`` replays journaled points
-instead of re-simulating them, so an interrupted sweep continues from
-where it died and renders an identical figure.
+The packet-size sweep is a :mod:`repro.exec` campaign: ``journal_path``
+write-ahead-logs each completed point, ``resume_from`` replays
+journaled points instead of re-simulating them, and ``workers`` fans
+the sizes out to a process pool — the merged point list is identical
+whichever executor ran (merge is by index, not completion order).
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..chain.nf import DeviceKind, NFProfile
 from ..chain.chain import ServiceChain
 from ..chain.placement import Placement
-from ..checkpoint import JournalWriter, canonical_json, read_journal
 from ..core.planner import SelectionPolicy
 from ..devices.server import ServerProfile
 from ..errors import ConfigurationError
+from ..exec import Campaign, RunRequest, make_executor, register_campaign, \
+    run_campaign
 from ..traffic.packet import PAPER_SIZE_SWEEP
 from ..units import as_gbps, as_usec
 from .compare import PolicyOutcome, compare_policies
 from .experiment import steady_state
 from .scenarios import (FIGURE1_BASE_LOAD_BPS, FIGURE1_SATURATION_BPS,
-                        Scenario)
+                        Scenario, enterprise_edge, datacenter_inline,
+                        figure1, table1_chain)
 
 
 @dataclass(frozen=True)
@@ -85,29 +86,89 @@ class SizeSweepPoint:
                    outcomes=outcomes)
 
 
-def _replay_sweep_journal(resume_from: str,
-                          fingerprint: Dict[str, object]
-                          ) -> Dict[int, SizeSweepPoint]:
-    """Completed sweep points by index, validated against the sweep's
-    fingerprint (sizes and loads — splicing a different sweep's points
-    into this one would be a silent lie)."""
-    outcome = read_journal(resume_from, tolerate_torn_tail=True)
-    if outcome.dropped_tail:
-        warnings.warn(
-            f"sweep journal {resume_from}: {outcome.dropped_detail}; "
-            f"resuming from the last intact record",
-            RuntimeWarning, stacklevel=3)
-    starts = outcome.of_kind("sweep-start")
-    if not starts:
-        raise ConfigurationError(
-            f"journal {resume_from} has no sweep-start record")
-    recorded = {key: starts[0][key] for key in fingerprint}
-    if canonical_json(recorded) != canonical_json(fingerprint):
-        raise ConfigurationError(
-            f"journal {resume_from} was written by a different sweep: "
-            f"recorded {recorded}, resuming {fingerprint}")
-    return {int(record["index"]): SizeSweepPoint.from_record(record)
-            for record in outcome.of_kind("sweep-point")}
+#: Canned scenarios a parallel sweep can rebuild worker-side by name.
+#: Custom ``Scenario`` objects still sweep serially (they cannot be
+#: reconstructed from a JSON spec, and nothing simulation-stateful may
+#: cross the process boundary).
+_SCENARIO_FACTORIES = {
+    "figure1": figure1,
+    "table1": table1_chain,
+    "datacenter": datacenter_inline,
+    "edge": enterprise_edge,
+}
+
+
+@register_campaign
+class SizeSweepCampaign(Campaign):
+    """Figure 2's grid: one request per packet size, merged in order."""
+
+    kind = "size-sweep"
+
+    def __init__(self, scenario: Scenario,
+                 sizes: Sequence[int],
+                 policies: Optional[Sequence[SelectionPolicy]],
+                 latency_load_bps: float,
+                 throughput_load_bps: float,
+                 duration_s: float) -> None:
+        self.scenario = scenario
+        self.sizes = list(sizes)
+        self.policies = policies
+        self.latency_load_bps = latency_load_bps
+        self.throughput_load_bps = throughput_load_bps
+        self.duration_s = duration_s
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Sweep identity: sizes and loads (splicing a different
+        sweep's points into this one would be a silent lie)."""
+        return {"sizes": list(self.sizes), "duration_s": self.duration_s,
+                "latency_load_bps": self.latency_load_bps,
+                "throughput_load_bps": self.throughput_load_bps}
+
+    def spec(self) -> Dict[str, object]:
+        """Worker-rebuildable description (scenario travels by name)."""
+        if self.scenario.name not in _SCENARIO_FACTORIES:
+            raise ConfigurationError(
+                f"scenario {self.scenario.name!r} has no registered "
+                f"factory; parallel sweeps support "
+                f"{sorted(_SCENARIO_FACTORIES)} (run with workers=1)")
+        if self.policies is not None:
+            raise ConfigurationError(
+                "custom policy objects cannot cross the process "
+                "boundary; parallel sweeps use the default policies "
+                "(run with workers=1)")
+        return {"scenario": self.scenario.name, **self.fingerprint()}
+
+    @classmethod
+    def from_spec(cls, spec: Dict[str, object]) -> "SizeSweepCampaign":
+        """Rebuild from :meth:`spec` (worker-side construction)."""
+        return cls(scenario=_SCENARIO_FACTORIES[str(spec["scenario"])](),
+                   sizes=[int(size) for size in spec["sizes"]],
+                   policies=None,
+                   latency_load_bps=float(spec["latency_load_bps"]),
+                   throughput_load_bps=float(spec["throughput_load_bps"]),
+                   duration_s=float(spec["duration_s"]))
+
+    def requests(self) -> List[RunRequest]:
+        """One request per packet size (the sweep draws no randomness)."""
+        return [RunRequest(index=index, params={"size": size})
+                for index, size in enumerate(self.sizes)]
+
+    def run_request(self, request: RunRequest) -> Dict[str, object]:
+        """The full policy comparison at one size."""
+        size = int(request.params["size"])
+        outcomes = compare_policies(
+            self.scenario, policies=self.policies,
+            packet_size_bytes=size,
+            latency_load_bps=self.latency_load_bps,
+            throughput_load_bps=self.throughput_load_bps,
+            duration_s=self.duration_s)
+        return SizeSweepPoint(packet_size_bytes=size,
+                              outcomes=outcomes).to_record()
+
+    def end_record(self, payloads: List[Dict[str, object]]
+                   ) -> Dict[str, object]:
+        """Point count, for journal readers."""
+        return {"points": len(payloads)}
 
 
 def packet_size_sweep(scenario: Scenario,
@@ -117,51 +178,25 @@ def packet_size_sweep(scenario: Scenario,
                       throughput_load_bps: float = FIGURE1_SATURATION_BPS,
                       duration_s: float = 0.02,
                       journal_path: Optional[str] = None,
-                      resume_from: Optional[str] = None
-                      ) -> List[SizeSweepPoint]:
+                      resume_from: Optional[str] = None,
+                      workers: int = 1) -> List[SizeSweepPoint]:
     """Figure 2's x-axis: the full policy comparison per packet size.
 
     ``journal_path`` write-ahead-logs each completed point;
     ``resume_from`` replays points out of such a journal and only
-    simulates the remainder.
+    simulates the remainder; ``workers`` fans the sizes out to a
+    process pool (canned scenarios and default policies only — both
+    must be rebuildable from JSON on the worker side).
     """
-    fingerprint: Dict[str, object] = {
-        "sizes": list(sizes), "duration_s": duration_s,
-        "latency_load_bps": latency_load_bps,
-        "throughput_load_bps": throughput_load_bps}
-    completed: Dict[int, SizeSweepPoint] = {}
-    if resume_from is not None:
-        completed = _replay_sweep_journal(resume_from, fingerprint)
-    writer: Optional[JournalWriter] = None
-    target = journal_path or resume_from
-    if target is not None:
-        mode = "append" if resume_from is not None else "truncate"
-        writer = JournalWriter(target, mode=mode)
-        if resume_from is None:
-            writer.append({"kind": "sweep-start", **fingerprint})
-    points: List[SizeSweepPoint] = []
-    try:
-        for index, size in enumerate(sizes):
-            if index in completed:
-                points.append(completed[index])
-                continue
-            outcomes = compare_policies(
-                scenario, policies=policies, packet_size_bytes=size,
-                latency_load_bps=latency_load_bps,
-                throughput_load_bps=throughput_load_bps,
-                duration_s=duration_s)
-            point = SizeSweepPoint(packet_size_bytes=size,
-                                   outcomes=outcomes)
-            points.append(point)
-            if writer is not None:
-                writer.append({"kind": "sweep-point", "index": index,
-                               **point.to_record()})
-        if writer is not None:
-            writer.append({"kind": "sweep-end", "points": len(points)})
-    finally:
-        if writer is not None:
-            writer.close()
-    return points
+    campaign = SizeSweepCampaign(
+        scenario=scenario, sizes=sizes, policies=policies,
+        latency_load_bps=latency_load_bps,
+        throughput_load_bps=throughput_load_bps, duration_s=duration_s)
+    outcome = run_campaign(campaign, executor=make_executor(workers),
+                           journal_path=journal_path,
+                           resume_from=resume_from)
+    return [SizeSweepPoint.from_record(payload)
+            for payload in outcome.payloads]
 
 
 def measure_capacity(scenario: Scenario,

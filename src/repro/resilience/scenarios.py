@@ -106,6 +106,93 @@ def build_resilient_controller(
     return ResilientController(inner, config)
 
 
+class ResilienceScenario:
+    """One wired resilience scenario (:class:`repro.exec.Scenario`).
+
+    Building wires the Figure 1 chain, the recording resilient
+    controller, the optional device-kill injector, and the optional
+    snapshot machinery; ``prepare``/``run``/``collect`` are the three
+    protocol phases the execution core drives.
+    """
+
+    def __init__(self, name: str, seed: int, generator: ProfiledArrivals,
+                 controller: ResilientController,
+                 kill_device: Optional[DeviceKind] = None,
+                 kill_at_s: float = 0.0,
+                 checkpoint_every: int = 0,
+                 checkpoint_dir: Optional[str] = None,
+                 resume_snapshot: Optional[str] = None) -> None:
+        self.name = name
+        self.seed = seed
+        self.generator = generator
+        self.controller = controller
+        self.recorder = TimeSeriesRecorder()
+        scenario = figure1()
+        server = scenario.build_server()
+        self.sim = SimulationRunner(
+            server, generator,
+            _RecordingController(controller, self.recorder),
+            monitor_period_s=_MONITOR_PERIOD_S)
+        self.injector: Optional[FaultInjector] = None
+        if kill_device is not None:
+            self.injector = FaultInjector(self.sim.network,
+                                          self.sim.engine, seed=seed)
+            self.injector.kill_device(kill_device, kill_at_s)
+        self._resume_snapshot = resume_snapshot
+        registry: Optional[SnapshotRegistry] = None
+        if checkpoint_every > 0 or resume_snapshot is not None:
+            # Register the resilient controller itself, not the
+            # recording wrapper: the series is rebuilt by replay.
+            registry = simulation_registry(self.sim, controller=controller,
+                                           injector=self.injector)
+        self._registry = registry
+        self._manager: Optional[CheckpointManager] = None
+        if checkpoint_every > 0:
+            if checkpoint_dir is None:
+                raise ConfigurationError(
+                    "checkpoint_every needs a checkpoint_dir to write to")
+            self._manager = CheckpointManager(
+                self.sim, registry, checkpoint_dir,
+                every=checkpoint_every,
+                meta={"scenario": name, "seed": seed,
+                      "duration_s": generator.duration_s})
+        self.result: Optional[SimulationResult] = None
+
+    def prepare(self) -> None:
+        """Build the seeded event population (or fast-forward to a
+        snapshot's capture point when resuming)."""
+        if self._resume_snapshot is not None:
+            resume_simulation(
+                SimulationSnapshot.load(self._resume_snapshot),
+                self.sim, self._registry)
+            self._resume_snapshot = None
+            return
+        self.sim.prepare()
+
+    def run(self) -> SimulationResult:
+        """Run the workload, then drain the engine to exhaustion.
+
+        The drain lets recovery continuation pulses, retry backoffs,
+        and queued packets settle before the end state is inspected.
+        """
+        self.prepare()
+        self.result = self.sim.run()
+        self.sim.engine.run()
+        return self.result
+
+    def collect(self) -> ResilienceScenarioResult:
+        """Freeze the run's accounting for the CLI/bench/tests."""
+        if self.result is None:
+            raise ConfigurationError("collect() before run()")
+        manager = self._manager
+        return ResilienceScenarioResult(
+            name=self.name, seed=self.seed, result=self.result,
+            stats=snapshot_resilience(self.controller),
+            controller=self.controller, recorder=self.recorder,
+            checkpoints=list(manager.written) if manager is not None
+            else [])
+
+
 def _run(name: str, seed: int, generator: ProfiledArrivals,
          controller: ResilientController,
          kill_device: Optional[DeviceKind] = None,
@@ -114,43 +201,14 @@ def _run(name: str, seed: int, generator: ProfiledArrivals,
          checkpoint_dir: Optional[str] = None,
          resume_snapshot: Optional[str] = None
          ) -> ResilienceScenarioResult:
-    scenario = figure1()
-    server = scenario.build_server()
-    recorder = TimeSeriesRecorder()
-    sim = SimulationRunner(server, generator,
-                           _RecordingController(controller, recorder),
-                           monitor_period_s=_MONITOR_PERIOD_S)
-    injector: Optional[FaultInjector] = None
-    if kill_device is not None:
-        injector = FaultInjector(sim.network, sim.engine, seed=seed)
-        injector.kill_device(kill_device, kill_at_s)
-    registry: Optional[SnapshotRegistry] = None
-    if checkpoint_every > 0 or resume_snapshot is not None:
-        # Register the resilient controller itself, not the recording
-        # wrapper: the recorder's series is rebuilt by replay.
-        registry = simulation_registry(sim, controller=controller,
-                                       injector=injector)
-    manager: Optional[CheckpointManager] = None
-    if checkpoint_every > 0:
-        if checkpoint_dir is None:
-            raise ConfigurationError(
-                "checkpoint_every needs a checkpoint_dir to write to")
-        manager = CheckpointManager(
-            sim, registry, checkpoint_dir, every=checkpoint_every,
-            meta={"scenario": name, "seed": seed,
-                  "duration_s": generator.duration_s})
-    if resume_snapshot is not None:
-        resume_simulation(SimulationSnapshot.load(resume_snapshot),
-                          sim, registry)
-    result = sim.run()
-    # Run to exhaustion: recovery continuation pulses, retry backoffs,
-    # and queued packets all settle before the snapshot.
-    sim.engine.run()
-    return ResilienceScenarioResult(
-        name=name, seed=seed, result=result,
-        stats=snapshot_resilience(controller),
-        controller=controller, recorder=recorder,
-        checkpoints=list(manager.written) if manager is not None else [])
+    scenario = ResilienceScenario(
+        name, seed, generator, controller,
+        kill_device=kill_device, kill_at_s=kill_at_s,
+        checkpoint_every=checkpoint_every, checkpoint_dir=checkpoint_dir,
+        resume_snapshot=resume_snapshot)
+    scenario.prepare()
+    scenario.run()
+    return scenario.collect()
 
 
 def run_device_kill(seed: int = 7, duration_s: float = 0.08,

@@ -7,6 +7,7 @@ lives in the modules that schedule events on it.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional
 
 from ..errors import SchedulingError
@@ -50,12 +51,19 @@ class Engine:
 
         Kept for compatibility: assigning replaces only the observer
         previously assigned through this property, never subscribers
-        added with :meth:`add_observer`.
+        added with :meth:`add_observer`.  Every access warns; the
+        property will be removed once nothing trips the warning.
         """
+        warnings.warn(
+            "Engine.on_event is deprecated; use add_observer/"
+            "remove_observer instead", DeprecationWarning, stacklevel=2)
         return self._legacy_observer
 
     @on_event.setter
     def on_event(self, observer: Optional[EventObserver]) -> None:
+        warnings.warn(
+            "Engine.on_event is deprecated; use add_observer/"
+            "remove_observer instead", DeprecationWarning, stacklevel=2)
         if self._legacy_observer is not None:
             self.remove_observer(self._legacy_observer)
         self._legacy_observer = observer

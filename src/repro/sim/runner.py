@@ -187,6 +187,11 @@ class SimulationRunner:
         self.network.check_conservation()
         return self._collect(self._offered_mean_bps)
 
+    def collect(self) -> SimulationResult:
+        """Aggregate the end state (the :class:`repro.exec.Scenario`
+        protocol's third phase; pure inspection, callable repeatedly)."""
+        return self._collect(self._offered_mean_bps)
+
     # -- checkpointing -----------------------------------------------------
 
     def snapshot_state(self) -> Dict[str, object]:

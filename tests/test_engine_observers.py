@@ -1,6 +1,23 @@
 """Tests for the engine's observer list (and the deprecated on_event)."""
 
+import warnings
+
+import pytest
+
 from repro.sim.engine import Engine
+
+
+def _legacy(engine):
+    """Read/write the deprecated property without tripping the filter."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return engine.on_event
+
+
+def _assign_legacy(engine, observer):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        engine.on_event = observer
 
 
 def _schedule_three(engine):
@@ -68,29 +85,39 @@ class TestObserverList:
 
 
 class TestDeprecatedOnEvent:
+    def test_getter_warns_deprecation(self):
+        engine = Engine()
+        with pytest.warns(DeprecationWarning, match="add_observer"):
+            engine.on_event
+
+    def test_setter_warns_deprecation(self):
+        engine = Engine()
+        with pytest.warns(DeprecationWarning, match="add_observer"):
+            engine.on_event = lambda event: None
+
     def test_assignment_still_observes(self):
         engine = Engine()
         _schedule_three(engine)
         seen = []
-        engine.on_event = lambda event: seen.append(event.time_s)
+        _assign_legacy(engine, lambda event: seen.append(event.time_s))
         engine.run()
         assert seen == [0.001, 0.002, 0.003]
 
     def test_getter_returns_assigned_observer(self):
         engine = Engine()
-        assert engine.on_event is None
+        assert _legacy(engine) is None
         def observer(event):
             pass
-        engine.on_event = observer
-        assert engine.on_event is observer
+        _assign_legacy(engine, observer)
+        assert _legacy(engine) is observer
 
     def test_reassignment_replaces_only_the_legacy_slot(self):
         engine = Engine()
         _schedule_three(engine)
         calls = []
         engine.add_observer(lambda event: calls.append("listed"))
-        engine.on_event = lambda event: calls.append("old")
-        engine.on_event = lambda event: calls.append("new")
+        _assign_legacy(engine, lambda event: calls.append("old"))
+        _assign_legacy(engine, lambda event: calls.append("new"))
         engine.run(max_events=1)
         assert calls == ["listed", "new"]
 
@@ -98,16 +125,16 @@ class TestDeprecatedOnEvent:
         engine = Engine()
         _schedule_three(engine)
         seen = []
-        engine.on_event = lambda event: seen.append(event.time_s)
-        engine.on_event = None
+        _assign_legacy(engine, lambda event: seen.append(event.time_s))
+        _assign_legacy(engine, None)
         engine.run()
         assert seen == []
-        assert engine.on_event is None
+        assert _legacy(engine) is None
 
     def test_remove_observer_clears_legacy_slot_too(self):
         engine = Engine()
         def observer(event):
             pass
-        engine.on_event = observer
+        _assign_legacy(engine, observer)
         engine.remove_observer(observer)
-        assert engine.on_event is None
+        assert _legacy(engine) is None

@@ -1,0 +1,100 @@
+"""Parallel-vs-serial bit-exactness across campaign kinds.
+
+The contract the whole execution core rests on: a campaign's merged
+report depends only on its spec and seed, never on the executor, the
+worker count, or the completion order.  These tests pin it three ways —
+against a committed golden file, against a live serial reference, and
+as a hypothesis property over small grids.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos.runner import ChaosCampaign, ChaosConfig, ChaosRunner
+from repro.exec import make_executor, run_campaign
+from repro.harness.scenarios import figure1
+from repro.harness.sweep import packet_size_sweep
+from repro.resilience.campaign import ResilienceCampaign
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "chaos_runs4_seed11.txt")
+
+#: Short enough for CI, long enough for faults and a migration to land.
+_DURATION_S = 0.01
+
+
+def _chaos_render(workers):
+    runner = ChaosRunner(runs=4, seed=11,
+                         config=ChaosConfig(duration_s=_DURATION_S),
+                         workers=workers)
+    return runner.run().render()
+
+
+class TestChaosGolden:
+    def test_serial_matches_golden(self):
+        with open(GOLDEN, encoding="utf-8") as handle:
+            golden = handle.read()
+        assert _chaos_render(1) + "\n" == golden
+
+    def test_parallel_matches_golden(self):
+        with open(GOLDEN, encoding="utf-8") as handle:
+            golden = handle.read()
+        assert _chaos_render(2) + "\n" == golden
+
+
+class TestParallelMatchesSerial:
+    def test_resilience_campaign(self):
+        campaign = ResilienceCampaign("device-kill", runs=2, seed=5,
+                                      duration_s=0.02)
+        serial = run_campaign(campaign, executor=make_executor(1))
+        parallel = run_campaign(campaign, executor=make_executor(2))
+        assert parallel.payloads == serial.payloads
+
+    def test_size_sweep(self):
+        sizes = [256, 1024]
+        serial = packet_size_sweep(figure1(), sizes=sizes,
+                                   duration_s=0.005, workers=1)
+        parallel = packet_size_sweep(figure1(), sizes=sizes,
+                                     duration_s=0.005, workers=2)
+        assert ([p.to_record() for p in parallel]
+                == [p.to_record() for p in serial])
+
+    def test_parallel_resume_matches_serial(self, tmp_path):
+        journal = str(tmp_path / "chaos.jsonl")
+        config = ChaosConfig(duration_s=_DURATION_S)
+        campaign = ChaosCampaign(ChaosRunner(runs=4, seed=11,
+                                             config=config))
+        run_campaign(campaign, executor=make_executor(2),
+                     journal_path=journal)
+        resumed = run_campaign(campaign, resume_from=journal)
+        serial = run_campaign(campaign)
+        assert resumed.replayed == 4
+        assert resumed.payloads == serial.payloads
+
+
+@settings(max_examples=4, deadline=None)
+@given(runs=st.integers(min_value=1, max_value=3),
+       seed=st.integers(min_value=0, max_value=50))
+def test_chaos_parallel_grid_property(runs, seed):
+    """Chaos grids merge identically under serial and parallel."""
+    config = ChaosConfig(duration_s=0.005)
+    serial = ChaosRunner(runs=runs, seed=seed, config=config,
+                         workers=1).run()
+    parallel = ChaosRunner(runs=runs, seed=seed, config=config,
+                           workers=2).run()
+    assert parallel.render() == serial.render()
+
+
+@settings(max_examples=3, deadline=None)
+@given(runs=st.integers(min_value=1, max_value=2),
+       seed=st.integers(min_value=0, max_value=20))
+def test_resilience_parallel_grid_property(runs, seed):
+    """Resilience grids merge identically under serial and parallel."""
+    campaign = ResilienceCampaign("overload", runs=runs, seed=seed,
+                                  duration_s=0.02)
+    serial = run_campaign(campaign, executor=make_executor(1))
+    parallel = run_campaign(campaign, executor=make_executor(2))
+    assert parallel.payloads == serial.payloads
