@@ -127,6 +127,41 @@ class WallClockRule(LintRule):
 
 
 @register
+class ExecWallClockRule(LintRule):
+    """DET107: wall-clock use in the exec core outside the supervisor."""
+
+    code = "DET107"
+    name = "exec-wall-clock"
+    severity = Severity.ERROR
+    rationale = ("The campaign exec core promises bit-exact merges across "
+                 "executors, so retry backoff and scheduling must derive "
+                 "from seeds, never the host clock. The one sanctioned "
+                 "clock is the supervisor's DeadlineClock (whose readings "
+                 "never enter a payload); a time.time()/monotonic()/"
+                 "sleep() anywhere else in repro.exec can leak host timing "
+                 "into journaled results.")
+
+    _SANCTIONED_MODULE = "repro.exec.supervisor"
+    _SUFFIXES = _WALL_CLOCK_SUFFIXES + ("time.sleep",)
+
+    def visit_Call(self, node: ast.Call, ctx: ModuleContext) -> None:
+        """Flag wall-clock reads/sleeps under ``repro.exec``."""
+        if ctx.module is None:
+            return
+        if ctx.module != "repro.exec" and \
+                not ctx.module.startswith("repro.exec."):
+            return
+        if ctx.module == self._SANCTIONED_MODULE:
+            return
+        matched = _chain_matches(dotted_name(node.func), self._SUFFIXES)
+        if matched is not None:
+            ctx.report(self, node,
+                       f"{matched}() inside the exec core; the only "
+                       "sanctioned wall clock is the supervisor's "
+                       "DeadlineClock, and backoff must be seed-derived")
+
+
+@register
 class AddressOrderRule(LintRule):
     """DET104: ``id()``/``hash()`` used as an ordering key."""
 

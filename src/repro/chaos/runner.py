@@ -29,7 +29,8 @@ from typing import Dict, List, Optional
 from ..core.operator import HardenedController, HardeningConfig
 from ..core.reverse import PullbackConfig
 from ..errors import ConfigurationError
-from ..exec import (Campaign, RunRequest, make_executor, register_campaign,
+from ..exec import (Campaign, FaultInjectedCampaign, FaultPlan, RunRequest,
+                    SupervisionPolicy, make_executor, register_campaign,
                     run_campaign, seed_for)
 from ..harness.scenarios import figure1
 from ..migration.executor import (OUTCOME_SUCCEEDED, ProbabilisticFailure,
@@ -254,7 +255,9 @@ class ChaosRunner:
                  journal_path: Optional[str] = None,
                  resume_from: Optional[str] = None,
                  checkpoint_every: int = 5,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 supervision: Optional[SupervisionPolicy] = None,
+                 worker_faults: Optional[FaultPlan] = None) -> None:
         if runs < 1:
             raise ConfigurationError("need at least one chaos run")
         if checkpoint_every < 1:
@@ -270,6 +273,11 @@ class ChaosRunner:
         self.resume_from = resume_from
         self.checkpoint_every = checkpoint_every
         self.workers = workers
+        #: Supervision (deadlines/retry/abort budget); None = plain.
+        self.supervision = supervision
+        #: Scheduled worker-level faults (hang/die/garbage/error), for
+        #: exercising the supervisor; None = no sabotage.
+        self.worker_faults = worker_faults
         #: Runs restored from the journal by the last :meth:`run` call.
         self.replayed_runs = 0
 
@@ -280,8 +288,12 @@ class ChaosRunner:
         :func:`repro.exec.run_campaign`; this runner only knows how to
         execute one scenario and how to shape the report.
         """
+        campaign: Campaign = ChaosCampaign(self)
+        if self.worker_faults is not None and self.worker_faults.faults:
+            campaign = FaultInjectedCampaign(campaign, self.worker_faults)
         outcome = run_campaign(
-            ChaosCampaign(self), executor=make_executor(self.workers),
+            campaign,
+            executor=make_executor(self.workers, self.supervision),
             journal_path=self.journal_path, resume_from=self.resume_from,
             checkpoint_every=self.checkpoint_every)
         self.replayed_runs = outcome.replayed

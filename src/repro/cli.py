@@ -56,6 +56,33 @@ def _policy_by_name(name: str):
             f"unknown policy {name!r}; choose from {sorted(policies)}")
 
 
+def _add_supervision_args(parser: argparse.ArgumentParser) -> None:
+    """The run-supervision flags shared by the campaign commands."""
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="wall-clock deadline per run; a run past it "
+                             "has its worker killed and is retried "
+                             "(enforced with --workers >= 2)")
+    parser.add_argument("--max-attempts", type=int, default=1,
+                        metavar="N",
+                        help="tries per run before it is quarantined as "
+                             "a scenario-error (default 1 = no retry)")
+    parser.add_argument("--max-failures", type=float, default=None,
+                        metavar="N",
+                        help="abort the campaign once more than N runs "
+                             "(a fraction of the grid when N < 1) are "
+                             "quarantined")
+
+
+def _supervision_from_args(args: argparse.Namespace):
+    """The SupervisionPolicy the flags describe, or None for plain."""
+    from .exec import SupervisionPolicy
+    policy = SupervisionPolicy(run_timeout_s=args.run_timeout,
+                               max_attempts=args.max_attempts,
+                               max_failures=args.max_failures)
+    return policy if policy.active else None
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Print the Table 1 capacity table."""
     table = CapacityTable.from_mapping(catalog.TABLE1)
@@ -78,7 +105,8 @@ def cmd_figure2(args: argparse.Namespace) -> int:
                                duration_s=args.duration,
                                journal_path=args.journal,
                                resume_from=args.resume_from,
-                               workers=args.workers)
+                               workers=args.workers,
+                               supervision=_supervision_from_args(args))
     print(render_figure2_latency(points))
     print()
     print(render_figure2_throughput(points))
@@ -199,16 +227,21 @@ def cmd_reproduce(args: argparse.Namespace) -> int:
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run randomized chaos scenarios and check every invariant."""
     from .chaos import ChaosConfig, ChaosRunner
+    from .exec import FaultPlan
     config = ChaosConfig(duration_s=args.duration,
                          migration_failure_rate=args.failure_rate,
                          max_device_kills=args.device_kills,
                          max_overload_windows=args.overloads,
                          resilient=args.resilient)
+    worker_faults = (FaultPlan.parse_all(args.inject_worker_fault)
+                     if args.inject_worker_fault else None)
     runner = ChaosRunner(runs=args.runs, seed=args.seed, config=config,
                          journal_path=args.journal,
                          resume_from=args.resume_from,
                          checkpoint_every=args.checkpoint_every,
-                         workers=args.workers)
+                         workers=args.workers,
+                         supervision=_supervision_from_args(args),
+                         worker_faults=worker_faults)
     report = runner.run()
     if runner.replayed_runs:
         print(f"replayed {runner.replayed_runs} run(s) from journal "
@@ -267,10 +300,12 @@ def cmd_resilience(args: argparse.Namespace) -> int:
         campaign = ResilienceCampaign(args.scenario, runs=args.runs,
                                       seed=args.seed,
                                       duration_s=args.duration)
-        outcome = run_campaign(campaign,
-                               executor=make_executor(args.workers),
-                               journal_path=args.journal,
-                               resume_from=args.resume_journal)
+        outcome = run_campaign(
+            campaign,
+            executor=make_executor(args.workers,
+                                   _supervision_from_args(args)),
+            journal_path=args.journal,
+            resume_from=args.resume_journal)
         if outcome.replayed:
             print(f"replayed {outcome.replayed} run(s) from journal "
                   f"{args.resume_journal}")
@@ -356,6 +391,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig2.add_argument("--workers", type=int, default=1,
                         help="process-pool size; results are "
                              "bit-identical to --workers 1")
+    _add_supervision_args(p_fig2)
     p_fig2.set_defaults(func=cmd_figure2)
 
     p_plan = sub.add_parser("plan", help="run a selection policy")
@@ -428,6 +464,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--workers", type=int, default=1,
                          help="process-pool size; the merged report is "
                               "bit-identical to --workers 1")
+    _add_supervision_args(p_chaos)
+    p_chaos.add_argument("--inject-worker-fault", action="append",
+                         metavar="IDX:FAULT[:ATTEMPTS]",
+                         help="(testing) sabotage run IDX worker-side "
+                              "with hang|die|garbage|error, optionally "
+                              "only on the listed attempt numbers "
+                              "(repeatable; exercises the supervisor)")
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_crash = sub.add_parser("crash-resume",
@@ -477,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_res.add_argument("--resume-from", metavar="PATH",
                        help="resume from a snapshot file (scenario/seed/"
                             "duration come from its meta block)")
+    _add_supervision_args(p_res)
     p_res.set_defaults(func=cmd_resilience)
 
     p_lint = sub.add_parser("lint",

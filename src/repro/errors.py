@@ -61,6 +61,24 @@ class ExecutionError(ReproError):
     """
 
 
+class CampaignAborted(ExecutionError):
+    """A campaign's supervision abort budget was blown.
+
+    Raised by :func:`repro.exec.run_campaign` when more runs have been
+    quarantined than the :class:`~repro.exec.SupervisionPolicy`'s
+    ``max_failures`` allows: the grid is considered poisoned (broken
+    build, bad config, sick host) and finishing it would only journal
+    more garbage.  The journal gets a ``campaign-abort`` record first,
+    so the campaign remains resumable once the cause is fixed.
+    """
+
+    def __init__(self, message: str, completed: int = 0,
+                 quarantined: int = 0) -> None:
+        super().__init__(message)
+        self.completed = completed
+        self.quarantined = quarantined
+
+
 class CheckpointError(ReproError):
     """A checkpoint artifact failed an integrity or fidelity check.
 

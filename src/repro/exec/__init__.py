@@ -21,14 +21,22 @@ its own merge logic.  This package is the single replacement:
 * :mod:`repro.exec.driver` — :func:`run_campaign`, which owns the one
   remaining campaign loop: journal middleware (``campaign-start``
   fingerprint, ``run-result`` per completion, ``campaign-progress``
-  digests, ``campaign-end``), journal replay on resume, and the
-  deterministic merge of results by request index regardless of
-  completion order.
+  digests, ``run-attempt``/``campaign-abort`` supervision records,
+  ``campaign-end``), journal replay on resume, and the deterministic
+  merge of results by request index regardless of completion order.
+* :mod:`repro.exec.supervisor` — the supervision layer:
+  :class:`SupervisionPolicy` (per-run deadlines, bounded seed-derived
+  retry, quarantine, abort budget) and the supervised executors that
+  kill hung workers, rebuild the pool around dead ones, and requeue
+  the in-flight requests.
+* :mod:`repro.exec.faultinject` — a campaign wrapper that makes
+  workers hang, die, or return garbage on a declared or seeded
+  schedule, so the supervisor is testable under its own rules.
 
 Determinism contract: a campaign's merged payload list depends only on
-its spec and seed — never on the executor, worker count, or completion
-order.  ``--workers 4`` and ``--workers 1`` render byte-identical
-reports.
+its spec and seed — never on the executor, worker count, completion
+order, or how many times supervision had to retry a run.
+``--workers 4`` and ``--workers 1`` render byte-identical reports.
 """
 
 from .campaign import (Campaign, RunRequest, build_campaign,
@@ -36,16 +44,25 @@ from .campaign import (Campaign, RunRequest, build_campaign,
 from .driver import CampaignOutcome, run_campaign
 from .executors import (Executor, ParallelExecutor, SerialExecutor,
                         make_executor)
+from .faultinject import FaultInjectedCampaign, FaultPlan, WorkerFault
 from .scenario import Scenario, seed_for
+from .supervisor import (SupervisedParallelExecutor,
+                         SupervisedSerialExecutor, SupervisionPolicy)
 
 __all__ = [
     "Campaign",
     "CampaignOutcome",
     "Executor",
+    "FaultInjectedCampaign",
+    "FaultPlan",
     "ParallelExecutor",
     "RunRequest",
     "Scenario",
     "SerialExecutor",
+    "SupervisedParallelExecutor",
+    "SupervisedSerialExecutor",
+    "SupervisionPolicy",
+    "WorkerFault",
     "build_campaign",
     "make_executor",
     "register_campaign",

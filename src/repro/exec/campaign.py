@@ -144,6 +144,7 @@ def _ensure_builtin_campaigns() -> None:
     from ..harness import suite as _suite  # noqa: F401
     from ..harness import sweep as _sweep  # noqa: F401
     from ..resilience import campaign as _resilience  # noqa: F401
+    from . import faultinject as _faultinject  # noqa: F401
 
 
 def build_campaign(kind: str, spec: Dict[str, object]) -> Campaign:

@@ -13,12 +13,22 @@ uniformly to every campaign kind ([docs/formats.md], "Run journals"):
 * ``campaign-progress`` — every ``checkpoint_every`` completed runs: a
   completed count and a digest over the completed payloads in index
   order.
+* ``run-attempt`` — one per *failed* attempt under a supervised
+  executor (index, seed, attempt number, outcome, whether it was
+  requeued); successful attempts journal nothing, their payload is the
+  ``run-result``.
+* ``campaign-abort`` — appended when execution dies mid-flight (a
+  crash, ``KeyboardInterrupt``, or the supervision abort budget), with
+  the exception summary and completed count, so a journal always
+  distinguishes an interrupted campaign from a clean ``campaign-end``.
 * ``campaign-end`` — campaign totals from ``Campaign.end_record``.
 
 Resume replays ``run-result`` payloads by index and executes only the
-requests the journal does not cover; the merged payload list is always
-ordered by request index, so an interrupted-and-resumed campaign, a
-serial campaign, and a parallel campaign all render the same report.
+requests the journal does not cover (``run-attempt`` and
+``campaign-abort`` records ride along as history and replay to
+nothing); the merged payload list is always ordered by request index,
+so an interrupted-and-resumed campaign, a serial campaign, and a
+parallel campaign all render the same report.
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ from typing import Dict, List, Optional
 
 from ..checkpoint import (JournalWriter, canonical_json, read_journal,
                           record_checksum)
-from ..errors import ConfigurationError
+from ..errors import CampaignAborted, ConfigurationError
 from .campaign import Campaign
 from .executors import Executor, SerialExecutor
 
@@ -119,6 +129,22 @@ def run_campaign(campaign: Campaign,
             writer.append({"kind": "campaign-start",
                            "campaign": campaign.kind,
                            **campaign.fingerprint()})
+    # Supervised executors report failed attempts through an event
+    # sink; the driver journals them and counts quarantines (a
+    # ``requeued: False`` attempt is a run that exhausted its budget)
+    # against the policy's abort budget.
+    policy = getattr(executor, "policy", None)
+    quarantined = 0
+
+    def on_attempt(record: Dict[str, object]) -> None:
+        nonlocal quarantined
+        if record.get("requeued") is False:
+            quarantined += 1
+        if writer is not None:
+            writer.append(record)
+
+    if hasattr(executor, "set_event_sink"):
+        executor.set_event_sink(on_attempt)
     executed = 0
     try:
         for index, payload in executor.map(campaign, pending):
@@ -132,10 +158,33 @@ def run_campaign(campaign: Campaign,
                     writer.append({"kind": "campaign-progress",
                                    "completed": len(completed),
                                    "digest": record_checksum(ordered)})
+            if policy is not None and policy.failures_exceeded(
+                    quarantined, len(requests)):
+                raise CampaignAborted(
+                    f"campaign aborted: {quarantined} run(s) quarantined "
+                    f"with {policy.allowed_failures(len(requests))} "
+                    f"allowed ({len(completed)}/{len(requests)} "
+                    f"completed)", completed=len(completed),
+                    quarantined=quarantined)
         payloads = [completed[request.index] for request in requests]
         if writer is not None:
             writer.append({"kind": "campaign-end",
                            **campaign.end_record(payloads)})
+    except BaseException as exc:
+        # Execution died mid-flight (worker crash, abort budget,
+        # Ctrl-C, merge of an incomplete grid): leave a campaign-abort
+        # record so the journal distinguishes this from a clean end —
+        # and stays resumable — then let the exception propagate.
+        if writer is not None:
+            try:
+                writer.append({"kind": "campaign-abort",
+                               "error": f"{type(exc).__name__}: {exc}",
+                               "completed": len(completed),
+                               "executed": executed,
+                               "quarantined": quarantined})
+            except Exception:  # repro: noqa[EXC402] never mask the cause
+                pass
+        raise
     finally:
         if writer is not None:
             writer.close()

@@ -19,11 +19,15 @@ error as data; the driver converts it through the campaign's
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, Iterator, List, Protocol, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Protocol,
+                    Tuple)
 
 from ..checkpoint import canonical_json
 from ..errors import ConfigurationError
 from .campaign import Campaign, RunRequest, build_campaign
+
+if TYPE_CHECKING:  # circular at runtime: supervisor builds on this module
+    from .supervisor import SupervisionPolicy
 
 #: Yield type of ``Executor.map``: (request index, result payload).
 Completion = Tuple[int, Dict[str, object]]
@@ -121,9 +125,13 @@ class ParallelExecutor:
                 pool.submit(_run_request_in_worker, kind, spec,
                             request.to_dict()): request
                 for request in requests}
-            while pending:
-                finished, _ = wait(list(pending),
-                                   return_when=FIRST_COMPLETED)
+            # ``wait`` accepts the not-done set it returned, so keep one
+            # stable set instead of rebuilding a list of every pending
+            # future per wakeup (O(n^2) over a large grid).
+            waiting = set(pending)
+            while waiting:
+                finished, waiting = wait(waiting,
+                                         return_when=FIRST_COMPLETED)
                 for future in finished:
                     request = pending.pop(future)
                     ok, payload = future.result()
@@ -134,10 +142,25 @@ class ParallelExecutor:
                             request, str(payload["error"]))
 
 
-def make_executor(workers: int) -> Executor:
-    """The executor for a ``--workers N`` request (1 means serial)."""
+def make_executor(workers: int,
+                  policy: Optional["SupervisionPolicy"] = None) -> Executor:
+    """The executor for a ``--workers N`` request (1 means serial).
+
+    ``policy`` (a :class:`repro.exec.supervisor.SupervisionPolicy`)
+    selects the supervised executors — deadlines, bounded retry,
+    dead-worker recovery.  ``None`` (or an inert policy) keeps the
+    plain executors, byte-for-byte the pre-supervision behaviour.
+    """
     if workers < 1:
         raise ConfigurationError("worker count must be >= 1")
+    if policy is not None and getattr(policy, "active", False):
+        # Local import: supervisor builds on this module's Completion
+        # type, so importing it eagerly would be circular.
+        from .supervisor import (SupervisedParallelExecutor,
+                                 SupervisedSerialExecutor)
+        if workers == 1:
+            return SupervisedSerialExecutor(policy)
+        return SupervisedParallelExecutor(workers, policy)
     if workers == 1:
         return SerialExecutor()
     return ParallelExecutor(workers)

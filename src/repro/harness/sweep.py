@@ -19,8 +19,8 @@ from ..chain.placement import Placement
 from ..core.planner import SelectionPolicy
 from ..devices.server import ServerProfile
 from ..errors import ConfigurationError
-from ..exec import Campaign, RunRequest, make_executor, register_campaign, \
-    run_campaign
+from ..exec import (Campaign, RunRequest, SupervisionPolicy, make_executor,
+                    register_campaign, run_campaign)
 from ..traffic.packet import PAPER_SIZE_SWEEP
 from ..units import as_gbps, as_usec
 from .compare import PolicyOutcome, compare_policies
@@ -179,20 +179,27 @@ def packet_size_sweep(scenario: Scenario,
                       duration_s: float = 0.02,
                       journal_path: Optional[str] = None,
                       resume_from: Optional[str] = None,
-                      workers: int = 1) -> List[SizeSweepPoint]:
+                      workers: int = 1,
+                      supervision: Optional["SupervisionPolicy"] = None
+                      ) -> List[SizeSweepPoint]:
     """Figure 2's x-axis: the full policy comparison per packet size.
 
     ``journal_path`` write-ahead-logs each completed point;
     ``resume_from`` replays points out of such a journal and only
     simulates the remainder; ``workers`` fans the sizes out to a
     process pool (canned scenarios and default policies only — both
-    must be rebuildable from JSON on the worker side).
+    must be rebuildable from JSON on the worker side).  ``supervision``
+    selects the supervised executors (per-point deadlines, bounded
+    retry, dead-worker recovery) — note the sweep campaign has no
+    violation vocabulary, so a point that exhausts its attempts raises
+    rather than quarantining.
     """
     campaign = SizeSweepCampaign(
         scenario=scenario, sizes=sizes, policies=policies,
         latency_load_bps=latency_load_bps,
         throughput_load_bps=throughput_load_bps, duration_s=duration_s)
-    outcome = run_campaign(campaign, executor=make_executor(workers),
+    outcome = run_campaign(campaign,
+                           executor=make_executor(workers, supervision),
                            journal_path=journal_path,
                            resume_from=resume_from)
     return [SizeSweepPoint.from_record(payload)

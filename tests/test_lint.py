@@ -142,6 +142,30 @@ class TestDeterminismRules:
             blob = pickle.dumps(engine_state)
         """, path="src/repro/checkpoint/snapshot.py")
 
+    def test_det107_fires_on_wall_clock_in_exec_core(self):
+        assert "DET107" in _codes("""
+            import time
+            deadline = time.monotonic() + 5.0
+        """, path="src/repro/exec/driver.py")
+
+    def test_det107_fires_on_sleep_in_exec_core(self):
+        assert "DET107" in _codes("""
+            import time
+            time.sleep(0.1)
+        """, path="src/repro/exec/executors.py")
+
+    def test_det107_silent_in_the_supervisor(self):
+        assert "DET107" not in _codes("""
+            import time
+            now_s = time.monotonic()
+        """, path="src/repro/exec/supervisor.py")
+
+    def test_det107_silent_outside_the_exec_core(self):
+        assert "DET107" not in _codes("""
+            import time
+            start = time.time()
+        """, path="src/repro/harness/compare.py")
+
 
 # --- unit-hygiene rules -------------------------------------------------
 
