@@ -120,12 +120,15 @@ class Baseline:
         return cls(entries, path=location)
 
     def apply(self, findings: List[Finding],
-              checked_paths: Optional[Set[str]] = None) -> BaselineResult:
+              checked_paths: Optional[Set[str]] = None,
+              active_rules: Optional[Set[str]] = None) -> BaselineResult:
         """Split findings into kept (still reported) and absorbed.
 
         An entry that matches nothing is *stale* only if its file was
-        actually checked (``checked_paths``, when given); an entry for
-        a file outside the current path set is simply out of scope.
+        actually checked (``checked_paths``, when given) AND its rule
+        actually ran (``active_rules``, when given).  An entry for a
+        file outside the current path set, or for a project-only rule
+        during a per-file run, is simply out of scope.
         """
         budget: Counter[_Key] = Counter(
             entry.key for entry in self.entries)
@@ -142,6 +145,8 @@ class Baseline:
                      if budget.get(entry.key, 0) > 0
                      and (checked_paths is None
                           or entry.path in checked_paths)
+                     and (active_rules is None
+                          or entry.rule in active_rules)
                      and _take(budget, entry.key)]
         return BaselineResult(kept=kept, absorbed=absorbed,
                               unmatched=unmatched)

@@ -1,0 +1,70 @@
+"""Incremental lint scope: report only on files git says changed.
+
+``repro lint --changed`` asks git which tracked files differ from a
+base revision (plus untracked files), and restricts *reporting* to that
+set.  Analysis scope is a separate axis: per-file rules only ever see
+one file, and project mode still loads the whole tree — a one-line edit
+can introduce a cross-call unit mismatch whose best report site is the
+edited line, and only whole-program summaries can see that.  Reporting
+scope is what shrinks.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+from typing import List, Optional, Set
+
+from ...errors import AnalysisError
+
+#: Default revision ``--changed`` diffs against.
+DEFAULT_DIFF_BASE = "HEAD"
+
+
+def _git_lines(args: List[str], cwd: Path) -> List[str]:
+    """Run one git command, returning its non-empty output lines."""
+    try:
+        proc = subprocess.run(
+            ["git", *args], cwd=cwd, capture_output=True, text=True,
+            timeout=30, check=False)
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise AnalysisError(
+            f"cannot run git {' '.join(args)}: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"exit {proc.returncode}"
+        raise AnalysisError(
+            f"git {' '.join(args[:2])} failed: {detail}")
+    return [line for line in proc.stdout.splitlines() if line.strip()]
+
+
+def repo_root(start: Optional[Path] = None) -> Path:
+    """The enclosing git work-tree root (raises outside a repo)."""
+    where = start if start is not None else Path.cwd()
+    lines = _git_lines(["rev-parse", "--show-toplevel"], where)
+    if not lines:
+        raise AnalysisError("git rev-parse returned no work-tree root")
+    return Path(lines[0])
+
+
+def changed_python_files(base: str = DEFAULT_DIFF_BASE,
+                         start: Optional[Path] = None) -> Set[str]:
+    """Python files changed vs ``base``, as resolved POSIX paths.
+
+    The set unions ``git diff --name-only <base>`` (tracked changes,
+    staged or not) with ``git ls-files --others --exclude-standard``
+    (untracked files).  Deleted files drop out naturally — they no
+    longer exist, so nothing lints them.
+    """
+    root = repo_root(start)
+    names = set(_git_lines(
+        ["diff", "--name-only", base, "--"], root))
+    names.update(_git_lines(
+        ["ls-files", "--others", "--exclude-standard"], root))
+    changed: Set[str] = set()
+    for name in sorted(names):
+        if not name.endswith(".py"):
+            continue
+        path = root / name
+        if path.is_file():
+            changed.add(path.resolve().as_posix())
+    return changed

@@ -1,0 +1,125 @@
+"""Call resolution and the whole-program call graph.
+
+Given a :class:`~.loader.Project`, :func:`resolve_call` maps one
+``ast.Call`` inside a known function to the :class:`~.loader.FunctionInfo`
+it invokes, when that can be decided statically:
+
+* a bare name bound by an import or a module-level ``def``;
+* a dotted chain rooted at an imported module (``schedule.generate``);
+* ``self.method()`` / ``cls.method()`` inside a class body;
+* constructor calls, which resolve to ``__init__`` (possibly inherited).
+
+Dynamic dispatch (a method on an arbitrary object), ``getattr``, and
+callables passed as values resolve to ``None`` — the dataflow layer
+treats those results as unknown rather than guessing.  The same
+resolution drives :func:`build_callgraph`, whose output anchors the
+golden-file tests for the fixture project.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..visitor import dotted_name
+from .loader import FunctionInfo, ModuleInfo, Project
+
+
+@dataclass
+class CallSite:
+    """One resolved call: caller function, callee function, AST node."""
+
+    caller: str
+    callee: str
+    node: ast.Call
+
+
+@dataclass
+class CallGraph:
+    """Caller -> ordered callee qualnames, plus every resolved site."""
+
+    edges: Dict[str, List[str]] = field(default_factory=dict)
+    sites: List[CallSite] = field(default_factory=list)
+
+    def add(self, caller: str, callee: str, node: ast.Call) -> None:
+        """Record one resolved call site."""
+        self.sites.append(CallSite(caller, callee, node))
+        callees = self.edges.setdefault(caller, [])
+        if callee not in callees:
+            callees.append(callee)
+
+    def callees(self, caller: str) -> List[str]:
+        """Functions ``caller`` was seen to invoke, in first-call order."""
+        return self.edges.get(caller, [])
+
+
+def resolve_call(project: Project, module: ModuleInfo,
+                 function: Optional[FunctionInfo],
+                 node: ast.Call) -> Optional[FunctionInfo]:
+    """The FunctionInfo a call invokes, or None when undecidable."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        target = project.resolve(module, func.id)
+        if target is None:
+            return None
+        return project.function_at(target)
+    if isinstance(func, ast.Attribute):
+        root = func.value
+        if isinstance(root, ast.Name) and root.id in ("self", "cls") and \
+                function is not None and function.class_name is not None:
+            cls = module.classes.get(function.class_name)
+            if cls is not None and func.attr in cls.methods:
+                return cls.methods[func.attr]
+            return None
+        chain = dotted_name(func)
+        if chain is None:
+            return None
+        head, _, rest = chain.partition(".")
+        target = project.resolve(module, head)
+        if target is None:
+            return None
+        return project.function_at(f"{target}.{rest}" if rest else target)
+    return None
+
+
+def iter_function_calls(function: FunctionInfo) -> List[ast.Call]:
+    """Every Call node lexically inside ``function`` (nested defs too)."""
+    return [node for node in ast.walk(function.node)
+            if isinstance(node, ast.Call)]
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    """Resolve every call site in every loaded function."""
+    graph = CallGraph()
+    for module in project.modules.values():
+        for function in _functions_of(module):
+            for call in iter_function_calls(function):
+                callee = resolve_call(project, module, function, call)
+                if callee is not None:
+                    graph.add(function.qualname, callee.qualname, call)
+    return graph
+
+
+def _functions_of(module: ModuleInfo) -> List[FunctionInfo]:
+    functions = list(module.functions.values())
+    for cls in module.classes.values():
+        functions.extend(cls.methods.values())
+    return functions
+
+
+def dump_callgraph(graph: CallGraph,
+                   within: Optional[str] = None) -> str:
+    """Stable text rendering (one ``caller -> callee`` line, sorted).
+
+    ``within`` restricts both ends to qualnames under that dotted
+    prefix — the fixture goldens use it to keep stdlib noise out.
+    """
+    lines: Set[str] = set()
+    for site in graph.sites:
+        if within is not None and not (
+                site.caller.startswith(within) and
+                site.callee.startswith(within)):
+            continue
+        lines.add(f"{site.caller} -> {site.callee}")
+    return "\n".join(sorted(lines))

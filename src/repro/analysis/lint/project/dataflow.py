@@ -1,0 +1,900 @@
+"""Per-function abstract evaluation and inter-procedural summaries.
+
+Every function body is walked once per fixpoint round by
+:class:`FunctionEvaluator`, which computes a :class:`Tag` — an abstract
+value — for each expression:
+
+* ``unit``: the ``(dimension, scale)`` the value's naming declares
+  (``latency_us`` → ``("time", "us")``), joined through assignments,
+  arithmetic, and converter calls;
+* ``origins``: where the value came from — ``literal``, ``param:<name>``,
+  ``self`` (an attribute of the receiver: configuration), ``seed_for``,
+  ``wallclock``, ``default``, or ``unknown``;
+* ``taints``: journal-purity poisons — ``set-order``, ``id``,
+  ``wallclock``, ``nonstr-key``, ``noncanonical``.
+
+Each round produces a :class:`FunctionSummary` (parameter units, seed
+parameters, return unit/origins/taints, with ``param:<name>`` atoms kept
+symbolic so call sites can substitute actual arguments), and
+:func:`analyze_project` iterates rounds until no summary changes.  The
+evaluator also records the raw *observations* — RNG constructor sites,
+argument bindings at resolved calls, journal sink values — that the
+FLOW5xx / UNIT21x / JRN601 rules consume.
+
+The analysis is deliberately flow-light: one forward pass per body,
+last assignment wins, both branches of an ``if`` execute in order.
+That is imprecise in ways that favour *reporting* (a tag survives a
+branch that would have cleared it) but it keeps a full ``src/repro``
+fixpoint under a second per round.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..rules_determinism import _WALL_CLOCK_SUFFIXES, _chain_matches
+from ..rules_units import unit_for_identifier
+from ..visitor import dotted_name
+from .callgraph import resolve_call
+from .loader import ClassInfo, FunctionInfo, ModuleInfo, Project
+
+Unit = Tuple[str, str]
+
+# -- origin atoms ---------------------------------------------------------
+
+LITERAL = "literal"
+SELF = "self"
+SEED_FOR = "seed_for"
+WALLCLOCK = "wallclock"
+DEFAULT = "default"
+UNKNOWN = "unknown"
+
+#: Origins acceptable as RNG-seed provenance: an explicit parameter, a
+#: spec/config field (an attribute of the receiver or of a parameter),
+#: the canonical derivation helper, or a declared parameter default.
+#: ``self`` covers both the bare receiver and ``self:<attr>`` atoms.
+_SEED_OK_PREFIXES = ("param:", "self")
+_SEED_OK_ATOMS = frozenset({SEED_FOR, DEFAULT})
+
+# -- taint atoms ----------------------------------------------------------
+
+TAINT_SET_ORDER = "set-order"
+TAINT_ID = "id"
+TAINT_WALLCLOCK = "wallclock"
+TAINT_NONSTR_KEY = "nonstr-key"
+TAINT_NONCANONICAL = "noncanonical"
+
+#: Order-independent aggregations that launder set-iteration order.
+_SET_ORDER_CLEANSERS = frozenset({"sorted", "sum", "min", "max", "len",
+                                  "any", "all"})
+
+#: Builtins that pass their argument through (possibly reshaped).
+_PASSTHROUGH_BUILTINS = frozenset({"list", "tuple", "int", "float", "str",
+                                   "bool", "abs", "round", "repr", "dict",
+                                   "reversed", "enumerate", "zip", "iter",
+                                   "next"})
+
+#: ``repro.units`` converter -> unit of the value it returns.
+_CONVERTER_RETURNS: Dict[str, Unit] = {
+    "gbps": ("rate", "bps"), "mbps": ("rate", "bps"),
+    "as_gbps": ("rate", "gbps"), "as_mbps": ("rate", "mbps"),
+    "kib": ("size", "bytes"), "mib": ("size", "bytes"),
+    "bits": ("size", "bits"),
+    "usec": ("time", "s"), "msec": ("time", "s"),
+    "as_usec": ("time", "us"), "as_msec": ("time", "ms"),
+    "serialization_time": ("time", "s"), "wire_time": ("time", "s"),
+}
+
+#: ``repro.units`` converter -> unit its (first) argument must carry.
+_CONVERTER_ARGS: Dict[str, Unit] = {
+    "gbps": ("rate", "gbps"), "mbps": ("rate", "mbps"),
+    "as_gbps": ("rate", "bps"), "as_mbps": ("rate", "bps"),
+    "kib": ("size", "kib"), "mib": ("size", "mib"),
+    "bits": ("size", "bytes"),
+    "usec": ("time", "us"), "msec": ("time", "ms"),
+    "as_usec": ("time", "s"), "as_msec": ("time", "s"),
+}
+
+#: RNG constructor call chains (matched by suffix, like DET101).
+_RNG_CONSTRUCTORS = ("random.Random", "Random", "default_rng",
+                     "random.default_rng")
+
+#: Function/method names whose return value is a journal/report payload.
+_PAYLOAD_RETURN_NAMES = frozenset({"error_payload", "end_record",
+                                   "fingerprint"})
+_PAYLOAD_RETURN_SUFFIXES = ("_payload", "_record")
+
+
+@dataclass(frozen=True)
+class Tag:
+    """The abstract value of one expression."""
+
+    unit: Optional[Unit] = None
+    origins: FrozenSet[str] = frozenset()
+    taints: FrozenSet[str] = frozenset()
+    #: Constructed class qualname, or the builtin marker ``"set"``.
+    klass: Optional[str] = None
+
+
+_UNKNOWN_TAG = Tag(origins=frozenset({UNKNOWN}))
+_LITERAL_TAG = Tag(origins=frozenset({LITERAL}))
+
+
+def merge(*tags: Tag) -> Tag:
+    """Join tags: units must agree to survive, origins/taints union."""
+    unit: Optional[Unit] = None
+    unit_set = False
+    origins: Set[str] = set()
+    taints: Set[str] = set()
+    for tag in tags:
+        origins |= tag.origins
+        taints |= tag.taints
+        if tag.unit is not None:
+            if not unit_set:
+                unit, unit_set = tag.unit, True
+            elif unit != tag.unit:
+                unit = None
+    return Tag(unit=unit, origins=frozenset(origins),
+               taints=frozenset(taints))
+
+
+def seed_origin_ok(origins: FrozenSet[str]) -> bool:
+    """Whether any origin is acceptable seed provenance."""
+    return any(atom in _SEED_OK_ATOMS or
+               atom.startswith(_SEED_OK_PREFIXES)
+               for atom in sorted(origins))
+
+
+def param_atoms(origins: FrozenSet[str]) -> List[str]:
+    """The parameter names among ``origins``' ``param:`` atoms."""
+    return [atom[len("param:"):] for atom in sorted(origins)
+            if atom.startswith("param:")]
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """What a caller needs to know about one function."""
+
+    qualname: str
+    param_units: Tuple[Tuple[str, Unit], ...]
+    #: Parameters that (transitively) reach an RNG seed position.
+    seed_params: FrozenSet[str]
+    #: Unit declared by the function's own name suffix, if any.
+    declared_unit: Optional[Unit]
+    #: Unit joined over the function's return expressions.
+    inferred_unit: Optional[Unit]
+    return_origins: FrozenSet[str]
+    return_taints: FrozenSet[str]
+    #: ``self.<attr> = <value>`` effects: attribute name -> the
+    #: parameters whose values reach it (drives cross-method seed
+    #: tracking: a param stored into an attribute some other method
+    #: seeds an RNG from is itself a seed parameter).
+    stores: Tuple[Tuple[str, FrozenSet[str]], ...] = ()
+
+    @property
+    def return_unit(self) -> Optional[Unit]:
+        """The unit a call to this function yields (declared wins)."""
+        return self.declared_unit or self.inferred_unit
+
+
+@dataclass
+class RngSite:
+    """One RNG constructor call and the tag of its seed argument."""
+
+    function: str
+    module: ModuleInfo
+    node: ast.Call
+    constructor: str
+    #: None when the constructor was called with no seed at all.
+    seed_tag: Optional[Tag]
+    seed_node: Optional[ast.AST]
+
+
+@dataclass
+class ArgBinding:
+    """One argument bound to a known parameter at a resolved call."""
+
+    caller: str
+    module: ModuleInfo
+    callee: FunctionInfo
+    param: str
+    call: ast.Call
+    node: ast.AST
+    tag: Tag
+    #: The argument expression is itself a call into a units module —
+    #: the sanctioned way to change a value's unit.
+    via_converter: bool
+
+
+@dataclass
+class SinkValue:
+    """One value reaching a journal/payload sink."""
+
+    kind: str  # "journal-append" | "payload-return"
+    function: str
+    module: ModuleInfo
+    node: ast.AST
+    tag: Tag
+
+
+@dataclass
+class Observations:
+    """Everything one evaluation pass recorded for the rules."""
+
+    rng_sites: List[RngSite] = field(default_factory=list)
+    bindings: List[ArgBinding] = field(default_factory=list)
+    sinks: List[SinkValue] = field(default_factory=list)
+
+
+class FunctionEvaluator:
+    """One forward pass over one function (or module) body."""
+
+    def __init__(self, project: Project, module: ModuleInfo,
+                 function: Optional[FunctionInfo],
+                 summaries: Dict[str, FunctionSummary],
+                 seed_attrs: Optional[Dict[str, FrozenSet[str]]] = None
+                 ) -> None:
+        self.project = project
+        self.module = module
+        self.function = function
+        self.summaries = summaries
+        #: Class qualname -> attributes observed seeding RNGs.
+        self.seed_attrs = seed_attrs if seed_attrs is not None else {}
+        self.env: Dict[str, Tag] = {}
+        self.obs = Observations()
+        self._return_tags: List[Tag] = []
+        self._qualname = (function.qualname if function is not None
+                          else f"{module.name}.<module>")
+
+    # -- public ----------------------------------------------------------
+
+    def run(self) -> FunctionSummary:
+        """Evaluate the body; return this round's summary."""
+        if self.function is not None and self.function.synthetic:
+            # A dataclass-synthesized __init__: each field parameter is
+            # stored into the same-named attribute, nothing else runs.
+            for param in self.function.params:
+                self.env[f"self.{param}"] = Tag(
+                    unit=unit_for_identifier(param),
+                    origins=frozenset({f"param:{param}"}))
+            return self._summarize()
+        if self.function is not None:
+            body = self.function.node.body  # type: ignore[attr-defined]
+        else:
+            body = [stmt for stmt in self.module.tree.body
+                    if not isinstance(stmt, (ast.FunctionDef,
+                                             ast.AsyncFunctionDef,
+                                             ast.ClassDef))]
+        self.exec_block(body)
+        return self._summarize()
+
+    def _own_class_qualname(self) -> Optional[str]:
+        if self.function is None or self.function.class_name is None:
+            return None
+        return f"{self.module.name}.{self.function.class_name}"
+
+    # -- summary ---------------------------------------------------------
+
+    def _summarize(self) -> FunctionSummary:
+        name = self.function.name if self.function is not None else ""
+        params = self.function.all_params if self.function is not None \
+            else []
+        param_units = tuple(
+            (param, unit) for param, unit in
+            ((p, unit_for_identifier(p)) for p in params)
+            if unit is not None)
+        seed_params: Set[str] = set()
+        for site in self.obs.rng_sites:
+            if site.seed_tag is not None:
+                seed_params.update(param_atoms(site.seed_tag.origins))
+        for binding in self.obs.bindings:
+            callee = self.summaries.get(binding.callee.qualname)
+            if callee is not None and binding.param in callee.seed_params:
+                seed_params.update(param_atoms(binding.tag.origins))
+        store_pairs = tuple(sorted(
+            (key[len("self."):], frozenset(param_atoms(tag.origins)))
+            for key, tag in self.env.items()
+            if key.startswith("self.") and param_atoms(tag.origins)))
+        own_class = self._own_class_qualname()
+        if own_class is not None:
+            for attr, stored in store_pairs:
+                if attr in self.seed_attrs.get(own_class, frozenset()):
+                    seed_params.update(stored)
+        returned = merge(*self._return_tags) if self._return_tags else Tag()
+        declared = unit_for_identifier(name) if name else None
+        inferred: Optional[Unit] = None
+        units_seen = {t.unit for t in self._return_tags if t.unit is not None}
+        if len(units_seen) == 1 and all(
+                t.unit is not None for t in self._return_tags):
+            inferred = next(iter(units_seen))
+        return FunctionSummary(
+            qualname=self._qualname,
+            param_units=param_units,
+            seed_params=frozenset(seed_params),
+            declared_unit=declared,
+            inferred_unit=inferred,
+            return_origins=returned.origins,
+            return_taints=returned.taints,
+            stores=store_pairs)
+
+    # -- statements ------------------------------------------------------
+
+    def exec_block(self, body: List[ast.stmt]) -> None:
+        """Execute statements in order, threading the environment."""
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        """Dispatch one statement."""
+        if isinstance(stmt, ast.Assign):
+            tag = self.eval(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, tag)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self.eval(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            tag = merge(self._read_target(stmt.target),
+                        self.eval(stmt.value))
+            self._bind(stmt.target, tag)
+        elif isinstance(stmt, ast.Return):
+            tag = self.eval(stmt.value) if stmt.value is not None else Tag()
+            self._return_tags.append(tag)
+            self._record_payload_return(stmt, tag)
+        elif isinstance(stmt, ast.For):
+            self._bind(stmt.target, self._element_tag(self.eval(stmt.iter)))
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_block(stmt.body)
+            self.exec_block(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                tag = self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, tag)
+            self.exec_block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_block(stmt.body)
+            for handler in stmt.handlers:
+                self.exec_block(handler.body)
+            self.exec_block(stmt.orelse)
+            self.exec_block(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc)
+        elif isinstance(stmt, ast.Assert):
+            self.eval(stmt.test)
+            if stmt.msg is not None:
+                self.eval(stmt.msg)
+        # Nested defs/classes and the remaining statement kinds carry no
+        # dataflow the project rules consume; skip them.
+
+    def _bind(self, target: ast.AST, tag: Tag) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = tag
+        elif isinstance(target, ast.Attribute) and \
+                isinstance(target.value, ast.Name) and \
+                target.value.id in ("self", "cls"):
+            self.env[f"self.{target.attr}"] = tag
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, tag)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tag)
+
+    def _read_target(self, target: ast.AST) -> Tag:
+        if isinstance(target, ast.Name):
+            return self.env.get(target.id, Tag())
+        return Tag()
+
+    @staticmethod
+    def _element_tag(iterable: Tag) -> Tag:
+        """The tag of one element drawn from ``iterable``."""
+        taints = set(iterable.taints)
+        if iterable.klass == "set":
+            taints.add(TAINT_SET_ORDER)
+        return Tag(origins=iterable.origins, taints=frozenset(taints))
+
+    # -- expressions -----------------------------------------------------
+
+    def eval(self, node: ast.AST) -> Tag:
+        """The tag of one expression."""
+        if isinstance(node, ast.Constant):
+            return _LITERAL_TAG
+        if isinstance(node, ast.Name):
+            return self._eval_name(node)
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node)
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node)
+        if isinstance(node, ast.BoolOp):
+            return merge(*(self.eval(value) for value in node.values))
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand)
+        if isinstance(node, ast.Compare):
+            joined = merge(self.eval(node.left),
+                           *(self.eval(c) for c in node.comparators))
+            # A comparison result is order-independent even over sets.
+            return Tag(origins=joined.origins,
+                       taints=joined.taints - {TAINT_SET_ORDER})
+        if isinstance(node, ast.IfExp):
+            return merge(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, (ast.List, ast.Tuple)):
+            if not node.elts:
+                return _LITERAL_TAG
+            return merge(*(self.eval(e) for e in node.elts))
+        if isinstance(node, ast.Set):
+            inner = merge(*(self.eval(e) for e in node.elts)) \
+                if node.elts else Tag()
+            return Tag(origins=inner.origins or frozenset({LITERAL}),
+                       taints=inner.taints | {TAINT_SET_ORDER},
+                       klass="set")
+        if isinstance(node, ast.Dict):
+            return self._eval_dict(node)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.SetComp)):
+            return self._eval_comprehension(node)
+        if isinstance(node, ast.DictComp):
+            tag = self._comprehension_env(node.generators)
+            return merge(tag, self.eval(node.key), self.eval(node.value))
+        if isinstance(node, ast.JoinedStr):
+            return merge(_LITERAL_TAG,
+                         *(self.eval(v.value) for v in node.values
+                           if isinstance(v, ast.FormattedValue)))
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        if isinstance(node, ast.Lambda):
+            return _UNKNOWN_TAG
+        if isinstance(node, ast.Await):
+            return self.eval(node.value)
+        if isinstance(node, ast.NamedExpr):
+            tag = self.eval(node.value)
+            self._bind(node.target, tag)
+            return tag
+        return _UNKNOWN_TAG
+
+    def _eval_name(self, node: ast.Name) -> Tag:
+        name = node.id
+        suffix_unit = unit_for_identifier(name)
+        if name in self.env:
+            tag = self.env[name]
+            if tag.unit is None and suffix_unit is not None:
+                return Tag(unit=suffix_unit, origins=tag.origins,
+                           taints=tag.taints, klass=tag.klass)
+            return tag
+        if self.function is not None and \
+                name in self.function.all_params:
+            return Tag(unit=suffix_unit,
+                       origins=frozenset({f"param:{name}"}))
+        if name in ("self", "cls"):
+            return Tag(origins=frozenset({SELF}))
+        if name in self.module.constants:
+            return _LITERAL_TAG
+        return Tag(unit=suffix_unit, origins=frozenset({UNKNOWN}))
+
+    def _eval_attribute(self, node: ast.Attribute) -> Tag:
+        chain = dotted_name(node)
+        if chain in ("math.nan", "math.inf"):
+            return Tag(origins=frozenset({LITERAL}),
+                       taints=frozenset({TAINT_NONCANONICAL}))
+        suffix_unit = unit_for_identifier(node.attr)
+        root = node.value
+        if isinstance(root, ast.Name) and root.id in ("self", "cls"):
+            stored = self.env.get(f"self.{node.attr}")
+            if stored is not None:
+                if stored.unit is None and suffix_unit is not None:
+                    return Tag(unit=suffix_unit, origins=stored.origins,
+                               taints=stored.taints, klass=stored.klass)
+                return stored
+            cls = self._own_class()
+            if cls is not None and node.attr in cls.set_attrs:
+                return Tag(unit=suffix_unit,
+                           origins=frozenset({f"self:{node.attr}"}),
+                           taints=frozenset({TAINT_SET_ORDER}),
+                           klass="set")
+            return Tag(unit=suffix_unit,
+                       origins=frozenset({f"self:{node.attr}"}))
+        base = self.eval(root)
+        if base.origins & {SELF} or param_atoms(base.origins):
+            return Tag(unit=suffix_unit, origins=base.origins,
+                       taints=base.taints)
+        return Tag(unit=suffix_unit,
+                   origins=base.origins or frozenset({UNKNOWN}),
+                   taints=base.taints)
+
+    def _eval_subscript(self, node: ast.Subscript) -> Tag:
+        base = self.eval(node.value)
+        key_unit: Optional[Unit] = None
+        if isinstance(node.slice, ast.Constant) and \
+                isinstance(node.slice.value, str):
+            key_unit = unit_for_identifier(node.slice.value)
+        return Tag(unit=key_unit if key_unit is not None else base.unit,
+                   origins=base.origins, taints=base.taints)
+
+    def _eval_binop(self, node: ast.BinOp) -> Tag:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        joined = merge(left, right)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            unit = left.unit if right.unit is None else (
+                right.unit if left.unit is None else
+                (left.unit if left.unit == right.unit else None))
+            return Tag(unit=unit, origins=joined.origins,
+                       taints=joined.taints)
+        return Tag(origins=joined.origins, taints=joined.taints)
+
+    def _eval_dict(self, node: ast.Dict) -> Tag:
+        parts: List[Tag] = []
+        taints: Set[str] = set()
+        for key in node.keys:
+            if key is None:  # **splat
+                continue
+            if isinstance(key, ast.Constant) and \
+                    not isinstance(key.value, str):
+                taints.add(TAINT_NONSTR_KEY)
+            parts.append(self.eval(key))
+        parts.extend(self.eval(value) for value in node.values)
+        joined = merge(*parts) if parts else _LITERAL_TAG
+        return Tag(origins=joined.origins,
+                   taints=joined.taints | frozenset(taints))
+
+    def _comprehension_env(self,
+                           generators: List[ast.comprehension]) -> Tag:
+        """Bind comprehension targets; the merged iterable taint/origin."""
+        joined = Tag()
+        for generator in generators:
+            iter_tag = self.eval(generator.iter)
+            element = self._element_tag(iter_tag)
+            self._bind(generator.target, element)
+            for condition in generator.ifs:
+                self.eval(condition)
+            joined = merge(joined, Tag(origins=element.origins,
+                                       taints=element.taints))
+        return joined
+
+    def _eval_comprehension(self, node: ast.AST) -> Tag:
+        generators = node.generators  # type: ignore[attr-defined]
+        outer = self._comprehension_env(generators)
+        element = self.eval(node.elt)  # type: ignore[attr-defined]
+        joined = merge(outer, element)
+        if isinstance(node, ast.SetComp):
+            return Tag(origins=joined.origins,
+                       taints=joined.taints | {TAINT_SET_ORDER},
+                       klass="set")
+        return joined
+
+    # -- calls -----------------------------------------------------------
+
+    def _eval_call(self, node: ast.Call) -> Tag:
+        chain = dotted_name(node.func)
+        arg_tags = [self.eval(arg) for arg in node.args]
+        kw_tags = {kw.arg: self.eval(kw.value) for kw in node.keywords}
+        joined_args = merge(*arg_tags, *kw_tags.values()) \
+            if (arg_tags or kw_tags) else Tag()
+
+        if _chain_matches(chain, _WALL_CLOCK_SUFFIXES) is not None:
+            return Tag(origins=frozenset({WALLCLOCK}),
+                       taints=frozenset({TAINT_WALLCLOCK}))
+        constructor = _chain_matches(chain, _RNG_CONSTRUCTORS)
+        if constructor is not None and \
+                self._resolves_outside_project(node):
+            self._record_rng(node, constructor, arg_tags, kw_tags)
+            return Tag(origins=frozenset({UNKNOWN}), klass="rng")
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name == "seed_for" or (
+                    chain is not None and chain.endswith("seed_for")):
+                return Tag(origins=frozenset({SEED_FOR}))
+            if name in ("id", "hash"):
+                return Tag(origins=frozenset({UNKNOWN}),
+                           taints=joined_args.taints | {TAINT_ID})
+            if name in _SET_ORDER_CLEANSERS:
+                return Tag(unit=joined_args.unit,
+                           origins=joined_args.origins,
+                           taints=joined_args.taints - {TAINT_SET_ORDER})
+            if name in ("set", "frozenset"):
+                return Tag(origins=joined_args.origins or
+                           frozenset({LITERAL}),
+                           taints=joined_args.taints | {TAINT_SET_ORDER},
+                           klass="set")
+            if name == "float" and node.args and \
+                    isinstance(node.args[0], ast.Constant) and \
+                    isinstance(node.args[0].value, str) and \
+                    node.args[0].value.lower().strip("+-") in (
+                        "nan", "inf", "infinity"):
+                return Tag(origins=frozenset({LITERAL}),
+                           taints=frozenset({TAINT_NONCANONICAL}))
+            if name in _PASSTHROUGH_BUILTINS:
+                return Tag(unit=joined_args.unit,
+                           origins=joined_args.origins,
+                           taints=joined_args.taints,
+                           klass=joined_args.klass if name in (
+                               "list", "tuple") else None)
+        if chain is not None and chain.endswith("seed_for"):
+            return Tag(origins=frozenset({SEED_FOR}))
+
+        self._record_journal_append(node, arg_tags)
+
+        callee = resolve_call(self.project, self.module, self.function,
+                              node)
+        if callee is None:
+            # Unknown callable: propagate argument taints, nothing else.
+            return Tag(origins=frozenset({UNKNOWN}),
+                       taints=joined_args.taints)
+        self._record_bindings(node, callee, arg_tags, kw_tags)
+        if self._is_units_module(callee.module):
+            return self._converter_tag(callee, joined_args)
+        summary = self.summaries.get(callee.qualname)
+        klass = None
+        if callee.name == "__init__" and callee.class_name is not None:
+            klass = f"{callee.module}.{callee.class_name}"
+        if summary is None:
+            return Tag(origins=frozenset({UNKNOWN}),
+                       taints=joined_args.taints, klass=klass)
+        bound = self._bind_args(callee, arg_tags, kw_tags)
+        return Tag(
+            unit=summary.return_unit,
+            origins=self._substitute(summary.return_origins, bound,
+                                     want_origins=True),
+            taints=self._substitute(summary.return_taints, bound,
+                                    want_origins=False),
+            klass=klass)
+
+    def _resolves_outside_project(self, node: ast.Call) -> bool:
+        """True unless the call resolves to a project-local definition.
+
+        Guards the RNG-constructor match: a project may define its own
+        ``Random``-named helper, which must be summarized normally.
+        """
+        return resolve_call(self.project, self.module, self.function,
+                            node) is None
+
+    def _own_class(self) -> Optional[ClassInfo]:
+        if self.function is None or self.function.class_name is None:
+            return None
+        return self.module.classes.get(self.function.class_name)
+
+    @staticmethod
+    def _is_units_module(module_name: str) -> bool:
+        return module_name == "units" or module_name.endswith(".units")
+
+    def _converter_tag(self, callee: FunctionInfo, joined: Tag) -> Tag:
+        unit = _CONVERTER_RETURNS.get(callee.name)
+        return Tag(unit=unit, origins=joined.origins, taints=joined.taints)
+
+    def _bind_args(self, callee: FunctionInfo, arg_tags: List[Tag],
+                   kw_tags: Dict[Optional[str], Tag]) -> Dict[str, Tag]:
+        bound: Dict[str, Tag] = {}
+        for param, tag in zip(callee.params, arg_tags):
+            bound[param] = tag
+        for keyword, tag in kw_tags.items():
+            if keyword is not None and keyword in callee.all_params:
+                bound[keyword] = tag
+        return bound
+
+    @staticmethod
+    def _substitute(atoms: FrozenSet[str], bound: Dict[str, Tag],
+                    want_origins: bool) -> FrozenSet[str]:
+        """Replace symbolic ``param:`` atoms with actual argument facts."""
+        out: Set[str] = set()
+        for atom in sorted(atoms):
+            if atom.startswith("param:"):
+                name = atom[len("param:"):]
+                if name in bound:
+                    out |= (bound[name].origins if want_origins
+                            else bound[name].taints)
+                elif want_origins:
+                    out.add(DEFAULT)
+            else:
+                out.add(atom)
+        return frozenset(out)
+
+    # -- observation recording -------------------------------------------
+
+    def _record_rng(self, node: ast.Call, constructor: str,
+                    arg_tags: List[Tag],
+                    kw_tags: Dict[Optional[str], Tag]) -> None:
+        seed_tag: Optional[Tag] = None
+        seed_node: Optional[ast.AST] = None
+        if node.args:
+            seed_tag, seed_node = arg_tags[0], node.args[0]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg == "seed":
+                    seed_tag = kw_tags[keyword.arg]
+                    seed_node = keyword.value
+        self.obs.rng_sites.append(RngSite(
+            function=self._qualname, module=self.module, node=node,
+            constructor=constructor, seed_tag=seed_tag,
+            seed_node=seed_node))
+
+    def _record_bindings(self, node: ast.Call, callee: FunctionInfo,
+                         arg_tags: List[Tag],
+                         kw_tags: Dict[Optional[str], Tag]) -> None:
+        def via_converter(expr: ast.AST) -> bool:
+            if not isinstance(expr, ast.Call):
+                return False
+            inner = resolve_call(self.project, self.module,
+                                 self.function, expr)
+            return inner is not None and \
+                self._is_units_module(inner.module)
+
+        for param, arg, tag in zip(callee.params, node.args, arg_tags):
+            self.obs.bindings.append(ArgBinding(
+                caller=self._qualname, module=self.module, callee=callee,
+                param=param, call=node, node=arg, tag=tag,
+                via_converter=via_converter(arg)))
+        for keyword in node.keywords:
+            if keyword.arg is None or \
+                    keyword.arg not in callee.all_params:
+                continue
+            self.obs.bindings.append(ArgBinding(
+                caller=self._qualname, module=self.module, callee=callee,
+                param=keyword.arg, call=node, node=keyword.value,
+                tag=kw_tags[keyword.arg],
+                via_converter=via_converter(keyword.value)))
+
+    def _record_journal_append(self, node: ast.Call,
+                               arg_tags: List[Tag]) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "append" \
+                or not node.args:
+            return
+        receiver = func.value
+        receiver_tag = self.eval(receiver)
+        is_writer = (receiver_tag.klass or "").endswith(".JournalWriter")
+        if not is_writer:
+            identifier = None
+            if isinstance(receiver, ast.Name):
+                identifier = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                identifier = receiver.attr
+            if identifier is not None:
+                lowered = identifier.lower()
+                is_writer = "journal" in lowered or "writer" in lowered
+        if is_writer:
+            self.obs.sinks.append(SinkValue(
+                kind="journal-append", function=self._qualname,
+                module=self.module, node=node.args[0], tag=arg_tags[0]))
+
+    def _record_payload_return(self, stmt: ast.Return, tag: Tag) -> None:
+        if self.function is None or stmt.value is None:
+            return
+        name = self.function.name
+        if name in _PAYLOAD_RETURN_NAMES or \
+                name.endswith(_PAYLOAD_RETURN_SUFFIXES):
+            self.obs.sinks.append(SinkValue(
+                kind="payload-return", function=self._qualname,
+                module=self.module, node=stmt.value, tag=tag))
+
+
+@dataclass
+class ProjectAnalysis:
+    """Fixpoint summaries plus final-round observations, per function."""
+
+    project: Project
+    summaries: Dict[str, FunctionSummary] = field(default_factory=dict)
+    observations: Dict[str, Observations] = field(default_factory=dict)
+    #: Class qualname -> attributes whose value seeds an RNG somewhere.
+    seed_attrs: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    rounds: int = 0
+
+    def all_observations(self) -> Observations:
+        """Every function's observations, flattened in stable order."""
+        flat = Observations()
+        for qualname in sorted(self.observations):
+            obs = self.observations[qualname]
+            flat.rng_sites.extend(obs.rng_sites)
+            flat.bindings.extend(obs.bindings)
+            flat.sinks.extend(obs.sinks)
+        return flat
+
+
+def _analysis_units(project: Project) -> List[
+        Tuple[ModuleInfo, Optional[FunctionInfo]]]:
+    units: List[Tuple[ModuleInfo, Optional[FunctionInfo]]] = []
+    for module in project.modules.values():
+        units.append((module, None))
+        for function in module.functions.values():
+            units.append((module, function))
+        for cls in module.classes.values():
+            for method in cls.methods.values():
+                units.append((module, method))
+    return units
+
+
+def _self_attr_atoms(origins: FrozenSet[str]) -> List[str]:
+    """The attribute names among ``origins``' ``self:`` atoms."""
+    return [atom[len("self:"):] for atom in sorted(origins)
+            if atom.startswith("self:")]
+
+
+def _recompute_seed_attrs(analysis: ProjectAnalysis) -> bool:
+    """Refresh class seed-attribute sets; True when anything grew."""
+    grew = False
+    for qualname, obs in analysis.observations.items():
+        for site in obs.rng_sites:
+            if site.seed_tag is None:
+                continue
+            grew |= _grow_seed_attrs(
+                analysis, qualname, site.seed_tag.origins)
+        for binding in obs.bindings:
+            callee = analysis.summaries.get(binding.callee.qualname)
+            if callee is not None and binding.param in callee.seed_params:
+                grew |= _grow_seed_attrs(
+                    analysis, qualname, binding.tag.origins)
+    return grew
+
+
+def _grow_seed_attrs(analysis: ProjectAnalysis, function: str,
+                     origins: FrozenSet[str]) -> bool:
+    attrs = _self_attr_atoms(origins)
+    if not attrs:
+        return False
+    info = analysis.project.functions.get(function)
+    if info is None or info.class_name is None:
+        return False
+    cls = f"{info.module}.{info.class_name}"
+    current = analysis.seed_attrs.get(cls, frozenset())
+    updated = current | frozenset(attrs)
+    if updated != current:
+        analysis.seed_attrs[cls] = updated
+        return True
+    return False
+
+
+def analyze_project(project: Project,
+                    max_rounds: int = 8) -> ProjectAnalysis:
+    """Iterate per-function evaluation until summaries stabilise."""
+    analysis = ProjectAnalysis(project=project)
+    units = _analysis_units(project)
+    for round_number in range(1, max_rounds + 1):
+        changed = False
+        for module, function in units:
+            evaluator = FunctionEvaluator(project, module, function,
+                                          analysis.summaries,
+                                          analysis.seed_attrs)
+            summary = evaluator.run()
+            qualname = summary.qualname
+            if analysis.summaries.get(qualname) != summary:
+                analysis.summaries[qualname] = summary
+                changed = True
+            analysis.observations[qualname] = evaluator.obs
+        changed |= _recompute_seed_attrs(analysis)
+        analysis.rounds = round_number
+        if not changed:
+            break
+    return analysis
+
+
+def dump_summaries(analysis: ProjectAnalysis,
+                   within: Optional[str] = None) -> str:
+    """Stable text rendering of every summary (golden-file anchor)."""
+    lines: List[str] = []
+    for qualname in sorted(analysis.summaries):
+        if within is not None and not qualname.startswith(within):
+            continue
+        summary = analysis.summaries[qualname]
+        units = ", ".join(f"{p}={u[0]}:{u[1]}"
+                          for p, u in summary.param_units)
+        seeds = ", ".join(sorted(summary.seed_params))
+        ret = summary.return_unit
+        lines.append(
+            f"{qualname} units[{units}] seeds[{seeds}] -> "
+            f"unit={ret[0] + ':' + ret[1] if ret else '-'} "
+            f"origins[{', '.join(sorted(summary.return_origins))}] "
+            f"taints[{', '.join(sorted(summary.return_taints))}]")
+    return "\n".join(lines)

@@ -1,0 +1,125 @@
+"""Seed-provenance rules (FLOW5xx): every RNG seed must be traceable.
+
+The per-file DET101 catches ``random.Random()`` with *no* seed; these
+rules close the remaining hole — a seed that exists but is wrong.  A
+literal hidden two calls deep (``setup() -> make_rng(1234) ->
+random.Random(seed)``) pins every "seeded" campaign to one stream; a
+wall-clock seed un-pairs the PAM-vs-naive comparison while looking
+seeded.  Acceptable provenance is an explicit parameter, a spec/config
+field, a declared default, or :func:`repro.exec.scenario.seed_for`.
+
+Each rule scans both direct RNG constructor sites and the argument
+bindings whose callee parameter (transitively) reaches a seed position
+— that transitive set is the ``seed_params`` fixpoint computed in
+:mod:`.dataflow`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..findings import Severity
+from .dataflow import (LITERAL, ProjectAnalysis, Tag, UNKNOWN, WALLCLOCK,
+                       seed_origin_ok)
+from .engine import ProjectContext, ProjectRule, register_project
+from .loader import ModuleInfo
+
+
+def _seed_flows(analysis: ProjectAnalysis) -> Iterator[
+        Tuple[ModuleInfo, ast.AST, Tag, str]]:
+    """Every (module, node, tag, description) that reaches an RNG seed."""
+    obs = analysis.all_observations()
+    for site in obs.rng_sites:
+        if site.seed_tag is None or site.seed_node is None:
+            continue
+        yield (site.module, site.seed_node, site.seed_tag,
+               f"the seed of {site.constructor}(...)")
+    for binding in obs.bindings:
+        summary = analysis.summaries.get(binding.callee.qualname)
+        if summary is None or binding.param not in summary.seed_params:
+            continue
+        short = binding.callee.qualname.split(".", 1)[-1]
+        yield (binding.module, binding.node, binding.tag,
+               f"parameter {binding.param!r} of {short}(), "
+               f"which (transitively) seeds an RNG")
+
+
+@register_project
+class LiteralSeedRule(ProjectRule):
+    """FLOW501: a literal constant reaches an RNG seed position."""
+
+    code = "FLOW501"
+    name = "literal-seed"
+    severity = Severity.ERROR
+    rationale = ("A hardcoded seed pins every 'seeded' run to one stream: "
+                 "campaigns stop varying with --seed, the per-run "
+                 "seed_for(campaign_seed, index) derivation is silently "
+                 "bypassed, and replay instructions recorded in journals "
+                 "lie. Library code must thread the seed from a "
+                 "parameter, a spec field, or seed_for(...).")
+
+    def check(self, analysis: ProjectAnalysis,
+              ctx: ProjectContext) -> None:
+        """Flag all-literal seed values at RNG sites and seed bindings."""
+        for module, node, tag, into in _seed_flows(analysis):
+            if tag.origins and tag.origins <= {LITERAL}:
+                ctx.report(self, module, node,
+                           f"literal value flows into {into}; derive the "
+                           "seed from a parameter, a spec/config field, "
+                           "or seed_for(campaign_seed, index)")
+
+
+@register_project
+class WallClockSeedRule(ProjectRule):
+    """FLOW502: a wall-clock reading reaches an RNG seed position."""
+
+    code = "FLOW502"
+    name = "wall-clock-seed"
+    severity = Severity.ERROR
+    rationale = ("Seeding from time.time()/datetime.now() makes every run "
+                 "unrepeatable while still *looking* seeded — the worst "
+                 "of both worlds. Replay, paired comparisons, and "
+                 "journal-resume all silently break.")
+
+    def check(self, analysis: ProjectAnalysis,
+              ctx: ProjectContext) -> None:
+        """Flag wall-clock-derived seed values."""
+        for module, node, tag, into in _seed_flows(analysis):
+            if WALLCLOCK in tag.origins:
+                ctx.report(self, module, node,
+                           f"wall-clock-derived value flows into {into}; "
+                           "seeds must come from the scenario spec so "
+                           "runs replay")
+
+
+@register_project
+class UntracedSeedRule(ProjectRule):
+    """FLOW503: an RNG seed whose provenance cannot be established."""
+
+    code = "FLOW503"
+    name = "untraced-seed"
+    severity = Severity.WARNING
+    rationale = ("A seed the dataflow analysis cannot trace to a "
+                 "parameter, spec field, or seed_for(...) is a blind "
+                 "spot: it may be fine, but nothing checks it. Route it "
+                 "through an explicit parameter so provenance is "
+                 "machine-checkable.")
+
+    def check(self, analysis: ProjectAnalysis,
+              ctx: ProjectContext) -> None:
+        """Flag direct RNG sites whose seed origin is wholly unknown."""
+        for site in analysis.all_observations().rng_sites:
+            tag: Optional[Tag] = site.seed_tag
+            if tag is None or site.seed_node is None:
+                continue  # missing seeds are DET101's finding
+            if not tag.origins or seed_origin_ok(tag.origins):
+                continue
+            if WALLCLOCK in tag.origins or tag.origins <= {LITERAL}:
+                continue  # FLOW501/502 already fired
+            if tag.origins <= {UNKNOWN, LITERAL}:
+                ctx.report(self, site.module, site.seed_node,
+                           f"cannot trace the seed of "
+                           f"{site.constructor}(...) to a parameter, "
+                           "spec field, or seed_for(...); thread it "
+                           "explicitly")

@@ -1,0 +1,69 @@
+"""Journal-payload purity (JRN601).
+
+Write-ahead journals are the determinism contract's persistence layer:
+``run-result`` records are CRC-framed canonical JSON, replayed bit-exact
+on resume and digested for the serial==parallel comparison.  Any value
+reaching a journal therefore has to be canonical and deterministic —
+a list built in set-iteration order differs between processes, an
+``id()`` is a memory address, a wall-clock stamp never replays, a NaN
+breaks JSON round-tripping, and non-string dict keys make key order
+coercion-dependent.
+
+Sinks are ``JournalWriter.append(...)`` calls (resolved by constructed
+type where the dataflow can see it, by ``journal``/``writer`` naming
+otherwise) and the return values of payload-shaped functions
+(``error_payload``, ``end_record``, ``fingerprint``, ``*_payload``,
+``*_record``).  Taints propagate inter-procedurally through function
+summaries, so a helper that builds the impure value two calls away
+from the ``append`` is still caught at the sink.
+"""
+
+from __future__ import annotations
+
+from ..findings import Severity
+from .dataflow import (ProjectAnalysis, TAINT_ID, TAINT_NONCANONICAL,
+                       TAINT_NONSTR_KEY, TAINT_SET_ORDER, TAINT_WALLCLOCK)
+from .engine import ProjectContext, ProjectRule, register_project
+
+_TAINT_TEXT = {
+    TAINT_SET_ORDER: "set-iteration order",
+    TAINT_ID: "id()/hash() values",
+    TAINT_WALLCLOCK: "wall-clock readings",
+    TAINT_NONSTR_KEY: "non-string dict keys",
+    TAINT_NONCANONICAL: "non-canonical floats (nan/inf)",
+}
+
+_SINK_TEXT = {
+    "journal-append": "a journal append",
+    "payload-return": "a journal/report payload",
+}
+
+
+@register_project
+class JournalPurityRule(ProjectRule):
+    """JRN601: impure values reaching journal/payload sinks."""
+
+    code = "JRN601"
+    name = "journal-purity"
+    severity = Severity.ERROR
+    rationale = ("Journal records are replayed bit-exact on resume and "
+                 "digested for the serial==parallel campaign contract; "
+                 "a payload carrying set order, id() addresses, wall "
+                 "clock, NaN, or non-string keys corrupts that contract "
+                 "silently — the journal still *reads* fine, it just "
+                 "stops being deterministic.")
+
+    def check(self, analysis: ProjectAnalysis,
+              ctx: ProjectContext) -> None:
+        """Flag tainted sink values, naming every taint present."""
+        for sink in analysis.all_observations().sinks:
+            relevant = sorted(sink.tag.taints & _TAINT_TEXT.keys())
+            if not relevant:
+                continue
+            reasons = ", ".join(_TAINT_TEXT[t] for t in relevant)
+            ctx.report(self, sink.module, sink.node,
+                       f"value reaching {_SINK_TEXT[sink.kind]} derives "
+                       f"from {reasons}; journal payloads must be "
+                       "canonical, deterministic JSON (sort the "
+                       "iteration, use stable identifiers, take time "
+                       "from the engine)")

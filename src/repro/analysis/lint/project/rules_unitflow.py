@@ -1,0 +1,115 @@
+"""Inter-procedural unit-flow rules (UNIT21x).
+
+The per-file UNIT202 sees ``start_s + delay_us`` inside one expression;
+these rules follow the suffix convention across call boundaries, where
+the same bug hides more easily: a ``latency_us`` local passed into a
+``timeout_s`` parameter is silent at both ends.  Unit tags propagate
+through assignments, arithmetic, converter calls, and function-return
+summaries (:mod:`.dataflow`), so the check also fires when the
+mismatched value arrives via ``x = some_latency_us(); f(timeout_s=x)``.
+
+Passing through a :mod:`repro.units` converter re-tags the value: a
+converter with a known conversion contributes its real output unit
+(so ``f(timeout_s=usec(x))`` is clean and ``f(timeout_s=as_usec(x))``
+still flags), and an unknown converter yields an untagged value, which
+is never flagged — adding a converter call can only remove findings,
+a monotonicity the hypothesis suite pins.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..findings import Severity
+from ..rules_units import unit_for_identifier
+from .dataflow import (Unit, _CONVERTER_ARGS, ProjectAnalysis)
+from .engine import ProjectContext, ProjectRule, register_project
+
+
+def _fmt(unit: Unit) -> str:
+    return f"{unit[1]} ({unit[0]})"
+
+
+@register_project
+class CrossCallUnitRule(ProjectRule):
+    """UNIT210: a tagged value flows into a differently-tagged param."""
+
+    code = "UNIT210"
+    name = "cross-call-unit"
+    severity = Severity.ERROR
+    rationale = ("A latency_us local passed into a timeout_s parameter "
+                 "is invisible to per-expression checks — both call "
+                 "sites type as float. Tracking suffix tags through "
+                 "assignments, returns, and calls makes the mismatch "
+                 "visible at the argument that commits it; repro.units "
+                 "converters are the sanctioned re-tagging points.")
+
+    def check(self, analysis: ProjectAnalysis,
+              ctx: ProjectContext) -> None:
+        """Flag call arguments whose unit conflicts with the parameter."""
+        for binding in analysis.all_observations().bindings:
+            param_unit = self._param_unit(binding.callee.module,
+                                          binding.callee.name,
+                                          binding.param,
+                                          binding.callee.params)
+            arg_unit = binding.tag.unit
+            if param_unit is None or arg_unit is None:
+                continue
+            if param_unit == arg_unit:
+                continue
+            short = binding.callee.qualname.split(".", 1)[-1]
+            detail = "different dimensions" \
+                if param_unit[0] != arg_unit[0] else "a scale mismatch"
+            ctx.report(self, binding.module, binding.node,
+                       f"argument carries {_fmt(arg_unit)} but parameter "
+                       f"{binding.param!r} of {short}() expects "
+                       f"{_fmt(param_unit)} — {detail}; convert through "
+                       "repro.units first")
+
+    @staticmethod
+    def _param_unit(callee_module: str, callee_name: str, param: str,
+                    params: "list[str]") -> Optional[Unit]:
+        unit = unit_for_identifier(param)
+        if unit is not None:
+            return unit
+        if (callee_module == "units" or
+                callee_module.endswith(".units")) and \
+                params and param == params[0]:
+            return _CONVERTER_ARGS.get(callee_name)
+        return None
+
+
+@register_project
+class ReturnUnitMismatchRule(ProjectRule):
+    """UNIT211: a function's name-suffix unit conflicts with its body."""
+
+    code = "UNIT211"
+    name = "return-unit-mismatch"
+    severity = Severity.WARNING
+    rationale = ("def elapsed_us(...) returning a value every dataflow "
+                 "path tags as seconds misleads every caller at once; "
+                 "the name is the API contract the unit-flow analysis "
+                 "(and every human) trusts.")
+
+    def check(self, analysis: ProjectAnalysis,
+              ctx: ProjectContext) -> None:
+        """Flag declared-vs-inferred return unit conflicts."""
+        for qualname in sorted(analysis.summaries):
+            summary = analysis.summaries[qualname]
+            if summary.declared_unit is None or \
+                    summary.inferred_unit is None:
+                continue
+            if summary.declared_unit == summary.inferred_unit:
+                continue
+            info = analysis.project.functions.get(qualname)
+            if info is None:
+                continue
+            module = analysis.project.modules.get(info.module)
+            if module is None:
+                continue
+            ctx.report(self, module, info.node,
+                       f"function {info.name!r} declares "
+                       f"{_fmt(summary.declared_unit)} by suffix but "
+                       f"every return is tagged "
+                       f"{_fmt(summary.inferred_unit)}; rename it or fix "
+                       "the conversion")

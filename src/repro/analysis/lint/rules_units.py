@@ -54,6 +54,19 @@ def _identifier_of(node: ast.AST) -> Optional[str]:
     return None
 
 
+def unit_for_identifier(name: str) -> Optional[tuple]:
+    """(dimension, scale) an identifier's suffix declares, if any.
+
+    The suffix convention (``latency_us``, ``rate_bps``) is shared by
+    the per-file UNIT2xx rules and the project-mode unit-flow analysis
+    (:mod:`repro.analysis.lint.project`).
+    """
+    for suffix, unit in _UNIT_SUFFIXES.items():
+        if name.endswith(suffix) and name != suffix:
+            return unit
+    return None
+
+
 def _unit_of(node: ast.AST) -> Optional[tuple]:
     """(dimension, scale) carried by an expression's naming, if any.
 
@@ -62,10 +75,7 @@ def _unit_of(node: ast.AST) -> Optional[tuple]:
     """
     identifier = _identifier_of(node)
     if identifier is not None:
-        for suffix, unit in _UNIT_SUFFIXES.items():
-            if identifier.endswith(suffix) and identifier != suffix:
-                return unit
-        return None
+        return unit_for_identifier(identifier)
     if isinstance(node, ast.BinOp) and \
             isinstance(node.op, (ast.Add, ast.Sub)):
         left = _unit_of(node.left)

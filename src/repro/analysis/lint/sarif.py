@@ -1,0 +1,97 @@
+"""SARIF 2.1.0 output for the simulation-safety linter.
+
+SARIF (Static Analysis Results Interchange Format) is what code-scanning
+UIs ingest — uploading the file produced here annotates findings inline
+on pull requests.  One run object carries the full rule catalogue as
+``tool.driver.rules`` (so the UI can show each rule's rationale) and one
+``result`` per reported finding.  Baselined and suppressed findings are
+not emitted: SARIF consumers treat every result as actionable, and the
+baseline's whole point is that its entries are not.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from .findings import Finding, PARSE_ERROR_RULE, Severity
+from .runner import LintReport
+from .visitor import LintRule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+#: SARIF ``level`` values per severity (SARIF also has none/note).
+_LEVELS: Dict[Severity, str] = {
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def _rule_object(rule: LintRule) -> dict:
+    """The ``reportingDescriptor`` for one rule."""
+    return {
+        "id": rule.code,
+        "name": rule.name,
+        "shortDescription": {"text": rule.name.replace("-", " ")},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {"level": _LEVELS[rule.severity]},
+    }
+
+
+def _parse_error_rule() -> dict:
+    """The descriptor for the E000 pseudo-rule (not in any registry)."""
+    return {
+        "id": PARSE_ERROR_RULE,
+        "name": "parse-error",
+        "shortDescription": {"text": "file does not parse"},
+        "fullDescription": {"text": "The linter cannot analyse a file "
+                                    "the Python parser rejects."},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding, rule_index: Dict[str, int]) -> dict:
+    """One SARIF ``result`` for one finding."""
+    result = {
+        "ruleId": finding.rule,
+        "level": _LEVELS[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.col,
+                    "snippet": {"text": finding.context},
+                },
+            },
+        }],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    return result
+
+
+def format_sarif(report: LintReport,
+                 rules: Iterable[LintRule]) -> str:
+    """Render one lint run as a SARIF 2.1.0 document."""
+    descriptors: List[dict] = [_rule_object(r) for r in rules]
+    descriptors.append(_parse_error_rule())
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "rules": descriptors,
+                },
+            },
+            "results": [_result(f, rule_index)
+                        for f in report.findings],
+        }],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

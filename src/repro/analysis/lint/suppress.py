@@ -10,6 +10,14 @@ a marker naming its rule code::
 A bare ``# repro: noqa`` (no bracket) suppresses every rule on that
 line.  Markers are extracted with :mod:`tokenize` so string literals
 that merely *contain* the text do not suppress anything.
+
+Suppression hygiene is itself checked: :func:`apply_suppressions`
+emits a **SUP001** meta-finding for every marker (or individual code in
+a comma-separated marker) that suppressed nothing — dead markers hide
+the next real finding on the line.  Codes outside the active rule set
+are left alone, so a per-file run never flags a marker aimed at a
+project-mode rule.  SUP001 findings cannot be noqa'd away (a marker
+cannot vouch for itself) but are baselinable like any other finding.
 """
 
 from __future__ import annotations
@@ -17,7 +25,10 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .findings import Finding, Severity
+from .visitor import LintRule, register
 
 #: Maps line number -> suppressed rule codes; ``None`` means "all rules".
 SuppressionMap = Dict[int, Optional[FrozenSet[str]]]
@@ -70,6 +81,78 @@ def is_suppressed(found: SuppressionMap, line: int, rule: str) -> bool:
 
 def unused_markers(found: SuppressionMap,
                    used_lines: List[int]) -> List[int]:
-    """Marker lines that suppressed nothing (for future hygiene checks)."""
+    """Marker lines that suppressed nothing (coarse, line-level view)."""
     used = set(used_lines)
     return sorted(line for line in found if line not in used)
+
+
+@register
+class UnusedNoqaRule(LintRule):
+    """SUP001: a noqa marker (or one code in it) suppresses nothing.
+
+    This rule has no ``visit_`` hooks — its findings are produced by
+    :func:`apply_suppressions`, which is the only place that knows
+    which markers matched.  Registering it keeps SUP001 visible in
+    ``--list-rules``, the docs rule table, and the baseline schema.
+    """
+
+    code = "SUP001"
+    name = "unused-noqa"
+    severity = Severity.WARNING
+    rationale = ("A noqa that suppresses nothing is a time bomb: the "
+                 "next real finding on that line is silently absorbed "
+                 "by a marker someone added for a bug fixed long ago. "
+                 "Dead markers are pruned the moment they die.")
+
+
+def apply_suppressions(
+        source: str, path: str, findings: Iterable[Finding],
+        active_codes: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], List[Finding], List[Finding]]:
+    """Apply inline markers to ``findings`` and audit the markers.
+
+    Returns ``(kept, suppressed, unused)``: findings that survive,
+    findings a marker absorbed, and SUP001 meta-findings for markers
+    (or individual codes) that absorbed nothing.  A code is only
+    reported unused when it names a rule in ``active_codes`` — markers
+    for rules that did not run this invocation (project-only codes
+    during a per-file run, or vice versa) are skipped, not flagged.
+    ``active_codes=None`` disables that filter.
+    """
+    found = suppressions(source)
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    used: Dict[int, Set[str]] = {}
+    for finding in findings:
+        if finding.rule != UnusedNoqaRule.code and \
+                is_suppressed(found, finding.line, finding.rule):
+            suppressed.append(finding)
+            used.setdefault(finding.line, set()).add(finding.rule)
+        else:
+            kept.append(finding)
+    unused: List[Finding] = []
+    lines = source.splitlines()
+    for line in sorted(found):
+        codes = found[line]
+        used_here = used.get(line, set())
+        context = lines[line - 1].strip() if line <= len(lines) else ""
+        if codes is None:
+            if not used_here:
+                unused.append(Finding(
+                    path=path, line=line, col=1,
+                    rule=UnusedNoqaRule.code,
+                    severity=UnusedNoqaRule.severity,
+                    message="blanket 'repro: noqa' suppresses nothing "
+                            "on this line; remove it",
+                    context=context))
+            continue
+        for code in sorted(codes - used_here):
+            if active_codes is not None and code not in active_codes:
+                continue
+            unused.append(Finding(
+                path=path, line=line, col=1, rule=UnusedNoqaRule.code,
+                severity=UnusedNoqaRule.severity,
+                message=f"noqa[{code}] suppresses nothing on this "
+                        f"line; drop {code} from the marker",
+                context=context))
+    return kept, suppressed, unused

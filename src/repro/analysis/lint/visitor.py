@@ -117,7 +117,7 @@ def all_rules() -> List[LintRule]:
     """Fresh instances of every registered rule, ordered by code."""
     # Importing the rule modules populates the registry exactly once.
     from . import (rules_determinism, rules_events,  # noqa: F401
-                   rules_exceptions, rules_units)
+                   rules_exceptions, rules_units, suppress)
     return [RULE_REGISTRY[code]() for code in sorted(RULE_REGISTRY)]
 
 

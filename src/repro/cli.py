@@ -319,8 +319,8 @@ def cmd_resilience(args: argparse.Namespace) -> int:
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the simulation-safety linter over source paths."""
     from .analysis.lint import (Baseline, DEFAULT_BASELINE_NAME, Severity,
-                                format_json, format_text, lint_paths,
-                                rule_catalogue)
+                                format_json, format_sarif, format_text,
+                                lint_paths, rule_catalogue)
     if args.list_rules:
         print(rule_catalogue())
         return 0
@@ -332,7 +332,15 @@ def cmd_lint(args: argparse.Namespace) -> int:
         default = Path(DEFAULT_BASELINE_NAME)
         if default.is_file():
             baseline = Baseline.load(default)
-    report = lint_paths(args.paths, baseline=baseline)
+    report_on = None
+    if args.changed:
+        from .analysis.lint.incremental import changed_python_files
+        report_on = changed_python_files(base=args.diff_base)
+        if not report_on:
+            print("no changed python files; nothing to lint")
+            return 0
+    report = lint_paths(args.paths, baseline=baseline,
+                        project=args.project, report_on=report_on)
     if args.write_baseline is not None:
         from pathlib import Path
         document = Baseline.render(report.findings)
@@ -340,10 +348,21 @@ def cmd_lint(args: argparse.Namespace) -> int:
         print(f"baseline with {len(report.findings)} entrie(s) written "
               f"to {args.write_baseline}; fill in each 'reason'")
         return 0
-    rendered = (format_json(report) if args.format == "json"
-                else format_text(report))
+    if args.format == "json":
+        rendered = format_json(report)
+    elif args.format == "sarif":
+        from .analysis.lint import all_rules
+        from .analysis.lint.project import all_project_rules
+        rendered = format_sarif(
+            report, sorted(all_rules() + list(all_project_rules()),
+                           key=lambda rule: rule.code))
+    else:
+        rendered = format_text(report)
     print(rendered)
-    return report.exit_code(Severity.parse(args.fail_on))
+    code = report.exit_code(Severity.parse(args.fail_on))
+    if args.fail_stale and report.stale_baseline:
+        return 1
+    return code
 
 
 def cmd_suite(args: argparse.Namespace) -> int:
@@ -527,11 +546,24 @@ def build_parser() -> argparse.ArgumentParser:
                             help="simulation-safety static analysis")
     p_lint.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories (default: src/repro)")
-    p_lint.add_argument("--format", choices=["text", "json"],
+    p_lint.add_argument("--format", choices=["text", "json", "sarif"],
                         default="text")
     p_lint.add_argument("--fail-on", choices=["warning", "error"],
                         default="error",
                         help="lowest severity that fails the run")
+    p_lint.add_argument("--project", action="store_true",
+                        help="also run whole-program rules (FLOW5xx "
+                             "seed provenance, UNIT21x unit flow, "
+                             "JRN601 journal purity)")
+    p_lint.add_argument("--changed", action="store_true",
+                        help="report only on files git says changed "
+                             "(analysis still covers every path)")
+    p_lint.add_argument("--diff-base", default="HEAD", metavar="REV",
+                        help="revision --changed diffs against "
+                             "(default: HEAD)")
+    p_lint.add_argument("--fail-stale", action="store_true",
+                        help="exit nonzero when baseline entries match "
+                             "nothing (CI hygiene gate)")
     p_lint.add_argument("--baseline",
                         help="baseline JSON of accepted findings "
                              "(default: ./lint-baseline.json if present)")

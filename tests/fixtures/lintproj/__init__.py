@@ -1,0 +1,13 @@
+"""Fixture mini-package for whole-program lint tests.
+
+Every module here carries deliberately seeded violations (and their
+clean twins) exercised by ``tests/test_lint_project.py``: a literal
+RNG seed hidden two calls deep, a ``_us`` value crossing into a
+``_s`` parameter, and a set-ordered journal payload.  The package
+also re-exports a symbol so the loader's re-export canonicalisation
+has something to chew on.
+"""
+
+from .rng import make_rng
+
+__all__ = ["make_rng"]

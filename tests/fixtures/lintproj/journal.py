@@ -1,0 +1,32 @@
+"""Journal-purity fixtures: JRN601 positives + cleansed twins."""
+
+
+class JournalWriter:
+    """Minimal stand-in; the name alone marks ``append`` as a sink."""
+
+    def __init__(self):
+        self.records = []
+
+    def append(self, payload):
+        self.records.append(payload)
+
+
+def order_payload(flows):
+    """JRN601 (payload-return): list built in set-iteration order."""
+    unique = set(flows)
+    return {"flows": list(unique)}
+
+
+def record(journal, flows):
+    """JRN601 (journal-append): the taint arrives through a call."""
+    journal.append(order_payload(flows))
+
+
+def clean_payload(flows):
+    """Clean: sorted(...) pins the order, discharging the taint."""
+    return {"flows": sorted(set(flows))}
+
+
+def record_clean(journal, flows):
+    """Clean twin of :func:`record`."""
+    journal.append(clean_payload(flows))

@@ -1,0 +1,39 @@
+"""Seed-provenance fixtures: FLOW501/FLOW502 positives + clean twins."""
+
+import random
+import time
+
+
+def make_rng(seed):
+    """The innermost constructor every path funnels through."""
+    return random.Random(seed)
+
+
+def build_generator(seed):
+    """One indirection layer: its ``seed`` is a transitive seed param."""
+    return make_rng(seed)
+
+
+def fixed_rng():
+    """FLOW501: the literal is two calls away from random.Random."""
+    return build_generator(1234)
+
+
+def clock_rng():
+    """FLOW502: wall clock masquerading as a seed."""
+    return make_rng(int(time.time()))
+
+
+def spec_rng(spec_seed):
+    """Clean: the seed arrives as a parameter."""
+    return make_rng(spec_seed)
+
+
+class FlowGen:
+    """Clean: seed stored in __init__, used from another method."""
+
+    def __init__(self, seed):
+        self.seed = seed
+
+    def rng(self):
+        return random.Random(self.seed)

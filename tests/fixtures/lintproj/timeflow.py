@@ -1,0 +1,29 @@
+"""Unit-flow fixtures: UNIT210/UNIT211 positives + converter-clean twins."""
+
+from . import units
+
+
+def wait_for(timeout_s):
+    """Sink parameter declared in seconds."""
+    return timeout_s + 0.0
+
+
+def poll(interval_us):
+    """UNIT210: microseconds handed straight to a seconds parameter."""
+    return wait_for(interval_us)
+
+
+def poll_converted(interval_us):
+    """Clean: the sanctioned converter re-tags the value."""
+    return wait_for(units.usec(interval_us))
+
+
+def poll_mystery(interval_us):
+    """Clean by monotonicity: an unknown converter yields an untagged
+    value, which is never flagged."""
+    return wait_for(units.mystery_scale(interval_us))
+
+
+def elapsed_us(start_s, end_s):
+    """UNIT211: the name promises microseconds, the body returns seconds."""
+    return end_s - start_s

@@ -1,0 +1,22 @@
+"""Fixture stand-in for :mod:`repro.units`.
+
+The dataflow layer recognises converter calls by *module name* (any
+module whose dotted name ends in ``.units``), so this copy gives the
+fixture package sanctioned conversion points without importing the
+real library.
+"""
+
+
+def usec(value_us: float) -> float:
+    """Microseconds -> seconds."""
+    return value_us / 1_000_000.0
+
+
+def as_usec(value_s: float) -> float:
+    """Seconds -> microseconds."""
+    return value_s * 1_000_000.0
+
+
+def mystery_scale(value: float) -> float:
+    """A converter the analysis has no unit entry for (stays untagged)."""
+    return value * 8.0
