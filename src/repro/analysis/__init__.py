@@ -9,7 +9,9 @@ AST-tooling cost; use ``from repro.analysis import lint``.
 from .explain import explain_placement
 from .capacity_model import (CapacityReport, Regime, capacity_report,
                              headroom_gained, rank_migration_candidates)
-from .placement_opt import (MAX_CHAIN_LENGTH, OptimisationResult,
+from .placement_opt import (MAX_CHAIN_LENGTH, MAX_PLACEMENT_CANDIDATES,
+                            OptimisationResult,
+                            PlacementSearchTruncated,
                             enumerate_placements, optimality_gap,
                             optimise_placement)
 from .latency_model import (LatencyPrediction, predict_crossing_penalty,
@@ -19,7 +21,9 @@ __all__ = [
     "CapacityReport",
     "LatencyPrediction",
     "MAX_CHAIN_LENGTH",
+    "MAX_PLACEMENT_CANDIDATES",
     "OptimisationResult",
+    "PlacementSearchTruncated",
     "Regime",
     "capacity_report",
     "enumerate_placements",

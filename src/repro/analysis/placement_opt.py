@@ -21,6 +21,7 @@ fast path).
 from __future__ import annotations
 
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -33,9 +34,31 @@ from ..resources.model import LoadModel
 from ..units import as_gbps
 from .latency_model import predict_latency
 
-#: Enumeration guard: 2^16 placements is instant; beyond that, refuse
-#: rather than silently take minutes.
+#: Chain length whose full 2^n space the cap still covers exhaustively.
 MAX_CHAIN_LENGTH = 16
+
+#: Enumeration guard: 2^16 placements is instant; beyond that the walk
+#: is truncated with a :class:`PlacementSearchTruncated` warning rather
+#: than hanging a supervised campaign worker into its run deadline.
+MAX_PLACEMENT_CANDIDATES = 1 << MAX_CHAIN_LENGTH
+
+
+class PlacementSearchTruncated(RuntimeWarning):
+    """The exhaustive placement walk hit the candidate cap.
+
+    Carries the structured facts (chain, cap, full space size) so a
+    caller — or a campaign journal — can report exactly how much of the
+    space went unexplored instead of silently claiming optimality.
+    """
+
+    def __init__(self, chain_name: str, cap: int, space: int) -> None:
+        self.chain_name = chain_name
+        self.cap = cap
+        self.space = space
+        super().__init__(
+            f"placement search for chain {chain_name!r} truncated at "
+            f"{cap} of {space} candidates; the result is the best of "
+            f"the enumerated prefix, not a proven optimum")
 
 
 @dataclass(frozen=True)
@@ -46,28 +69,52 @@ class OptimisationResult:
     predicted_latency_s: float
     feasible_count: int
     total_count: int
+    #: True when the candidate cap cut the walk short — the placement
+    #: is the best of the enumerated prefix, not a proven optimum.
+    truncated: bool = False
 
     @property
     def feasible_fraction(self) -> float:
-        """Share of placements that respected both capacity limits."""
+        """Share of enumerated placements that respected both limits."""
         return self.feasible_count / self.total_count
+
+
+def candidate_space(chain: ServiceChain) -> int:
+    """Size of the full capability-respecting placement space."""
+    space = 1
+    for nf in chain:
+        space *= sum(1 for device in (DeviceKind.SMARTNIC, DeviceKind.CPU)
+                     if nf.can_run_on(device))
+    return space
 
 
 def enumerate_placements(chain: ServiceChain,
                          ingress: DeviceKind = DeviceKind.SMARTNIC,
-                         egress: DeviceKind = DeviceKind.SMARTNIC):
-    """Yield every device assignment the NFs' capabilities allow."""
-    if len(chain) > MAX_CHAIN_LENGTH:
-        raise ConfigurationError(
-            f"chain too long for exhaustive search "
-            f"({len(chain)} > {MAX_CHAIN_LENGTH})")
+                         egress: DeviceKind = DeviceKind.SMARTNIC,
+                         max_candidates: int = MAX_PLACEMENT_CANDIDATES):
+    """Yield device assignments the NFs' capabilities allow.
+
+    At most ``max_candidates`` placements are yielded (deterministic
+    prefix of the lexicographic walk); exceeding the cap emits a
+    :class:`PlacementSearchTruncated` warning instead of walking an
+    unbounded space.
+    """
+    if max_candidates < 1:
+        raise ConfigurationError("candidate cap must be >= 1")
+    space = candidate_space(chain)
+    if space > max_candidates:
+        warnings.warn(PlacementSearchTruncated(chain.name,
+                                               max_candidates, space),
+                      stacklevel=2)
     options: List[Tuple[DeviceKind, ...]] = []
     for nf in chain:
         devices = tuple(device for device in
                         (DeviceKind.SMARTNIC, DeviceKind.CPU)
                         if nf.can_run_on(device))
         options.append(devices)
-    for combo in itertools.product(*options):
+    for yielded, combo in enumerate(itertools.product(*options)):
+        if yielded >= max_candidates:
+            return
         assignment = {nf.name: device
                       for nf, device in zip(chain, combo)}
         yield Placement(chain, assignment, ingress=ingress, egress=egress)
@@ -77,20 +124,25 @@ def optimise_placement(chain: ServiceChain, throughput_bps: float,
                        packet_bytes: int = 256,
                        server_profile: Optional[ServerProfile] = None,
                        ingress: DeviceKind = DeviceKind.SMARTNIC,
-                       egress: DeviceKind = DeviceKind.SMARTNIC
+                       egress: DeviceKind = DeviceKind.SMARTNIC,
+                       max_candidates: int = MAX_PLACEMENT_CANDIDATES
                        ) -> OptimisationResult:
     """The latency-optimal feasible placement at ``throughput_bps``.
 
     Raises :class:`ScaleOutRequired` when no placement keeps both
     devices under capacity — the chain simply does not fit the server
-    at that load.
+    at that load.  A search past ``max_candidates`` is truncated (with
+    a :class:`PlacementSearchTruncated` warning and
+    ``OptimisationResult.truncated`` set) rather than walked unbounded.
     """
     best: Optional[Placement] = None
     best_key: Optional[Tuple[float, int, int]] = None
     best_latency = 0.0
     feasible = 0
     total = 0
-    for placement in enumerate_placements(chain, ingress, egress):
+    truncated = candidate_space(chain) > max_candidates
+    for placement in enumerate_placements(chain, ingress, egress,
+                                          max_candidates=max_candidates):
         total += 1
         load = LoadModel(placement, throughput_bps)
         if load.nic_load().utilisation >= 1.0:
@@ -111,7 +163,8 @@ def optimise_placement(chain: ServiceChain, throughput_bps: float,
     return OptimisationResult(placement=best,
                               predicted_latency_s=best_latency,
                               feasible_count=feasible,
-                              total_count=total)
+                              total_count=total,
+                              truncated=truncated)
 
 
 def optimality_gap(candidate: Placement, throughput_bps: float,

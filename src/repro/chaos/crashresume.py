@@ -41,6 +41,8 @@ class CrashResumeOutcome:
 
     runs: int
     seed: int
+    #: Campaign kind the check exercised (``chaos`` | ``reliability``).
+    campaign: str
     #: run-result records intact in the journal when the kill landed.
     journaled_before_kill: int
     #: Whether the subprocess was actually SIGKILLed mid-flight (False
@@ -63,7 +65,8 @@ class CrashResumeOutcome:
         """One-line verdict for the CLI."""
         verdict = "bit-exact" if self.match else "MISMATCH"
         how = "SIGKILLed" if self.killed else "finished before the kill"
-        return (f"crash-resume: {self.runs} runs (seed {self.seed}); "
+        return (f"crash-resume[{self.campaign}]: {self.runs} runs "
+                f"(seed {self.seed}); "
                 f"campaign {how} with {self.journaled_before_kill} "
                 f"journaled run(s); resume replayed {self.replayed_runs} "
                 f"and re-ran {self.runs - self.replayed_runs}; "
@@ -78,18 +81,78 @@ def _count_run_results(journal_path: str) -> int:
                             tolerate_torn_tail=True).of_kind("run-result"))
 
 
+def _campaign_command(campaign: str, runs: int, seed: int,
+                      duration_s: float, journal_path: str,
+                      workers: int) -> list:
+    """The subprocess argv that journals one campaign of ``campaign``."""
+    if campaign == "chaos":
+        subcommand = ["chaos"]
+    elif campaign == "reliability":
+        # Single-policy grid: `runs` keeps its meaning of total runs.
+        subcommand = ["reliability", "--scenario", "device-kill",
+                      "--policies", "joint"]
+    else:
+        raise CheckpointError(
+            f"crash-resume does not support campaign {campaign!r} "
+            f"(known: chaos, reliability)")
+    return [sys.executable, "-m", "repro", *subcommand,
+            "--runs", str(runs), "--seed", str(seed),
+            "--duration", str(duration_s),
+            "--workers", str(workers),
+            "--journal", journal_path, "--checkpoint-every", "1"]
+
+
+def _resume_and_reference(campaign: str, runs: int, seed: int,
+                          duration_s: float, journal_path: str,
+                          workers: int):
+    """Resume the journal in-process; also run the serial reference.
+
+    Returns ``(replayed_runs, resumed_report, reference_report)`` —
+    both reports rendered, ready for the bit-exact comparison.
+    """
+    if campaign == "chaos":
+        config = ChaosConfig(duration_s=duration_s)
+        resumer = ChaosRunner(runs=runs, seed=seed, config=config,
+                              resume_from=journal_path,
+                              checkpoint_every=1, workers=workers)
+        resumed = resumer.run().render()
+        reference = ChaosRunner(runs=runs, seed=seed,
+                                config=config).run().render()
+        return resumer.replayed_runs, resumed, reference
+    from ..exec import make_executor, run_campaign
+    from ..reliability import ReliabilityCampaign, render_payloads
+
+    def build() -> ReliabilityCampaign:
+        return ReliabilityCampaign(scenario="device-kill",
+                                   policies=("joint",), runs=runs,
+                                   seed=seed, duration_s=duration_s)
+
+    outcome = run_campaign(build(),
+                           executor=make_executor(workers, None),
+                           resume_from=journal_path,
+                           checkpoint_every=1)
+    reference = run_campaign(build())
+    return (outcome.replayed, render_payloads(outcome.payloads),
+            render_payloads(reference.payloads))
+
+
 def run_crash_resume_check(runs: int = 6, seed: int = 7,
                            duration_s: float = 0.02,
                            journal_path: str = "crash-resume-journal.jsonl",
                            kill_after_runs: int = 2,
-                           workers: int = 1) -> CrashResumeOutcome:
+                           workers: int = 1,
+                           campaign: str = "chaos") -> CrashResumeOutcome:
     """SIGKILL a campaign subprocess mid-flight and resume its journal.
 
-    Launches ``python -m repro chaos --journal ...`` as a subprocess,
-    polls the journal until ``kill_after_runs`` run-results are intact,
-    SIGKILLs it, deterministically appends a torn record, resumes the
-    campaign in-process from the journal, and compares the merged
-    report against an uninterrupted reference campaign.
+    Launches ``python -m repro <campaign> --journal ...`` as a
+    subprocess, polls the journal until ``kill_after_runs`` run-results
+    are intact, SIGKILLs it, deterministically appends a torn record,
+    resumes the campaign in-process from the journal, and compares the
+    merged report against an uninterrupted reference campaign.
+
+    ``campaign`` selects the campaign kind under test (``chaos`` or a
+    single-policy ``reliability`` grid) — the kill/resume machinery is
+    identical because every campaign shares the journal protocol.
 
     ``workers`` applies to the killed campaign and the resume; the
     reference always runs serially, so with ``workers > 1`` the check
@@ -97,17 +160,13 @@ def run_crash_resume_check(runs: int = 6, seed: int = 7,
     the serial one.  A parallel journal's run-results may land out of
     index order — the merge is by index, so resume handles the gaps.
     """
-    config = ChaosConfig(duration_s=duration_s)
     src_root = Path(__file__).resolve().parents[2]
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [str(src_root)]
         + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
-    command = [sys.executable, "-m", "repro", "chaos",
-               "--runs", str(runs), "--seed", str(seed),
-               "--duration", str(duration_s),
-               "--workers", str(workers),
-               "--journal", journal_path, "--checkpoint-every", "1"]
+    command = _campaign_command(campaign, runs, seed, duration_s,
+                                journal_path, workers)
     process = subprocess.Popen(command, env=env,
                                stdout=subprocess.DEVNULL,
                                stderr=subprocess.DEVNULL)
@@ -133,15 +192,13 @@ def run_crash_resume_check(runs: int = 6, seed: int = 7,
     # in, the resume must shrug off a half-written final record.
     with open(journal_path, "a", encoding="utf-8") as handle:
         handle.write('{"crc": 0, "record": {"kind": "run-res')
-    resumer = ChaosRunner(runs=runs, seed=seed, config=config,
-                          resume_from=journal_path, checkpoint_every=1,
-                          workers=workers)
     with warnings.catch_warnings():
         # The torn tail we just planted warns by design.
         warnings.simplefilter("ignore", RuntimeWarning)
-        resumed = resumer.run()
-    reference = ChaosRunner(runs=runs, seed=seed, config=config).run()
+        replayed, resumed, reference = _resume_and_reference(
+            campaign, runs, seed, duration_s, journal_path, workers)
     return CrashResumeOutcome(
-        runs=runs, seed=seed, journaled_before_kill=journaled,
-        killed=killed, replayed_runs=resumer.replayed_runs,
-        resumed=resumed.render(), reference=reference.render())
+        runs=runs, seed=seed, campaign=campaign,
+        journaled_before_kill=journaled,
+        killed=killed, replayed_runs=replayed,
+        resumed=resumed, reference=reference)

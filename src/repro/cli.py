@@ -13,6 +13,8 @@ Gives operators the paper's experiments without writing Python:
 * ``chaos``      — randomized fault campaign with invariant checking,
 * ``resilience`` — canned device-failure / overload-degradation
   scenarios with recovery and shedding verdicts,
+* ``reliability`` — joint migrate/replicate/shed planning campaigns
+  (policy grids measured under device-kill / overload),
 * ``lint``       — simulation-safety static analysis (determinism,
   units, event-ordering, exception hygiene).
 """
@@ -251,7 +253,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
 
 def cmd_crash_resume(args: argparse.Namespace) -> int:
-    """SIGKILL a chaos campaign mid-flight; verify bit-exact resume."""
+    """SIGKILL a campaign mid-flight; verify bit-exact resume."""
     import os
     import tempfile
     from .chaos.crashresume import run_crash_resume_check
@@ -263,9 +265,33 @@ def cmd_crash_resume(args: argparse.Namespace) -> int:
     outcome = run_crash_resume_check(
         runs=args.runs, seed=args.seed, duration_s=args.duration,
         journal_path=journal, kill_after_runs=args.kill_after,
-        workers=args.workers)
+        workers=args.workers, campaign=args.campaign)
     print(outcome.render())
     return 0 if outcome.match else 1
+
+
+def cmd_reliability(args: argparse.Namespace) -> int:
+    """Run a reliability-planning campaign and report its verdicts."""
+    from .exec import make_executor, run_campaign
+    from .reliability import ReliabilityCampaign, render_payloads
+    campaign = ReliabilityCampaign(
+        scenario=args.scenario, policies=tuple(args.policies),
+        runs=args.runs, seed=args.seed, duration_s=args.duration,
+        budget_bytes=args.budget)
+    outcome = run_campaign(
+        campaign,
+        executor=make_executor(args.workers,
+                               _supervision_from_args(args)),
+        journal_path=args.journal,
+        resume_from=args.resume_journal,
+        checkpoint_every=args.checkpoint_every)
+    if outcome.replayed:
+        print(f"replayed {outcome.replayed} run(s) from journal "
+              f"{args.resume_journal}")
+    print(render_payloads(outcome.payloads))
+    total = sum(len(payload["violations"])
+                for payload in outcome.payloads)
+    return 0 if total == 0 else 1
 
 
 def cmd_resilience(args: argparse.Namespace) -> int:
@@ -493,9 +519,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_crash = sub.add_parser("crash-resume",
-                             help="SIGKILL a chaos campaign mid-flight "
-                                  "and verify the journal resume is "
-                                  "bit-exact")
+                             help="SIGKILL a journaled campaign "
+                                  "mid-flight and verify the journal "
+                                  "resume is bit-exact")
+    p_crash.add_argument("--campaign", default="chaos",
+                         choices=["chaos", "reliability"],
+                         help="campaign kind to kill and resume")
     p_crash.add_argument("--runs", type=int, default=6)
     p_crash.add_argument("--seed", type=int, default=7)
     p_crash.add_argument("--duration", type=float, default=0.02,
@@ -541,6 +570,42 @@ def build_parser() -> argparse.ArgumentParser:
                             "duration come from its meta block)")
     _add_supervision_args(p_res)
     p_res.set_defaults(func=cmd_resilience)
+
+    p_rel = sub.add_parser("reliability",
+                           help="joint migrate/replicate/shed planning "
+                                "campaign: policy grid measured under a "
+                                "failure scenario")
+    p_rel.add_argument("--scenario", default="device-kill",
+                       choices=["device-kill", "overload"])
+    p_rel.add_argument("--policies", nargs="+",
+                       default=["joint", "pam", "naive"],
+                       choices=["joint", "pam", "naive", "scaleout"],
+                       help="reliability policies to compare on paired "
+                            "seeds")
+    p_rel.add_argument("--runs", type=int, default=1,
+                       help="repetitions per policy; rep i of every "
+                            "policy uses seed+i")
+    p_rel.add_argument("--seed", type=int, default=7)
+    p_rel.add_argument("--duration", type=float, default=None,
+                       help="simulated seconds (scenario default if "
+                            "unset)")
+    p_rel.add_argument("--budget", type=int, default=1 << 20,
+                       metavar="BYTES",
+                       help="warm-replica byte budget each policy may "
+                            "spend (default 1 MiB)")
+    p_rel.add_argument("--workers", type=int, default=1,
+                       help="process-pool size; reports are "
+                            "bit-identical to --workers 1")
+    p_rel.add_argument("--journal", metavar="PATH",
+                       help="write-ahead run journal (JSONL) logging "
+                            "campaign progress")
+    p_rel.add_argument("--resume-journal", metavar="PATH",
+                       help="run journal to replay completed runs from")
+    p_rel.add_argument("--checkpoint-every", type=int, default=5,
+                       help="journal a campaign-progress digest every "
+                            "N runs")
+    _add_supervision_args(p_rel)
+    p_rel.set_defaults(func=cmd_reliability)
 
     p_lint = sub.add_parser("lint",
                             help="simulation-safety static analysis")

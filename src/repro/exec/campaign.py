@@ -143,6 +143,7 @@ def _ensure_builtin_campaigns() -> None:
     from ..chaos import runner as _chaos_runner  # noqa: F401
     from ..harness import suite as _suite  # noqa: F401
     from ..harness import sweep as _sweep  # noqa: F401
+    from ..reliability import campaign as _reliability  # noqa: F401
     from ..resilience import campaign as _resilience  # noqa: F401
     from . import faultinject as _faultinject  # noqa: F401
 

@@ -1,0 +1,43 @@
+"""Joint migrate/replicate/shed reliability planning (Carpio & Jukan).
+
+Public surface:
+
+* :func:`plan_reliability` / the policy registry — score one policy's
+  per-NF migrate/replicate/shed decision for a protected device;
+* :class:`ReliabilityCampaign` — the ``reliability`` campaign kind
+  (policies x runs grid, journaled/resumable/parallel like every
+  other :mod:`repro.exec` campaign);
+* the planner dataclasses for tooling and tests.
+"""
+
+from .campaign import (DEFAULT_BUDGET_BYTES, PLANNING_LOAD_BPS,
+                       ReliabilityCampaign, config_for, plan_for,
+                       render_payload, render_payloads, run_payload)
+from .planner import (DEFAULT_SYNC_REFRESH_HZ, ReliabilityAction,
+                      ReliabilityPlan, ReplicaCandidate,
+                      assess_candidates, finalise_plan, shed_damage_at)
+from .policy import (RELIABILITY_POLICIES, ReliabilityPolicy,
+                     build_policy, plan_reliability, register_policy)
+
+__all__ = [
+    "DEFAULT_BUDGET_BYTES",
+    "DEFAULT_SYNC_REFRESH_HZ",
+    "PLANNING_LOAD_BPS",
+    "RELIABILITY_POLICIES",
+    "ReliabilityAction",
+    "ReliabilityCampaign",
+    "ReliabilityPlan",
+    "ReliabilityPolicy",
+    "ReplicaCandidate",
+    "assess_candidates",
+    "build_policy",
+    "config_for",
+    "finalise_plan",
+    "plan_for",
+    "plan_reliability",
+    "register_policy",
+    "render_payload",
+    "render_payloads",
+    "run_payload",
+    "shed_damage_at",
+]

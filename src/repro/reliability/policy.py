@@ -1,0 +1,169 @@
+"""The pluggable reliability-policy interface and its registry.
+
+A policy answers exactly one question: given the scored candidates on
+the protected device and a replica byte budget, **in what order should
+the StandbyPool try to admit warm replicas?** (``None`` delegates to
+the pool's own greedy-by-state-size choice.)  Everything else — budget
+accounting, migrate/shed degradation, downtime/sync/headroom scoring —
+is shared machinery in :mod:`repro.reliability.planner`, so policies
+stay tiny and comparable as peers:
+
+* ``joint``    — the planner this PR adds: replicate where a replica
+  buys the most downtime per byte, net of its sync-bandwidth tax;
+* ``naive``    — first-fit in chain order, blind to benefit (replicates
+  large stateless state images that buy nothing);
+* ``pam``      — pure reactive PAM: never replicate, always migrate
+  cold at failure time;
+* ``scaleout`` — the PR-3 StandbyPool default: greedy by state size
+  among stateful NFs (replicate whatever is slowest to move).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Type
+
+from ..chain.nf import DeviceKind
+from ..chain.placement import Placement
+from ..devices.pcie import PCIeLink
+from ..errors import ConfigurationError
+from ..migration.cost import MigrationCostModel
+from ..resilience.degradation import DEFAULT_PRIORITY_CLASSES, PriorityClass
+from .planner import (DEFAULT_SYNC_REFRESH_HZ, ReliabilityPlan,
+                      ReplicaCandidate, assess_candidates, finalise_plan)
+
+
+class ReliabilityPolicy:
+    """Base class: name + replica preference order."""
+
+    #: Registry name (also the campaign grid coordinate).
+    name: str = ""
+
+    def choose_replicas(self, candidates: Sequence[ReplicaCandidate],
+                        budget_bytes: int
+                        ) -> Optional[Tuple[str, ...]]:
+        """Replica admission order, or ``None`` for the pool default."""
+        raise NotImplementedError
+
+
+RELIABILITY_POLICIES: Dict[str, Type[ReliabilityPolicy]] = {}
+
+
+def register_policy(policy_type: Type[ReliabilityPolicy]
+                    ) -> Type[ReliabilityPolicy]:
+    """Class decorator: make the policy buildable by name."""
+    if not policy_type.name:
+        raise ConfigurationError(
+            f"{policy_type.__name__} must set a policy name")
+    if policy_type.name in RELIABILITY_POLICIES:
+        raise ConfigurationError(
+            f"duplicate reliability policy {policy_type.name!r}")
+    RELIABILITY_POLICIES[policy_type.name] = policy_type
+    return policy_type
+
+
+def build_policy(name: str) -> ReliabilityPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        policy_type = RELIABILITY_POLICIES[name]
+    except KeyError:
+        known = ", ".join(sorted(RELIABILITY_POLICIES))
+        raise ConfigurationError(
+            f"unknown reliability policy {name!r} "
+            f"(known: {known})") from None
+    return policy_type()
+
+
+@register_policy
+class JointPolicy(ReliabilityPolicy):
+    """Replicate where a byte of budget buys the most downtime.
+
+    Candidates with zero benefit (stateless NFs re-steer as fast cold
+    as warm, survivor-incapable NFs never move) are excluded outright —
+    a replica there is pure sync tax.  The rest are ordered by downtime
+    saved per byte, ties broken by chain order, and the StandbyPool
+    first-fits that order under the budget.
+    """
+
+    name = "joint"
+
+    def choose_replicas(self, candidates: Sequence[ReplicaCandidate],
+                        budget_bytes: int
+                        ) -> Optional[Tuple[str, ...]]:
+        """Benefit-per-byte order over strictly-beneficial candidates."""
+        useful = [candidate for candidate in candidates
+                  if candidate.survivor_capable
+                  and candidate.benefit_s > 0
+                  and candidate.state_bytes > 0]
+        useful.sort(key=lambda candidate: (-candidate.benefit_per_byte,
+                                           candidate.chain_index))
+        return tuple(candidate.name for candidate in useful)
+
+
+@register_policy
+class NaivePolicy(ReliabilityPolicy):
+    """First-fit replication in chain order, blind to benefit."""
+
+    name = "naive"
+
+    def choose_replicas(self, candidates: Sequence[ReplicaCandidate],
+                        budget_bytes: int
+                        ) -> Optional[Tuple[str, ...]]:
+        """Every survivor-capable NF with state, in chain order."""
+        return tuple(candidate.name for candidate in candidates
+                     if candidate.survivor_capable
+                     and candidate.state_bytes > 0)
+
+
+@register_policy
+class PAMReactivePolicy(ReliabilityPolicy):
+    """Never replicate: pure reactive push-aside + evacuation."""
+
+    name = "pam"
+
+    def choose_replicas(self, candidates: Sequence[ReplicaCandidate],
+                        budget_bytes: int
+                        ) -> Optional[Tuple[str, ...]]:
+        """An empty preference: the pool admits nothing."""
+        return ()
+
+
+@register_policy
+class ScaleOutPolicy(ReliabilityPolicy):
+    """Delegate to the StandbyPool's greedy-by-state-size default."""
+
+    name = "scaleout"
+
+    def choose_replicas(self, candidates: Sequence[ReplicaCandidate],
+                        budget_bytes: int
+                        ) -> Optional[Tuple[str, ...]]:
+        """``None`` keeps the PR-3 greedy pool behaviour."""
+        return None
+
+
+def plan_reliability(policy: str, placement: Placement,
+                     offered_bps: float,
+                     protected: DeviceKind = DeviceKind.SMARTNIC,
+                     budget_bytes: int = 0,
+                     classes: Sequence[PriorityClass]
+                     = DEFAULT_PRIORITY_CLASSES,
+                     cost_model: Optional[MigrationCostModel] = None,
+                     pcie: Optional[PCIeLink] = None,
+                     sync_refresh_hz: float = DEFAULT_SYNC_REFRESH_HZ
+                     ) -> ReliabilityPlan:
+    """Run one named policy end to end: assess, choose, finalise."""
+    if budget_bytes < 0:
+        raise ConfigurationError("replica budget must be >= 0")
+    link = pcie or PCIeLink()
+    candidates = assess_candidates(placement, protected, link,
+                                   cost_model=cost_model,
+                                   sync_refresh_hz=sync_refresh_hz)
+    chooser = build_policy(policy)
+    preference = chooser.choose_replicas(candidates, budget_bytes)
+    effective_budget = budget_bytes
+    if policy == "pam":
+        # Reactive PAM holds no replicas whatever the grid's budget —
+        # the budget axis is a no-op for it by definition.
+        effective_budget = 0
+    return finalise_plan(policy, placement, protected, effective_budget,
+                         preference, candidates, offered_bps,
+                         classes=classes)

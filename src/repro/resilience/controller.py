@@ -73,6 +73,10 @@ class ResilienceConfig:
     #: Device whose NFs get warm replicas within the standby budget
     #: (``None`` disables pre-provisioning even with a budget).
     standby_protect: Optional[DeviceKind] = DeviceKind.SMARTNIC
+    #: Explicit replica preference order for the standby pool (what a
+    #: reliability policy decided); ``None`` keeps the pool's default
+    #: greedy-by-state-size choice.
+    standby_prewarmed: Optional[Tuple[str, ...]] = None
     #: Control pulse period for the self-scheduled continuation loop
     #: (matches the monitor period of the scenarios that use it).
     pulse_period_s: float = 0.002
@@ -201,7 +205,8 @@ class ResilientController:
         budget = self.config.recovery.standby_budget_bytes
         if protect is not None and budget > 0:
             self.standby = StandbyPool(context.server.placement, protect,
-                                       budget)
+                                       budget,
+                                       prewarmed=self.config.standby_prewarmed)
             # One executor for PAM and recovery: warm replicas make the
             # inner loop's ordinary migrations of those NFs cheap too,
             # which is exactly what resident state means.

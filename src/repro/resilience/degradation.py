@@ -35,12 +35,19 @@ class PriorityClass:
     share: float
     #: Protected classes are never shed, whatever the ladder level.
     sheddable: bool = True
+    #: Relative SLA damage per unit of this class's traffic shed — the
+    #: reliability planner scores a shed action as ``share *
+    #: damage_weight``.  Purely a planning weight: the ladder's shed
+    #: order stays positional (lowest class first).
+    damage_weight: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("priority class name must be non-empty")
         if not (0.0 < self.share <= 1.0):
             raise ConfigurationError("class share must be in (0, 1]")
+        if self.damage_weight < 0:
+            raise ConfigurationError("damage weight must be >= 0")
 
 
 #: Highest priority first; the ladder sheds from the end of the tuple.

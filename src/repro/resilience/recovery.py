@@ -25,7 +25,7 @@ point in cost-model form.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..chain.nf import DeviceKind, NFProfile
 from ..chain.placement import Placement
@@ -165,25 +165,51 @@ class RecoveryOutcome:
         return self.completed_s - self.detected_s
 
 
+#: :meth:`StandbyPool.acquire` resolutions, in degradation order.
+ACQUIRE_REPLICA = "replicate"
+ACQUIRE_MIGRATE = "migrate"
+ACQUIRE_SHED = "shed"
+
+
 class StandbyPool:
     """Warm replicas pre-provisioned on the survivor, within a budget.
 
-    Greedy by state size: the NFs whose cold migration would DMA the
-    most bytes gain the most from having that state already resident.
-    Deterministic (ties broken by chain order).
+    By default the pool chooses greedily by state size: the NFs whose
+    cold migration would DMA the most bytes gain the most from having
+    that state already resident.  Deterministic (ties broken by chain
+    order).  A reliability policy can instead hand the pool an explicit
+    ``prewarmed`` preference order; the pool admits those names under
+    the same budget accounting (skipping names the survivor cannot host
+    or the budget cannot fit) so a policy can never overcommit the
+    replica bytes the operator granted.
     """
 
     def __init__(self, placement: Placement, protected: DeviceKind,
-                 budget_bytes: int) -> None:
+                 budget_bytes: int,
+                 prewarmed: Optional[Sequence[str]] = None) -> None:
         if budget_bytes < 0:
             raise ConfigurationError("standby budget must be >= 0")
         self.budget_bytes = budget_bytes
         survivor = protected.other()
-        candidates = [nf for nf in placement.on_device(protected)
-                      if nf.stateful and nf.can_run_on(survivor)]
-        chain_order = {nf.name: i for i, nf in enumerate(placement.chain)}
-        candidates.sort(
-            key=lambda nf: (-nf.state_bytes, chain_order[nf.name]))
+        hosted = {nf.name: nf for nf in placement.on_device(protected)}
+        self._survivor_capable: FrozenSet[str] = frozenset(
+            name for name, nf in sorted(hosted.items())
+            if nf.can_run_on(survivor))
+        if prewarmed is None:
+            candidates = [nf for nf in placement.on_device(protected)
+                          if nf.stateful and nf.can_run_on(survivor)]
+            chain_order = {nf.name: i
+                           for i, nf in enumerate(placement.chain)}
+            candidates.sort(
+                key=lambda nf: (-nf.state_bytes, chain_order[nf.name]))
+        else:
+            # Policy-ordered admission: keep the caller's order, drop
+            # names that are not evacuation candidates (unknown, or
+            # unable to run on the survivor) — they degrade to a
+            # migrate/shed decision in acquire(), never an error.
+            preference_order = tuple(prewarmed)
+            candidates = [hosted[name] for name in preference_order
+                          if name in self._survivor_capable]
         chosen: List[str] = []
         spent = 0
         for nf in candidates:
@@ -192,6 +218,28 @@ class StandbyPool:
                 spent += nf.state_bytes
         self.prewarmed: FrozenSet[str] = frozenset(chosen)
         self.spent_bytes = spent
+        #: acquire() resolutions by NF name (accounting, JSON-clean).
+        self.acquisitions: Dict[str, str] = {}
+
+    def acquire(self, name: str) -> str:
+        """Resolve one replica request, degrading when exhausted.
+
+        Returns :data:`ACQUIRE_REPLICA` when ``name`` holds a warm
+        replica, :data:`ACQUIRE_MIGRATE` when it does not but the
+        survivor can host it cold, and :data:`ACQUIRE_SHED` when the NF
+        cannot run on the survivor at all (its traffic is what the
+        degradation ladder must shed).  Total: every name resolves to
+        one of the three — an exhausted pool is a planning outcome, not
+        a ``KeyError``.
+        """
+        if name in self.prewarmed:
+            resolution = ACQUIRE_REPLICA
+        elif name in self._survivor_capable:
+            resolution = ACQUIRE_MIGRATE
+        else:
+            resolution = ACQUIRE_SHED
+        self.acquisitions[name] = resolution
+        return resolution
 
 
 @dataclass(frozen=True)

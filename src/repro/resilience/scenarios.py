@@ -263,6 +263,7 @@ SCENARIOS = {
 
 def run_scenario(name: str, seed: int = 7,
                  duration_s: Optional[float] = None,
+                 config: Optional[ResilienceConfig] = None,
                  checkpoint_every: int = 0,
                  checkpoint_dir: Optional[str] = None,
                  resume_snapshot: Optional[str] = None
@@ -280,6 +281,8 @@ def run_scenario(name: str, seed: int = 7,
               "resume_snapshot": resume_snapshot}
     if duration_s is not None:
         kwargs["duration_s"] = duration_s
+    if config is not None:
+        kwargs["config"] = config
     return runner(**kwargs)
 
 

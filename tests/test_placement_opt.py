@@ -3,6 +3,9 @@
 import pytest
 
 from repro.analysis.placement_opt import (MAX_CHAIN_LENGTH,
+                                          MAX_PLACEMENT_CANDIDATES,
+                                          PlacementSearchTruncated,
+                                          candidate_space,
                                           enumerate_placements,
                                           optimality_gap,
                                           optimise_placement)
@@ -30,11 +33,41 @@ class TestEnumeration:
         assert len(placements) == 2
         assert all(p.device_of("dpi") is C for p in placements)
 
-    def test_length_guard(self):
+    def test_long_chain_truncates_with_structured_warning(self):
         nfs = [catalog.get("monitor").renamed(f"m{i}")
                for i in range(MAX_CHAIN_LENGTH + 1)]
-        with pytest.raises(ConfigurationError, match="too long"):
-            list(enumerate_placements(ServiceChain(nfs)))
+        chain = ServiceChain(nfs)
+        with pytest.warns(PlacementSearchTruncated) as caught:
+            placements = list(enumerate_placements(chain))
+        # Capped, not unbounded: exactly the cap's worth of candidates.
+        assert len(placements) == MAX_PLACEMENT_CANDIDATES
+        warning = caught[0].message
+        assert warning.cap == MAX_PLACEMENT_CANDIDATES
+        assert warning.space == candidate_space(chain) \
+            == 2 ** (MAX_CHAIN_LENGTH + 1)
+        assert warning.chain_name == chain.name
+
+    def test_explicit_cap_truncates_deterministically(self, fig1_chain):
+        with pytest.warns(PlacementSearchTruncated):
+            capped = list(enumerate_placements(fig1_chain,
+                                               max_candidates=3))
+        full = list(enumerate_placements(fig1_chain))
+        assert len(capped) == 3
+        # The capped walk is a prefix of the full walk, not a sample.
+        assert [str(p) for p in capped] == [str(p) for p in full[:3]]
+
+    def test_invalid_cap_rejected(self, fig1_chain):
+        with pytest.raises(ConfigurationError):
+            list(enumerate_placements(fig1_chain, max_candidates=0))
+
+    def test_truncated_optimise_flags_result(self, fig1_chain):
+        with pytest.warns(PlacementSearchTruncated):
+            result = optimise_placement(fig1_chain, gbps(1.0),
+                                        egress=C, max_candidates=8)
+        assert result.truncated
+        assert result.total_count <= 8
+        full = optimise_placement(fig1_chain, gbps(1.0), egress=C)
+        assert not full.truncated
 
 
 class TestOptimise:

@@ -1,0 +1,151 @@
+"""The reliability campaign: grid, payloads, journal, bit-exactness."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exec import (build_campaign, make_executor, run_campaign,
+                        seed_for)
+from repro.reliability import (ReliabilityCampaign, render_payload,
+                               render_payloads)
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "reliability_devkill_runs1_seed7.txt")
+
+#: Short enough for CI, long enough for the kill and the evacuation.
+_DURATION_S = 0.02
+
+
+def _campaign(**overrides):
+    spec = dict(scenario="device-kill",
+                policies=("joint", "pam", "naive"),
+                runs=1, seed=7, duration_s=_DURATION_S)
+    spec.update(overrides)
+    return ReliabilityCampaign(**spec)
+
+
+class TestGrid:
+    def test_policy_major_requests(self):
+        requests = _campaign(runs=2).requests()
+        assert [(r.params["policy"], r.params["rep"])
+                for r in requests] == \
+            [("joint", 0), ("joint", 1), ("pam", 0), ("pam", 1),
+             ("naive", 0), ("naive", 1)]
+        assert [r.index for r in requests] == list(range(6))
+
+    def test_policies_compared_on_paired_seeds(self):
+        requests = _campaign(runs=2).requests()
+        by_rep = {}
+        for request in requests:
+            by_rep.setdefault(request.params["rep"],
+                              set()).add(request.seed)
+        # Every policy's rep r runs at the same seed.
+        assert by_rep == {0: {seed_for(7, 0)}, 1: {seed_for(7, 1)}}
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            _campaign(scenario="bogus")
+        with pytest.raises(ConfigurationError):
+            _campaign(policies=())
+        with pytest.raises(ConfigurationError):
+            _campaign(policies=("joint", "bogus"))
+        with pytest.raises(ConfigurationError):
+            _campaign(runs=0)
+        with pytest.raises(ConfigurationError):
+            _campaign(budget_bytes=-1)
+
+
+class TestSpec:
+    def test_fingerprint_matches_spec(self):
+        campaign = _campaign()
+        assert campaign.fingerprint() == campaign.spec()
+
+    def test_from_spec_round_trips(self):
+        campaign = _campaign(runs=3, budget_bytes=4096)
+        rebuilt = ReliabilityCampaign.from_spec(campaign.spec())
+        assert rebuilt.fingerprint() == campaign.fingerprint()
+
+    def test_registered_as_builtin_kind(self):
+        rebuilt = build_campaign("reliability", _campaign().spec())
+        assert isinstance(rebuilt, ReliabilityCampaign)
+
+
+class TestPayloads:
+    def test_payload_json_clean_and_renders(self):
+        campaign = _campaign(policies=("joint",))
+        (request,) = campaign.requests()
+        payload = campaign.run_request(request)
+        wire = json.loads(json.dumps(payload))
+        assert wire == payload
+        assert payload["violations"] == []
+        report = render_payload(payload)
+        assert "policy=joint" in report
+        assert "verdict: ok" in report
+
+    def test_error_payload_is_a_violation(self):
+        campaign = _campaign()
+        request = campaign.requests()[0]
+        payload = campaign.error_payload(request, "worker died")
+        assert json.loads(json.dumps(payload)) == payload
+        assert len(payload["violations"]) == 1
+        report = render_payload(payload)
+        assert "VIOLATION" in report
+        assert "verdict: INVARIANTS BROKEN" in report
+
+    def test_end_record_totals(self):
+        campaign = _campaign()
+        payloads = [{"violations": []}, {"violations": [1, 2]}]
+        assert campaign.end_record(payloads) == \
+            {"runs": 2, "violations": 2}
+
+
+class TestGolden:
+    def _render(self, workers):
+        outcome = run_campaign(_campaign(),
+                               executor=make_executor(workers))
+        return render_payloads(outcome.payloads)
+
+    def test_serial_matches_golden(self):
+        with open(GOLDEN, encoding="utf-8") as handle:
+            golden = handle.read()
+        assert self._render(1) + "\n" == golden
+
+    def test_parallel_matches_golden(self):
+        with open(GOLDEN, encoding="utf-8") as handle:
+            golden = handle.read()
+        assert self._render(2) + "\n" == golden
+
+
+class TestJournal:
+    def test_parallel_resume_matches_serial(self, tmp_path):
+        journal = str(tmp_path / "reliability.jsonl")
+        run_campaign(_campaign(), executor=make_executor(2),
+                     journal_path=journal, checkpoint_every=1)
+        resumed = run_campaign(_campaign(), resume_from=journal)
+        serial = run_campaign(_campaign())
+        assert resumed.replayed == 3
+        assert resumed.payloads == serial.payloads
+        assert render_payloads(resumed.payloads) == \
+            render_payloads(serial.payloads)
+
+    def test_partial_journal_resumes_bit_exact(self, tmp_path):
+        journal = str(tmp_path / "partial.jsonl")
+        run_campaign(_campaign(), journal_path=journal,
+                     checkpoint_every=1)
+        with open(journal, encoding="utf-8") as handle:
+            lines = handle.readlines()
+        # Cut right after the first run-result — as if the process
+        # died mid-campaign.
+        first = next(i for i, line in enumerate(lines)
+                     if '"run-result"' in line)
+        kept = lines[:first + 1]
+        truncated = str(tmp_path / "truncated.jsonl")
+        with open(truncated, "w", encoding="utf-8") as handle:
+            handle.writelines(kept)
+        resumed = run_campaign(_campaign(), resume_from=truncated)
+        serial = run_campaign(_campaign())
+        assert resumed.replayed == 1
+        assert resumed.executed == 2
+        assert resumed.payloads == serial.payloads

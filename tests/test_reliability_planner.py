@@ -1,0 +1,213 @@
+"""The joint migrate/replicate/shed planner and its policy registry."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.chain import catalog
+from repro.chain.chain import ServiceChain
+from repro.chain.nf import DeviceKind
+from repro.chain.placement import Placement
+from repro.errors import ConfigurationError
+from repro.reliability import (DEFAULT_SYNC_REFRESH_HZ,
+                               RELIABILITY_POLICIES, ReliabilityPlan,
+                               ReliabilityPolicy, assess_candidates,
+                               build_policy, plan_reliability,
+                               register_policy, shed_damage_at)
+from repro.resilience.degradation import (DEFAULT_PRIORITY_CLASSES,
+                                          PriorityClass)
+from repro.units import gbps
+
+S = DeviceKind.SMARTNIC
+C = DeviceKind.CPU
+
+MIB = 1 << 20
+
+
+@pytest.fixture()
+def fig1_server(fig1_scenario):
+    return fig1_scenario.build_server()
+
+
+def plan(policy, server, budget, offered=gbps(1.8)):
+    return plan_reliability(policy, server.placement, offered,
+                            budget_bytes=budget, pcie=server.pcie)
+
+
+class TestRegistry:
+    def test_builtin_policies_registered(self):
+        assert set(RELIABILITY_POLICIES) == \
+            {"joint", "naive", "pam", "scaleout"}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_policy("bogus")
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            @register_policy
+            class Impostor(ReliabilityPolicy):
+                name = "joint"
+
+    def test_unnamed_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            @register_policy
+            class Nameless(ReliabilityPolicy):
+                pass
+
+
+class TestAssessment:
+    def test_candidates_in_chain_order(self, fig1_server):
+        candidates = assess_candidates(fig1_server.placement, S,
+                                       fig1_server.pcie)
+        assert [c.name for c in candidates] == \
+            ["logger", "monitor", "firewall"]
+
+    def test_stateless_replica_buys_nothing(self, fig1_server):
+        # The logger re-steers as fast cold as warm: zero benefit.
+        candidates = {c.name: c for c in
+                      assess_candidates(fig1_server.placement, S,
+                                        fig1_server.pcie)}
+        assert candidates["logger"].benefit_s == 0.0
+        assert candidates["monitor"].benefit_s > 0.0
+        assert candidates["firewall"].benefit_s > 0.0
+
+    def test_sync_charged_on_state_bytes_even_when_stateless(
+            self, fig1_server):
+        # The replica mirrors the state image whether or not migration
+        # would replay it — a 1 MiB stateless logger is pure sync tax.
+        candidates = {c.name: c for c in
+                      assess_candidates(fig1_server.placement, S,
+                                        fig1_server.pcie)}
+        assert candidates["logger"].sync_bps == \
+            8.0 * MIB * DEFAULT_SYNC_REFRESH_HZ
+
+    def test_invalid_refresh_rate_rejected(self, fig1_server):
+        with pytest.raises(ConfigurationError):
+            assess_candidates(fig1_server.placement, S, fig1_server.pcie,
+                              sync_refresh_hz=0.0)
+
+
+class TestPolicies:
+    def test_joint_spends_on_benefit_per_byte(self, fig1_server):
+        result = plan("joint", fig1_server, MIB)
+        assert result.prewarmed == ("monitor", "firewall")
+        assert result.spent_bytes == 262144 + 65536
+
+    def test_naive_wastes_budget_on_stateless_state(self, fig1_server):
+        # First-fit in chain order blows the whole MiB on the logger.
+        result = plan("naive", fig1_server, MIB)
+        assert result.prewarmed == ("logger",)
+        assert result.spent_bytes == MIB
+
+    def test_pam_never_replicates(self, fig1_server):
+        result = plan("pam", fig1_server, MIB)
+        assert result.prewarmed == ()
+        assert result.spent_bytes == 0
+        assert result.sync_bps == 0.0
+        assert all(a.action == "migrate" for a in result.actions)
+
+    def test_scaleout_matches_pool_greedy(self, fig1_server):
+        result = plan("scaleout", fig1_server, MIB)
+        assert set(result.prewarmed) == {"monitor", "firewall"}
+
+    def test_joint_strictly_dominates_naive(self, fig1_server):
+        # The acceptance-criterion point: at the default budget the
+        # joint planner beats naive on BOTH Pareto axes.
+        joint = plan("joint", fig1_server, MIB)
+        naive = plan("naive", fig1_server, MIB)
+        assert joint.predicted_downtime_s < naive.predicted_downtime_s
+        assert joint.headroom_bps > naive.headroom_bps
+
+    def test_pam_anchors_max_headroom_max_downtime(self, fig1_server):
+        pam = plan("pam", fig1_server, MIB)
+        joint = plan("joint", fig1_server, MIB)
+        assert pam.headroom_bps > joint.headroom_bps
+        assert pam.predicted_downtime_s > joint.predicted_downtime_s
+
+
+class TestPlanShape:
+    def test_zero_budget_migrates_everything(self, fig1_server):
+        result = plan("joint", fig1_server, 0)
+        assert result.prewarmed == ()
+        assert all(a.action == "migrate" for a in result.actions)
+        pam = plan("pam", fig1_server, 0)
+        assert result.predicted_downtime_s == pam.predicted_downtime_s
+
+    def test_negative_budget_rejected(self, fig1_server):
+        with pytest.raises(ConfigurationError):
+            plan("joint", fig1_server, -1)
+
+    def test_survivor_incapable_nf_sheds(self, fig1_server):
+        nic_only = replace(catalog.get("monitor").renamed("nic_only"),
+                           cpu_capable=False)
+        chain = ServiceChain([catalog.get("load_balancer"), nic_only])
+        placement = Placement(chain,
+                              {"load_balancer": C, "nic_only": S},
+                              ingress=S, egress=C)
+        result = plan_reliability("joint", placement, gbps(1.0),
+                                  budget_bytes=MIB,
+                                  pcie=fig1_server.pcie)
+        (action,) = result.actions
+        assert action.action == "shed"
+        assert action.downtime_s == 0.0
+
+    def test_actions_cover_every_hosted_nf(self, fig1_server):
+        result = plan("joint", fig1_server, MIB)
+        assert [a.nf_name for a in result.actions] == \
+            ["logger", "monitor", "firewall"]
+
+    def test_headroom_is_capacity_minus_sync(self, fig1_server):
+        result = plan("joint", fig1_server, MIB)
+        assert result.headroom_bps == pytest.approx(
+            result.survivor_capacity_bps - result.sync_bps)
+
+    def test_unspent_preference_budget_noted(self, fig1_server):
+        # Joint spends 320 KiB of the MiB: the note makes the slack
+        # auditable instead of silently absorbed.
+        result = plan("joint", fig1_server, MIB)
+        assert any("unspent" in note for note in result.notes)
+
+
+class TestDeterminism:
+    def test_same_inputs_same_plan(self, fig1_server):
+        first = plan("joint", fig1_server, MIB)
+        second = plan("joint", fig1_server, MIB)
+        assert first == second
+
+    def test_plan_json_round_trips(self, fig1_server):
+        for policy in sorted(RELIABILITY_POLICIES):
+            original = plan(policy, fig1_server, MIB)
+            wire = json.loads(json.dumps(original.to_dict()))
+            assert ReliabilityPlan.from_dict(wire) == original
+
+
+class TestShedDamage:
+    def test_no_deficit_no_damage(self):
+        assert shed_damage_at(gbps(1.0), gbps(1.5),
+                              DEFAULT_PRIORITY_CLASSES) == 0.0
+
+    def test_damage_engages_lowest_class_first(self):
+        # A 10% deficit fits inside the low class's 30% share.
+        damage = shed_damage_at(gbps(1.0), gbps(0.9),
+                                DEFAULT_PRIORITY_CLASSES)
+        assert damage == pytest.approx(0.1)
+
+    def test_damage_monotone_in_deficit(self):
+        damages = [shed_damage_at(gbps(1.0), gbps(1.0 - step / 10),
+                                  DEFAULT_PRIORITY_CLASSES)
+                   for step in range(0, 10)]
+        assert damages == sorted(damages)
+
+    def test_protected_class_never_contributes(self):
+        # Even a total outage only accrues the sheddable 80%.
+        damage = shed_damage_at(gbps(1.0), 0.0, DEFAULT_PRIORITY_CLASSES)
+        assert damage == pytest.approx(0.8)
+
+    def test_damage_weights_scale_the_score(self):
+        weighted = (PriorityClass("high", 0.2, sheddable=False),
+                    PriorityClass("normal", 0.5),
+                    PriorityClass("low", 0.3, damage_weight=3.0))
+        damage = shed_damage_at(gbps(1.0), gbps(0.9), weighted)
+        assert damage == pytest.approx(0.3)
