@@ -1,9 +1,10 @@
 """Perf trajectory seed: campaign throughput, serial vs parallel.
 
 Times one fixed 32-run chaos campaign through the unified execution
-core at ``workers=1`` and ``workers=4`` and writes the measurements to
-``BENCH_campaigns.json`` so future PRs have a baseline to regress
-against.  Correctness is asserted unconditionally — the two merged
+core at ``workers=1`` and ``workers=4``, plus an engine-events/sec
+series over invariant-instrumented soak cases, and writes the
+measurements to ``BENCH_campaigns.json`` so future PRs have a baseline
+to regress against.  Correctness is asserted unconditionally — the two merged
 reports must be bit-identical; the speedup assertion only applies on
 hosts with enough cores to express it (a single-core runner can prove
 determinism, not parallelism).
@@ -19,12 +20,17 @@ from pathlib import Path
 
 from conftest import report
 from repro.chaos import ChaosConfig, ChaosRunner
+from repro.soak import default_space, generate_case
+from repro.soak.scenario import run_case
 
 RUNS = 32
 SEED = 7
 DURATION_S = 0.01
 #: Cores needed before the parallel leg is expected to actually win.
 MIN_CORES_FOR_SPEEDUP = 4
+#: Soak cases timed for the engine-events/sec series (ROADMAP item 1:
+#: event-rate trendline through the invariant-instrumented engine).
+EVENT_SERIES_CASES = 6
 OUTPUT = Path(__file__).resolve().parents[1] / "BENCH_campaigns.json"
 
 
@@ -36,6 +42,33 @@ def _timed_campaign(workers):
     campaign = runner.run()
     wall_s = time.perf_counter() - start  # repro: noqa[DET103]
     return campaign, wall_s
+
+
+def _engine_event_series():
+    """Per-case engine throughput with the online invariant engine on.
+
+    Each soak case reports how many engine events it executed, so
+    timing ``run_case`` yields events/sec through the fully
+    instrumented path (per-event and per-tick invariants attached) —
+    the series future PRs regress engine overhead against.
+    """
+    space = default_space(DURATION_S)
+    series = []
+    for index in range(EVENT_SERIES_CASES):
+        case = generate_case(space, SEED + index)
+        start = time.perf_counter()  # repro: noqa[DET103]
+        payload = run_case(case)
+        wall_s = time.perf_counter() - start  # repro: noqa[DET103]
+        series.append({
+            "seed": case.seed,
+            "events": payload["events"],
+            "ticks": payload["ticks"],
+            "violations": len(payload["violations"]),
+            "wall_s": round(wall_s, 4),
+            "events_per_s": round(payload["events"] / wall_s, 1)
+            if wall_s else 0.0,
+        })
+    return series
 
 
 def test_campaign_throughput(benchmark):
@@ -53,6 +86,12 @@ def test_campaign_throughput(benchmark):
     speedup = serial_s / parallel_s if parallel_s else 0.0
     cpu_count = os.cpu_count() or 1
 
+    event_series = _engine_event_series()
+    total_events = sum(point["events"] for point in event_series)
+    total_wall_s = sum(point["wall_s"] for point in event_series)
+    events_per_s = (round(total_events / total_wall_s, 1)
+                    if total_wall_s else 0.0)
+
     payload = {
         "benchmark": "campaigns",
         "campaign": "chaos",
@@ -69,6 +108,11 @@ def test_campaign_throughput(benchmark):
         },
         "speedup": round(speedup, 3),
         "bit_identical": serial.render() == parallel.render(),
+        "engine_events": {
+            "cases": EVENT_SERIES_CASES,
+            "events_per_s": events_per_s,
+            "series": event_series,
+        },
     }
     OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
                       encoding="utf-8")
@@ -79,6 +123,8 @@ def test_campaign_throughput(benchmark):
             f"({RUNS / parallel_s:5.2f} runs/s, "
             f"workers={MIN_CORES_FOR_SPEEDUP})\n"
             f"speedup:  {speedup:.2f}x on {cpu_count} core(s)\n"
+            f"engine:   {events_per_s:10.1f} events/s "
+            f"({EVENT_SERIES_CASES} instrumented soak cases)\n"
             f"wrote {OUTPUT.name}")
     report(f"Campaign throughput ({RUNS}-run chaos, seed {SEED})", body)
 

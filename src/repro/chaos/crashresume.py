@@ -34,6 +34,10 @@ from .runner import ChaosConfig, ChaosRunner
 _POLL_INTERVAL_S = 0.05
 _MAX_POLLS = 1200
 
+#: Campaign kinds this harness can kill and resume (the CLI validates
+#: its ``--campaign`` flag against this, not the full kind registry).
+SUPPORTED_CAMPAIGNS = ("chaos", "reliability", "soak")
+
 
 @dataclass
 class CrashResumeOutcome:
@@ -41,7 +45,8 @@ class CrashResumeOutcome:
 
     runs: int
     seed: int
-    #: Campaign kind the check exercised (``chaos`` | ``reliability``).
+    #: Campaign kind the check exercised (one of
+    #: :data:`SUPPORTED_CAMPAIGNS`).
     campaign: str
     #: run-result records intact in the journal when the kill landed.
     journaled_before_kill: int
@@ -91,10 +96,15 @@ def _campaign_command(campaign: str, runs: int, seed: int,
         # Single-policy grid: `runs` keeps its meaning of total runs.
         subcommand = ["reliability", "--scenario", "device-kill",
                       "--policies", "joint"]
+    elif campaign == "soak":
+        # No shrinking in the subprocess: the kill must land mid-grid,
+        # not mid-shrink, and the resume compares grid reports only.
+        subcommand = ["soak", "--no-shrink"]
     else:
+        known = ", ".join(SUPPORTED_CAMPAIGNS)
         raise CheckpointError(
             f"crash-resume does not support campaign {campaign!r} "
-            f"(known: chaos, reliability)")
+            f"(known: {known})")
     return [sys.executable, "-m", "repro", *subcommand,
             "--runs", str(runs), "--seed", str(seed),
             "--duration", str(duration_s),
@@ -118,6 +128,19 @@ def _resume_and_reference(campaign: str, runs: int, seed: int,
         resumed = resumer.run().render()
         reference = ChaosRunner(runs=runs, seed=seed,
                                 config=config).run().render()
+        return resumer.replayed_runs, resumed, reference
+    if campaign == "soak":
+        # The space must match the subprocess's exactly or the journal
+        # fingerprint check refuses the resume — both sides build it
+        # through default_space(duration).
+        from ..soak import SoakRunner, default_space, render_payloads
+        space = default_space(duration_s)
+        resumer = SoakRunner(runs=runs, seed=seed, space=space,
+                             resume_from=journal_path,
+                             checkpoint_every=1, workers=workers)
+        resumed = render_payloads(resumer.run().payloads)
+        reference = render_payloads(SoakRunner(
+            runs=runs, seed=seed, space=space).run().payloads)
         return resumer.replayed_runs, resumed, reference
     from ..exec import make_executor, run_campaign
     from ..reliability import ReliabilityCampaign, render_payloads
@@ -150,9 +173,10 @@ def run_crash_resume_check(runs: int = 6, seed: int = 7,
     resumes the campaign in-process from the journal, and compares the
     merged report against an uninterrupted reference campaign.
 
-    ``campaign`` selects the campaign kind under test (``chaos`` or a
-    single-policy ``reliability`` grid) — the kill/resume machinery is
-    identical because every campaign shares the journal protocol.
+    ``campaign`` selects the campaign kind under test (``chaos``, a
+    single-policy ``reliability`` grid, or a shrink-free ``soak``
+    fuzz) — the kill/resume machinery is identical because every
+    campaign shares the journal protocol.
 
     ``workers`` applies to the killed campaign and the resume; the
     reference always runs serially, so with ``workers > 1`` the check

@@ -27,12 +27,20 @@ charge) add three more via :func:`check_resilience_invariants`:
 * **shed classes** — protected priority classes are never shed.
 * **shed fraction** — total shed stays within the configured cap (plus
   a small tolerance for the ladder's reaction time).
+
+These end-state checks are also registered with the online invariant
+engine (:mod:`repro.soak.invariants`), which additionally evaluates
+*mid-run* invariants (monotonic virtual time, queue bounds, budget
+ledger, health-FSM legality, zero protected sheds) at every monitor
+tick — the soak engine is the superset; this module stays the home of
+the primitive checks so existing campaign payloads keep their pinned
+formats.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import List, Mapping, Optional
 
 from ..devices.server import Server
 from ..migration.executor import MigrationExecutor
@@ -45,22 +53,35 @@ _DEMAND_TOL = 1e-6
 
 @dataclass(frozen=True)
 class Violation:
-    """One broken invariant."""
+    """One broken invariant.
+
+    ``data`` carries optional structured diagnostics (e.g. the
+    exception payload of a ``scenario-error`` — see
+    :func:`repro.exec.errinfo.exception_payload`).  It is omitted from
+    the serialised form when ``None`` so records written before the
+    field existed round-trip unchanged, and it never participates in
+    ``__str__`` — reports stay one line per violation.
+    """
 
     invariant: str
     detail: str
+    data: Optional[Mapping[str, object]] = field(default=None, compare=False)
 
     def __str__(self) -> str:
         return f"{self.invariant}: {self.detail}"
 
     def to_dict(self) -> dict:
         """JSON-friendly form for journal records."""
-        return {"invariant": self.invariant, "detail": self.detail}
+        out: dict = {"invariant": self.invariant, "detail": self.detail}
+        if self.data is not None:
+            out["data"] = dict(self.data)
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "Violation":
         """Inverse of :meth:`to_dict` (journal round-trip)."""
-        return cls(invariant=data["invariant"], detail=data["detail"])
+        return cls(invariant=data["invariant"], detail=data["detail"],
+                   data=data.get("data"))
 
 
 def check_invariants(network: ChainNetwork, server: Server,

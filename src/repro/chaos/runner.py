@@ -32,6 +32,7 @@ from ..errors import ConfigurationError
 from ..exec import (Campaign, FaultInjectedCampaign, FaultPlan, RunRequest,
                     SupervisionPolicy, make_executor, register_campaign,
                     run_campaign, seed_for)
+from ..exec.errinfo import exception_payload
 from ..harness.scenarios import figure1
 from ..migration.executor import (OUTCOME_SUCCEEDED, ProbabilisticFailure,
                                   RetryPolicy)
@@ -320,7 +321,8 @@ class ChaosRunner:
                 seed=run_seed, schedule=schedule,
                 violations=[Violation(
                     "scenario-error",
-                    f"scenario raised {type(exc).__name__}: {exc}")],
+                    f"scenario raised {type(exc).__name__}: {exc}",
+                    data=exception_payload(exc))],
                 injected=0, delivered=0, dropped=0, fault_losses=0,
                 migrations=0, attempts=0, plans_aborted=0, stale_ticks=0)
 
@@ -406,6 +408,8 @@ class ChaosCampaign(Campaign):
     """
 
     kind = "chaos"
+    description = ("seeded fault schedules against the hardened (or "
+                   "resilient) controller with invariant checks")
 
     def __init__(self, runner: ChaosRunner) -> None:
         self.runner = runner
@@ -436,8 +440,9 @@ class ChaosCampaign(Campaign):
         """One scenario; crashes inside become scenario-error results."""
         return self.runner.run_one(request.seed).to_dict()
 
-    def error_payload(self, request: RunRequest,
-                      error: str) -> Dict[str, object]:
+    def error_payload(self, request: RunRequest, error: str,
+                      details: Optional[Dict[str, object]] = None
+                      ) -> Dict[str, object]:
         """Crash isolation: a dead worker's run is itself a violation."""
         schedule = ChaosSchedule.generate(
             [nf.name for nf in figure1().chain], self.runner.config,
@@ -445,7 +450,8 @@ class ChaosCampaign(Campaign):
         return ChaosRunResult(
             seed=request.seed, schedule=schedule,
             violations=[Violation(
-                "scenario-error", f"worker failed: {error}")],
+                "scenario-error", f"worker failed: {error}",
+                data=details)],
             injected=0, delivered=0, dropped=0, fault_losses=0,
             migrations=0, attempts=0, plans_aborted=0,
             stale_ticks=0).to_dict()

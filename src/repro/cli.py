@@ -11,6 +11,9 @@ Gives operators the paper's experiments without writing Python:
 * ``run-config`` — execute a JSON experiment description,
 * ``suite``      — run or regression-check a directory of experiments,
 * ``chaos``      — randomized fault campaign with invariant checking,
+* ``soak``       — generative chaos fuzzing with an online invariant
+  engine and automatic minimal-reproducer shrinking,
+* ``campaigns``  — list the registered campaign kinds,
 * ``resilience`` — canned device-failure / overload-degradation
   scenarios with recovery and shedding verdicts,
 * ``reliability`` — joint migrate/replicate/shed planning campaigns
@@ -252,11 +255,73 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Soak-fuzz chaos schedules under the online invariant engine."""
+    from .soak import (SoakCase, SoakRunner, default_space,
+                       invariant_catalogue, parse_plant, render_payloads,
+                       replay_reproducer, shrink_case, write_reproducer)
+    if args.list_invariants:
+        for name, description in invariant_catalogue():
+            print(f"{name}: {description}")
+        return 0
+    if args.replay is not None:
+        outcome = replay_reproducer(args.replay)
+        print(outcome.render())
+        return 0 if outcome.match else 1
+    planted_index, planted = (None, None)
+    if args.plant_bug is not None:
+        planted_index, planted = parse_plant(args.plant_bug)
+    runner = SoakRunner(runs=args.runs, seed=args.seed,
+                        space=default_space(args.duration),
+                        planted=planted, planted_index=planted_index,
+                        journal_path=args.journal,
+                        resume_from=args.resume_from,
+                        checkpoint_every=args.checkpoint_every,
+                        workers=args.workers,
+                        supervision=_supervision_from_args(args),
+                        stop_on_failure=args.stop_on_failure,
+                        max_wall_s=args.max_seconds)
+    outcome = runner.run()
+    if runner.replayed_runs:
+        print(f"replayed {runner.replayed_runs} run(s) from journal "
+              f"{args.resume_from}")
+    print(render_payloads(outcome.payloads))
+    if outcome.stopped:
+        print(f"stopped early: {outcome.stopped}")
+    failures = outcome.failures
+    if failures and args.shrink:
+        case = SoakCase.from_dict(failures[0]["case"])
+        print(f"shrinking failing case seed {case.seed} "
+              f"({len(case.faults)} fault event(s))...")
+        result = shrink_case(case)
+        print(f"shrunk to {len(result.case.faults)} fault event(s) "
+              f"in {result.executions} executions")
+        write_reproducer(args.reproducer, result)
+        print(f"reproducer written: {args.reproducer}")
+        print(f"replay with: python -m repro soak "
+              f"--replay {args.reproducer}")
+    return 0 if outcome.ok else 1
+
+
+def cmd_campaigns(args: argparse.Namespace) -> int:
+    """List the registered campaign kinds."""
+    from .exec import campaign_kinds
+    for kind, description in campaign_kinds().items():
+        print(f"{kind}: {description}")
+    return 0
+
+
 def cmd_crash_resume(args: argparse.Namespace) -> int:
     """SIGKILL a campaign mid-flight; verify bit-exact resume."""
     import os
     import tempfile
-    from .chaos.crashresume import run_crash_resume_check
+    from .chaos.crashresume import (SUPPORTED_CAMPAIGNS,
+                                    run_crash_resume_check)
+    if args.campaign not in SUPPORTED_CAMPAIGNS:
+        known = ", ".join(SUPPORTED_CAMPAIGNS)
+        raise ReproError(
+            f"crash-resume cannot exercise campaign kind "
+            f"{args.campaign!r} (available: {known})")
     journal = args.journal
     if journal is None:
         journal = os.path.join(
@@ -518,13 +583,78 @@ def build_parser() -> argparse.ArgumentParser:
                               "(repeatable; exercises the supervisor)")
     p_chaos.set_defaults(func=cmd_chaos)
 
+    p_soak = sub.add_parser("soak",
+                            help="soak-fuzz random chaos schedules "
+                                 "under the online invariant engine, "
+                                 "shrinking any failure to a minimal "
+                                 "reproducer")
+    p_soak.add_argument("--runs", type=int, default=32,
+                        help="fuzzed cases to draw (case i uses seed+i)")
+    p_soak.add_argument("--seed", type=int, default=7,
+                        help="base seed for the fuzzer")
+    p_soak.add_argument("--duration", type=float, default=None,
+                        metavar="SEC",
+                        help="cap the fuzzed per-case simulated "
+                             "duration (default: the space's own range)")
+    p_soak.add_argument("--journal", metavar="PATH",
+                        help="write-ahead run journal (JSONL) logging "
+                             "campaign progress")
+    p_soak.add_argument("--resume-from", metavar="PATH",
+                        help="journal to replay completed runs from "
+                             "(continues appending to it)")
+    p_soak.add_argument("--checkpoint-every", type=int, default=5,
+                        help="journal a campaign-progress digest every "
+                             "N runs")
+    p_soak.add_argument("--workers", type=int, default=1,
+                        help="process-pool size; the merged report is "
+                             "bit-identical to --workers 1")
+    _add_supervision_args(p_soak)
+    p_soak.add_argument("--stop-on-failure", action="store_true",
+                        help="stop the campaign at the first case with "
+                             "a violation (writes a campaign-stop "
+                             "record; the journal stays resumable)")
+    p_soak.add_argument("--max-seconds", type=float, default=None,
+                        metavar="SEC",
+                        help="wall-clock budget; the campaign stops "
+                             "cleanly once it is exhausted")
+    p_soak.add_argument("--plant-bug", metavar="INDEX:BUG[:TRIGGER]",
+                        help="(testing) plant a known bug into case "
+                             "INDEX: conservation | protected-shed, "
+                             "fired by TRIGGER faults (default crash)")
+    p_soak.add_argument("--no-shrink", dest="shrink",
+                        action="store_false",
+                        help="report violations without shrinking the "
+                             "first failing case")
+    p_soak.add_argument("--reproducer", metavar="PATH",
+                        default="soak-reproducer.json",
+                        help="where the shrunk reproducer is written "
+                             "(default: soak-reproducer.json)")
+    p_soak.add_argument("--replay", metavar="PATH",
+                        help="re-execute a reproducer file and compare "
+                             "its violations bit-exact (no fuzzing)")
+    p_soak.add_argument("--list-invariants", action="store_true",
+                        help="print the runtime invariant catalogue "
+                             "and exit")
+    p_soak.set_defaults(func=cmd_soak, shrink=True)
+
+    p_kinds = sub.add_parser("campaigns",
+                             help="inspect the registered campaign "
+                                  "kinds")
+    p_kinds.add_argument("--list-kinds", action="store_true",
+                         help="list every campaign kind with its "
+                              "description (the default action)")
+    p_kinds.set_defaults(func=cmd_campaigns)
+
     p_crash = sub.add_parser("crash-resume",
                              help="SIGKILL a journaled campaign "
                                   "mid-flight and verify the journal "
                                   "resume is bit-exact")
     p_crash.add_argument("--campaign", default="chaos",
-                         choices=["chaos", "reliability"],
-                         help="campaign kind to kill and resume")
+                         metavar="KIND",
+                         help="campaign kind to kill and resume "
+                              "(chaos, reliability, or soak; see "
+                              "`repro campaigns --list-kinds` for every "
+                              "registered kind)")
     p_crash.add_argument("--runs", type=int, default=6)
     p_crash.add_argument("--seed", type=int, default=7)
     p_crash.add_argument("--duration", type=float, default=0.02,

@@ -40,8 +40,9 @@ order, or how many times supervision had to retry a run.
 """
 
 from .campaign import (Campaign, RunRequest, build_campaign,
-                       register_campaign)
-from .driver import CampaignOutcome, run_campaign
+                       campaign_kinds, register_campaign)
+from .driver import CampaignOutcome, StopPredicate, run_campaign
+from .errinfo import exception_payload
 from .executors import (Executor, ParallelExecutor, SerialExecutor,
                         make_executor)
 from .faultinject import FaultInjectedCampaign, FaultPlan, WorkerFault
@@ -61,9 +62,12 @@ __all__ = [
     "SerialExecutor",
     "SupervisedParallelExecutor",
     "SupervisedSerialExecutor",
+    "StopPredicate",
     "SupervisionPolicy",
     "WorkerFault",
     "build_campaign",
+    "campaign_kinds",
+    "exception_payload",
     "make_executor",
     "register_campaign",
     "run_campaign",

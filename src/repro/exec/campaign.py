@@ -23,7 +23,7 @@ lists, and dicts.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Type
+from typing import Dict, List, Optional, Type
 
 from ..errors import ConfigurationError, ExecutionError
 
@@ -64,6 +64,8 @@ class Campaign:
     #: Registry name; also written into journal ``campaign-start``
     #: records so a journal names the campaign type that wrote it.
     kind: str = ""
+    #: One line for ``python -m repro campaigns --list-kinds``.
+    description: str = ""
 
     def fingerprint(self) -> Dict[str, object]:
         """Campaign identity for journal-resume validation.
@@ -90,14 +92,19 @@ class Campaign:
         """Execute one request and return its JSON-clean payload."""
         raise NotImplementedError
 
-    def error_payload(self, request: RunRequest,
-                      error: str) -> Dict[str, object]:
+    def error_payload(self, request: RunRequest, error: str,
+                      details: Optional[Dict[str, object]] = None
+                      ) -> Dict[str, object]:
         """Payload standing in for a run whose worker crashed.
 
         The default preserves serial semantics — an unexpected failure
         propagates — while campaigns with a violation vocabulary (chaos,
         resilience) override it to record the crash as a
         ``scenario-error`` result instead of killing the campaign.
+        ``details`` optionally carries the structured exception payload
+        (:func:`repro.exec.errinfo.exception_payload`) the worker
+        captured at the original raise site; overrides should attach it
+        to the violation's ``data`` field.
         """
         raise ExecutionError(
             f"run {request.index} (seed {request.seed}) failed: {error}")
@@ -145,7 +152,20 @@ def _ensure_builtin_campaigns() -> None:
     from ..harness import sweep as _sweep  # noqa: F401
     from ..reliability import campaign as _reliability  # noqa: F401
     from ..resilience import campaign as _resilience  # noqa: F401
+    from ..soak import campaign as _soak  # noqa: F401
     from . import faultinject as _faultinject  # noqa: F401
+
+
+def campaign_kinds() -> Dict[str, str]:
+    """Every registered campaign kind with its one-line description.
+
+    Backs ``python -m repro campaigns --list-kinds`` and the
+    unknown-kind error messages; importing the built-ins first so the
+    listing is complete regardless of what the caller already loaded.
+    """
+    _ensure_builtin_campaigns()
+    return {kind: campaign_type.description
+            for kind, campaign_type in sorted(_REGISTRY.items())}
 
 
 def build_campaign(kind: str, spec: Dict[str, object]) -> Campaign:

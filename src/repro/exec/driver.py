@@ -21,6 +21,11 @@ uniformly to every campaign kind ([docs/formats.md], "Run journals"):
   crash, ``KeyboardInterrupt``, or the supervision abort budget), with
   the exception summary and completed count, so a journal always
   distinguishes an interrupted campaign from a clean ``campaign-end``.
+* ``campaign-stop`` — appended when a ``stop_when`` budget predicate
+  ends the campaign early *on purpose* (soak first-failure or
+  wall-clock budgets): the reason plus completed/executed counts.
+  Unlike an abort, nothing went wrong; like an abort, the journal
+  resumes from where it stopped.
 * ``campaign-end`` — campaign totals from ``Campaign.end_record``.
 
 Resume replays ``run-result`` payloads by index and executes only the
@@ -35,13 +40,18 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..checkpoint import (JournalWriter, canonical_json, read_journal,
                           record_checksum)
 from ..errors import CampaignAborted, ConfigurationError
 from .campaign import Campaign
 from .executors import Executor, SerialExecutor
+
+#: Budget predicate for :func:`run_campaign`: called with
+#: ``(index, payload)`` after each completed run; a truthy string stops
+#: the campaign cleanly with that reason.
+StopPredicate = Callable[[int, Dict[str, object]], Optional[str]]
 
 
 @dataclass
@@ -54,6 +64,8 @@ class CampaignOutcome:
     replayed: int
     #: Runs actually executed this call.
     executed: int
+    #: Budget-stop reason (``stop_when``); None on a full campaign.
+    stopped: Optional[str] = None
 
 
 def replay_campaign_journal(campaign: Campaign, resume_from: str
@@ -94,7 +106,9 @@ def run_campaign(campaign: Campaign,
                  executor: Optional[Executor] = None,
                  journal_path: Optional[str] = None,
                  resume_from: Optional[str] = None,
-                 checkpoint_every: int = 5) -> CampaignOutcome:
+                 checkpoint_every: int = 5,
+                 stop_when: Optional[StopPredicate] = None
+                 ) -> CampaignOutcome:
     """Execute a campaign under an executor, with journal middleware.
 
     ``journal_path`` write-ahead-logs progress (defaulting to the
@@ -102,6 +116,14 @@ def run_campaign(campaign: Campaign,
     history); ``resume_from`` replays completed runs out of such a
     journal.  The returned payloads are merged by request index —
     independent of executor, worker count, and completion order.
+
+    ``stop_when`` is an optional budget predicate (soak campaigns:
+    first-failure / wall-clock).  When it returns a reason the loop
+    stops *cleanly*: every journaled run stays valid, a
+    ``campaign-stop`` record is appended (not ``campaign-abort`` — no
+    error occurred), and the outcome carries the partial payload list
+    (completed indices in order) with ``stopped`` set.  Such a journal
+    resumes exactly like an interrupted one.
     """
     if checkpoint_every < 1:
         raise ConfigurationError("checkpoint interval must be >= 1")
@@ -146,6 +168,7 @@ def run_campaign(campaign: Campaign,
     if hasattr(executor, "set_event_sink"):
         executor.set_event_sink(on_attempt)
     executed = 0
+    stopped: Optional[str] = None
     try:
         for index, payload in executor.map(campaign, pending):
             completed[index] = payload
@@ -166,10 +189,26 @@ def run_campaign(campaign: Campaign,
                     f"allowed ({len(completed)}/{len(requests)} "
                     f"completed)", completed=len(completed),
                     quarantined=quarantined)
-        payloads = [completed[request.index] for request in requests]
+            if stop_when is not None:
+                stopped = stop_when(index, payload)
+                if stopped:
+                    break
+        if stopped is None:
+            payloads = [completed[request.index] for request in requests]
+        else:
+            # Budget stop: a partial grid is the *intended* outcome.
+            # Parallel executors may have completed runs past the
+            # stopping one; everything journaled is kept.
+            payloads = [completed[i] for i in sorted(completed)]
         if writer is not None:
-            writer.append({"kind": "campaign-end",
-                           **campaign.end_record(payloads)})
+            if stopped is None:
+                writer.append({"kind": "campaign-end",
+                               **campaign.end_record(payloads)})
+            else:
+                writer.append({"kind": "campaign-stop",
+                               "reason": stopped,
+                               "completed": len(completed),
+                               "executed": executed})
     except BaseException as exc:
         # Execution died mid-flight (worker crash, abort budget,
         # Ctrl-C, merge of an incomplete grid): leave a campaign-abort
@@ -189,4 +228,4 @@ def run_campaign(campaign: Campaign,
         if writer is not None:
             writer.close()
     return CampaignOutcome(payloads=payloads, replayed=replayed,
-                           executed=executed)
+                           executed=executed, stopped=stopped)

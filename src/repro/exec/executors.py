@@ -25,6 +25,7 @@ from typing import (TYPE_CHECKING, Dict, Iterator, List, Optional, Protocol,
 from ..checkpoint import canonical_json
 from ..errors import ConfigurationError
 from .campaign import Campaign, RunRequest, build_campaign
+from .errinfo import exception_payload
 
 if TYPE_CHECKING:  # circular at runtime: supervisor builds on this module
     from .supervisor import SupervisionPolicy
@@ -85,7 +86,8 @@ def _run_request_in_worker(kind: str, spec: Dict[str, object],
     # Crash isolation boundary: the failure is reported to the parent
     # as data, never swallowed — the campaign decides how to record it.
     except Exception as exc:  # repro: noqa[EXC402]
-        return False, {"error": f"{type(exc).__name__}: {exc}"}
+        return False, {"error": f"{type(exc).__name__}: {exc}",
+                       "exception": exception_payload(exc)}
 
 
 #: Per-worker-process campaign cache (see :func:`_run_request_in_worker`).
@@ -139,7 +141,8 @@ class ParallelExecutor:
                         yield request.index, payload
                     else:
                         yield request.index, campaign.error_payload(
-                            request, str(payload["error"]))
+                            request, str(payload["error"]),
+                            details=payload.get("exception"))
 
 
 def make_executor(workers: int,

@@ -178,6 +178,8 @@ class FaultInjectedCampaign(Campaign):
     """
 
     kind = "fault-injected"
+    description = ("test-only wrapper that sabotages scheduled runs of "
+                   "an inner campaign")
 
     def __init__(self, inner: Campaign, plan: FaultPlan) -> None:
         self.inner = inner
@@ -213,10 +215,11 @@ class FaultInjectedCampaign(Campaign):
             return self._trigger(fault, request)
         return self.inner.run_request(request)
 
-    def error_payload(self, request: RunRequest,
-                      error: str) -> Dict[str, object]:
+    def error_payload(self, request: RunRequest, error: str,
+                      details: Optional[Dict[str, object]] = None
+                      ) -> Dict[str, object]:
         """Quarantine through the inner campaign's vocabulary."""
-        return self.inner.error_payload(request, error)
+        return self.inner.error_payload(request, error, details=details)
 
     def end_record(self, payloads: List[Dict[str, object]]
                    ) -> Dict[str, object]:

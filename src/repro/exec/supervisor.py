@@ -46,6 +46,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigurationError, ExecutionError
 from .campaign import Campaign, RunRequest, build_campaign
+from .errinfo import exception_payload
 from .executors import Completion
 
 #: Attempt-outcome vocabulary, journaled in ``run-attempt`` records.
@@ -232,6 +233,7 @@ class SupervisedSerialExecutor:
                         request: RunRequest) -> Completion:
         policy = self.policy
         outcome, detail = ATTEMPT_ERROR, "never attempted"
+        details: Optional[Dict[str, object]] = None
         try:
             for attempt in range(1, policy.max_attempts + 1):
                 _set_current_attempt(attempt)
@@ -243,18 +245,21 @@ class SupervisedSerialExecutor:
                 except Exception as exc:  # repro: noqa[EXC402]
                     outcome = ATTEMPT_ERROR
                     detail = f"{type(exc).__name__}: {exc}"
+                    details = exception_payload(exc)
                 else:
                     if isinstance(payload, dict):
                         return request.index, payload
                     outcome = ATTEMPT_GARBAGE
                     detail = (f"run returned {type(payload).__name__}, "
                               f"not a payload dict")
+                    details = None
                 self._emit(attempt_record(
                     request, attempt, outcome, detail,
                     requeued=attempt < policy.max_attempts))
             return request.index, campaign.error_payload(
                 request,
-                _quarantine_error(outcome, detail, policy.max_attempts))
+                _quarantine_error(outcome, detail, policy.max_attempts),
+                details=details)
         finally:
             _set_current_attempt(1)
 
@@ -289,7 +294,9 @@ def _supervised_worker_main(kind: str, spec: Dict[str, object],
             # Crash isolation boundary: the failure travels back as
             # data for the supervisor to attribute and retry.
             except Exception as exc:  # repro: noqa[EXC402]
-                reply = ("error", f"{type(exc).__name__}: {exc}")
+                reply = ("error",
+                         {"message": f"{type(exc).__name__}: {exc}",
+                          "exception": exception_payload(exc)})
             finally:
                 _set_current_attempt(1)
             try:
@@ -524,8 +531,13 @@ class SupervisedParallelExecutor:
                        f"not a payload dict", queue, done)
         elif isinstance(message, tuple) and len(message) == 2 \
                 and message[0] == "error":
-            self._fail(campaign, flight, ATTEMPT_ERROR, str(message[1]),
-                       queue, done)
+            if isinstance(message[1], dict):
+                detail = str(message[1].get("message", ""))
+                details = message[1].get("exception")
+            else:
+                detail, details = str(message[1]), None
+            self._fail(campaign, flight, ATTEMPT_ERROR, detail,
+                       queue, done, details=details)
         else:
             self._fail(campaign, flight, ATTEMPT_GARBAGE,
                        "worker sent an unrecognised message", queue, done)
@@ -562,8 +574,14 @@ class SupervisedParallelExecutor:
 
     def _fail(self, campaign: Campaign, flight: _Flight, outcome: str,
               detail: str, queue: List[_Flight],
-              done: List[Completion]) -> None:
-        """Record a failed attempt; requeue with backoff or quarantine."""
+              done: List[Completion],
+              details: Optional[Dict[str, object]] = None) -> None:
+        """Record a failed attempt; requeue with backoff or quarantine.
+
+        ``details`` is the structured exception payload the worker
+        captured at the raise site (ERROR outcomes only); it travels
+        into the quarantine payload, never into attempt records.
+        """
         policy = self.policy
         requeued = flight.attempt < policy.max_attempts
         self._emit(attempt_record(flight.request, flight.attempt, outcome,
@@ -575,7 +593,8 @@ class SupervisedParallelExecutor:
         else:
             done.append((flight.request.index, campaign.error_payload(
                 flight.request,
-                _quarantine_error(outcome, detail, flight.attempt))))
+                _quarantine_error(outcome, detail, flight.attempt),
+                details=details)))
 
     def _idle_death(self) -> None:
         """A worker died before accepting work; bound the respawn loop."""

@@ -80,6 +80,8 @@ class SuiteCampaign(Campaign):
     """
 
     kind = "suite"
+    description = ("config-file suite: one run per experiment config "
+                   "in a directory")
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)

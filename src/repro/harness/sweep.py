@@ -103,6 +103,8 @@ class SizeSweepCampaign(Campaign):
     """Figure 2's grid: one request per packet size, merged in order."""
 
     kind = "size-sweep"
+    description = ("Figure 2 packet-size sweep: one run per size, "
+                   "merged in grid order")
 
     def __init__(self, scenario: Scenario,
                  sizes: Sequence[int],

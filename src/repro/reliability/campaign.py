@@ -179,6 +179,8 @@ class ReliabilityCampaign(Campaign):
     """``policies x runs`` planned-and-measured reliability grid."""
 
     kind = "reliability"
+    description = ("planned-and-measured reliability grid over "
+                   "migrate/replicate/shed policies")
 
     def __init__(self, scenario: str = "device-kill",
                  policies: Tuple[str, ...] = ("joint", "pam", "naive"),
@@ -257,8 +259,9 @@ class ReliabilityCampaign(Campaign):
         return run_payload(self.scenario, policy, rep, request.seed,
                            self.budget_bytes, plan, run)
 
-    def error_payload(self, request: RunRequest,
-                      error: str) -> Dict[str, object]:
+    def error_payload(self, request: RunRequest, error: str,
+                      details: Optional[Dict[str, object]] = None
+                      ) -> Dict[str, object]:
         """Crash isolation: a dead worker's run is itself a violation."""
         policy = str(request.params["policy"])
         return {
@@ -278,7 +281,8 @@ class ReliabilityCampaign(Campaign):
             "shed_fraction": 0.0, "protected_shed_packets": 0,
             "recoveries": [],
             "violations": [Violation(
-                "scenario-error", f"worker failed: {error}").to_dict()],
+                "scenario-error", f"worker failed: {error}",
+                data=details).to_dict()],
         }
 
     def end_record(self, payloads: List[Dict[str, object]]

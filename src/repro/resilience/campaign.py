@@ -113,6 +113,8 @@ class ResilienceCampaign(Campaign):
     """``runs`` repetitions of one canned scenario, seeded per index."""
 
     kind = "resilience"
+    description = ("canned degradation-ladder scenarios with "
+                   "resilience invariant checks")
 
     def __init__(self, scenario: str, runs: int = 1, seed: int = 7,
                  duration_s: Optional[float] = None) -> None:
@@ -157,8 +159,9 @@ class ResilienceCampaign(Campaign):
                            duration_s=self.duration_s)
         return scenario_payload(run)
 
-    def error_payload(self, request: RunRequest,
-                      error: str) -> Dict[str, object]:
+    def error_payload(self, request: RunRequest, error: str,
+                      details: Optional[Dict[str, object]] = None
+                      ) -> Dict[str, object]:
         """Crash isolation: a dead worker's run is itself a violation."""
         return {
             "name": self.scenario, "seed": request.seed,
@@ -167,7 +170,8 @@ class ResilienceCampaign(Campaign):
             "recoveries": [], "degraded_time_s": 0.0,
             "final_ladder_level": 0, "classes": [],
             "violations": [Violation(
-                "scenario-error", f"worker failed: {error}").to_dict()],
+                "scenario-error", f"worker failed: {error}",
+                data=details).to_dict()],
         }
 
     def end_record(self, payloads: List[Dict[str, object]]

@@ -169,3 +169,68 @@ class TestFigure2Chart:
         out = capsys.readouterr().out
         assert "64B pam" in out
         assert "█" in out
+
+
+class TestCampaignsCommand:
+    def test_list_kinds_names_every_registered_kind(self, capsys):
+        assert main(["campaigns", "--list-kinds"]) == 0
+        out = capsys.readouterr().out
+        for kind in ("chaos", "reliability", "resilience", "size-sweep",
+                     "soak", "suite", "fault-injected"):
+            assert f"{kind}: " in out
+
+    def test_default_action_lists_kinds(self, capsys):
+        assert main(["campaigns"]) == 0
+        assert "soak: " in capsys.readouterr().out
+
+
+class TestCrashResumeCampaignFlag:
+    def test_unknown_kind_exits_2_with_available_kinds(self, capsys):
+        assert main(["crash-resume", "--campaign", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "bogus" in err
+        assert "chaos" in err and "reliability" in err and "soak" in err
+
+
+class TestSoakCommand:
+    def test_list_invariants(self, capsys):
+        assert main(["soak", "--list-invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "virtual-time-monotonic" in out
+        assert "drained-end-state" in out
+
+    def test_clean_fuzz_exits_zero(self, capsys):
+        assert main(["soak", "--runs", "2", "--seed", "7",
+                     "--duration", "0.008"]) == 0
+        out = capsys.readouterr().out
+        assert "2 soak cases: all invariants held" in out
+
+    def test_planted_bug_shrinks_and_replays(self, tmp_path, capsys):
+        reproducer = str(tmp_path / "repro.json")
+        assert main(["soak", "--runs", "2", "--seed", "7",
+                     "--duration", "0.008",
+                     "--plant-bug", "1:conservation:crash",
+                     "--reproducer", reproducer]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out
+        assert "shrunk to 1 fault event(s)" in out
+        assert f"reproducer written: {reproducer}" in out
+
+        assert main(["soak", "--replay", reproducer]) == 0
+        assert "bit-exact" in capsys.readouterr().out
+
+    def test_no_shrink_skips_the_shrinker(self, capsys):
+        assert main(["soak", "--runs", "2", "--seed", "7",
+                     "--duration", "0.008", "--no-shrink",
+                     "--plant-bug", "1:conservation"]) == 1
+        out = capsys.readouterr().out
+        assert "shrunk" not in out
+
+    def test_bad_plant_spec_exits_2(self, capsys):
+        assert main(["soak", "--runs", "2", "--plant-bug", "x:y"]) == 2
+        assert "plant" in capsys.readouterr().err
+
+    def test_missing_replay_file_exits_2(self, tmp_path, capsys):
+        assert main(["soak", "--replay",
+                     str(tmp_path / "absent.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err

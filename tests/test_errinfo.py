@@ -1,0 +1,64 @@
+"""Structured exception payloads: shape, filtering, and bounds."""
+
+from repro.exec.errinfo import exception_payload
+
+
+def _raise_nested(depth):
+    if depth == 0:
+        raise ValueError("bottom of the stack")
+    _raise_nested(depth - 1)
+
+
+class TestExceptionPayload:
+    def test_basic_shape(self):
+        try:
+            raise KeyError("missing")
+        except KeyError as exc:
+            payload = exception_payload(exc)
+        assert payload["type"] == "KeyError"
+        assert payload["message"] == "'missing'"
+        frame = payload["frames"][-1]
+        # Outside the package the file is reduced to its basename.
+        assert frame["file"] == "test_errinfo.py"
+        assert frame["function"] == "test_basic_shape"
+        assert frame["line"] > 0
+        assert "raise KeyError" in frame["code"]
+
+    def test_payload_is_json_clean(self):
+        import json
+        try:
+            _raise_nested(3)
+        except ValueError as exc:
+            payload = exception_payload(exc)
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_deep_stacks_keep_innermost_frames(self):
+        try:
+            _raise_nested(40)
+        except ValueError as exc:
+            payload = exception_payload(exc)
+        assert len(payload["frames"]) == 12
+        assert payload["truncated"] > 0
+        # Innermost frame (the raise site) survives truncation.
+        assert payload["frames"][-1]["function"] == "_raise_nested"
+        assert "raise ValueError" in payload["frames"][-1]["code"]
+
+    def test_shallow_stacks_have_no_truncated_marker(self):
+        try:
+            raise RuntimeError("shallow")
+        except RuntimeError as exc:
+            payload = exception_payload(exc)
+        assert "truncated" not in payload
+
+    def test_paths_are_package_relative(self):
+        from repro.errors import ConfigurationError
+        from repro.exec.campaign import build_campaign
+        try:
+            build_campaign("no-such-kind", {})
+        except ConfigurationError as exc:
+            payload = exception_payload(exc)
+        files = [frame["file"] for frame in payload["frames"]]
+        assert "repro/exec/campaign.py" in files
+        assert not any(frame["file"].startswith("/")
+                       for frame in payload["frames"]
+                       if frame["file"].startswith("repro/"))

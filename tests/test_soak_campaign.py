@@ -1,0 +1,147 @@
+"""The soak campaign on the exec core: golden, resume, and budgets."""
+
+import os
+
+import pytest
+
+from repro.checkpoint import read_journal
+from repro.errors import ConfigurationError
+from repro.soak import (SoakCampaign, SoakRunner, default_space,
+                        failing_payloads, render_payloads)
+from repro.soak.fuzzer import PlantedBug
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "soak_runs6_seed7.txt")
+
+_SPACE = default_space(0.010)
+
+
+def _runner(**kwargs):
+    defaults = dict(runs=6, seed=7, space=_SPACE)
+    defaults.update(kwargs)
+    return SoakRunner(**defaults)
+
+
+def _render(workers):
+    return render_payloads(_runner(workers=workers).run().payloads)
+
+
+class TestGolden:
+    def test_serial_matches_golden(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        assert _render(1) + "\n" == golden
+
+    def test_parallel_matches_golden(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            golden = handle.read()
+        assert _render(2) + "\n" == golden
+
+
+class TestCampaignSpec:
+    def test_spec_round_trip(self):
+        campaign = SoakCampaign(runs=4, seed=7, space=_SPACE,
+                                planted=PlantedBug("conservation"),
+                                planted_index=2)
+        rebuilt = SoakCampaign.from_spec(campaign.spec())
+        assert rebuilt.fingerprint() == campaign.fingerprint()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SoakCampaign(runs=0, seed=7)
+        with pytest.raises(ConfigurationError):
+            SoakCampaign(runs=4, seed=7,
+                         planted=PlantedBug("conservation"))
+        with pytest.raises(ConfigurationError):
+            SoakCampaign(runs=4, seed=7,
+                         planted=PlantedBug("conservation"),
+                         planted_index=4)
+
+    def test_planted_case_only_at_its_index(self):
+        campaign = SoakCampaign(runs=4, seed=7, space=_SPACE,
+                                planted=PlantedBug("conservation"),
+                                planted_index=2)
+        cases = [campaign.case_for(request)
+                 for request in campaign.requests()]
+        assert [case.planted is not None for case in cases] == \
+            [False, False, True, False]
+
+
+class TestJournalResume:
+    def test_resume_is_bit_exact(self, tmp_path):
+        journal = str(tmp_path / "soak.jsonl")
+        reference = _runner().run()
+        _runner(journal_path=journal, checkpoint_every=1).run()
+        # Drop the campaign-end and the last two run-results so the
+        # resume has real work left.
+        outcome = read_journal(journal)
+        lines = []
+        kept = 0
+        with open(journal, "r", encoding="utf-8") as handle:
+            raw = handle.read().splitlines()
+        for line, record in zip(raw, outcome.records):
+            kind = record.get("kind")
+            if kind == "run-result":
+                if kept == 4:
+                    break
+                kept += 1
+            elif kind not in ("campaign-start", "campaign-progress"):
+                break
+            lines.append(line)
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+
+        resumer = _runner(resume_from=journal)
+        resumed = resumer.run()
+        assert resumer.replayed_runs == 4
+        assert render_payloads(resumed.payloads) == \
+            render_payloads(reference.payloads)
+
+
+class TestBudgets:
+    def test_stop_on_failure_writes_campaign_stop(self, tmp_path):
+        journal = str(tmp_path / "stop.jsonl")
+        runner = _runner(planted=PlantedBug("conservation"),
+                         planted_index=2, journal_path=journal,
+                         stop_on_failure=True, checkpoint_every=1)
+        outcome = runner.run()
+        assert outcome.stopped is not None
+        assert "first failure: run 2" in outcome.stopped
+        assert outcome.executed == 3
+        assert len(outcome.payloads) == 3
+        assert len(failing_payloads(outcome.payloads)) == 1
+        records = read_journal(journal).records
+        assert records[-1]["kind"] == "campaign-stop"
+        assert records[-1]["completed"] == 3
+        assert outcome.stopped == records[-1]["reason"]
+
+    def test_stopped_journal_resumes_to_completion(self, tmp_path):
+        journal = str(tmp_path / "stop.jsonl")
+        plant_kwargs = dict(planted=PlantedBug("conservation"),
+                            planted_index=2)
+        _runner(journal_path=journal, stop_on_failure=True,
+                **plant_kwargs).run()
+        resumer = _runner(resume_from=journal, **plant_kwargs)
+        completed = resumer.run()
+        assert resumer.replayed_runs == 3
+        assert completed.stopped is None
+        assert len(completed.payloads) == 6
+        records = read_journal(journal).records
+        assert records[-1]["kind"] == "campaign-end"
+
+    def test_wall_clock_budget_stops_cleanly(self, tmp_path):
+        journal = str(tmp_path / "wall.jsonl")
+        outcome = _runner(journal_path=journal, max_wall_s=1e-9).run()
+        assert outcome.stopped is not None
+        assert "wall-clock budget" in outcome.stopped
+        assert outcome.executed == 1  # the stop lands after run 0
+        records = read_journal(journal).records
+        assert records[-1]["kind"] == "campaign-stop"
+
+    def test_runner_validation(self):
+        with pytest.raises(ConfigurationError):
+            _runner(max_wall_s=0.0)
+        with pytest.raises(ConfigurationError):
+            _runner(checkpoint_every=0)
+        with pytest.raises(ConfigurationError):
+            _runner(workers=0)

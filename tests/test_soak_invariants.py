@@ -1,0 +1,119 @@
+"""The online invariant engine: registry, hooks, and trip-once rules."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soak.fuzzer import (BUG_CONSERVATION, BUG_PROTECTED_SHED,
+                               PlantedBug, default_space, generate_case,
+                               plant)
+from repro.soak.invariants import (InvariantEngine, RuntimeInvariant,
+                                   default_invariants,
+                                   invariant_catalogue,
+                                   register_invariant)
+from repro.soak.scenario import build_case_scenario, run_case
+
+#: Short cases keep every test in this module well under a second each.
+_SPACE = default_space(0.008)
+
+
+class TestRegistry:
+    def test_catalogue_names_every_default_invariant(self):
+        names = [name for name, _ in invariant_catalogue()]
+        assert names == [type(inv).name for inv in default_invariants()]
+        assert "virtual-time-monotonic" in names
+        assert "packet-conservation-online" in names
+        assert "queue-bounds" in names
+        assert "budget-ledger" in names
+        assert "health-fsm-legal" in names
+        assert "zero-protected-shed-online" in names
+        assert "drained-end-state" in names
+        assert "resilience-end-state" in names
+
+    def test_every_invariant_has_a_description(self):
+        for name, description in invariant_catalogue():
+            assert name and description
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            @register_invariant
+            class Clash(RuntimeInvariant):  # noqa: F811 - intentional
+                name = "queue-bounds"
+                description = "clash"
+
+    def test_unnamed_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="no name"):
+            @register_invariant
+            class Nameless(RuntimeInvariant):
+                description = "no name attr"
+
+
+class TestEngineLifecycle:
+    def test_attach_twice_rejected(self):
+        case = generate_case(_SPACE, 3)
+        scenario = build_case_scenario(case)
+        with pytest.raises(ConfigurationError, match="already attached"):
+            scenario.invariants.attach(scenario.sim,
+                                       hardened=scenario.hardened)
+
+    def test_collect_before_run_rejected(self):
+        scenario = build_case_scenario(generate_case(_SPACE, 3))
+        with pytest.raises(ConfigurationError, match="before"):
+            scenario.collect()
+
+    def test_clean_case_checks_events_and_ticks(self):
+        payload = run_case(generate_case(_SPACE, 3))
+        assert payload["violations"] == []
+        assert payload["events"] > 0
+        assert payload["ticks"] > 0
+        assert payload["injected"] >= payload["delivered"]
+
+    def test_finalize_is_idempotent(self):
+        scenario = build_case_scenario(generate_case(_SPACE, 3))
+        scenario.prepare()
+        scenario.run()
+        first = scenario.invariants.finalize()
+        assert scenario.invariants.finalize() == first
+
+
+class TestTripping:
+    def test_planted_conservation_bug_trips_conservation(self):
+        case = plant(generate_case(_SPACE, 3),
+                     PlantedBug(BUG_CONSERVATION, "crash"))
+        payload = run_case(case)
+        assert [v["invariant"] for v in payload["violations"]] == \
+            ["packet-conservation"]
+
+    def test_planted_protected_shed_bug_trips_shed_classes(self):
+        case = plant(generate_case(_SPACE, 3),
+                     PlantedBug(BUG_PROTECTED_SHED, "crash"))
+        assert case.resilient  # the plant forces the resilient policy
+        payload = run_case(case)
+        assert [v["invariant"] for v in payload["violations"]] == \
+            ["shed-classes"]
+
+    def test_violations_recorded_once_per_invariant(self):
+        # A planted bug fires an end-state invariant exactly once even
+        # though the underlying check would flag it per call.
+        case = plant(generate_case(_SPACE, 3),
+                     PlantedBug(BUG_CONSERVATION, "crash"))
+        violations = run_case(case)["violations"]
+        names = [v["invariant"] for v in violations]
+        assert len(names) == len(set(names))
+
+    def test_scenario_crash_becomes_structured_violation(self):
+        # Force a crash inside run_case's boundary with an impossible
+        # case: duration must be positive for the arrival process.
+        case = generate_case(_SPACE, 3)
+        broken = type(case).from_dict(
+            {**case.to_dict(), "duration_s": -1.0})
+        payload = run_case(broken)
+        assert len(payload["violations"]) == 1
+        violation = payload["violations"][0]
+        assert violation["invariant"] == "scenario-error"
+        assert "scenario raised" in violation["detail"]
+        # The structured traceback payload rides in Violation.data.
+        data = violation["data"]
+        assert data["type"]
+        assert isinstance(data["frames"], list) and data["frames"]
+        frame = data["frames"][-1]
+        assert set(frame) >= {"file", "line", "function", "code"}

@@ -1,0 +1,157 @@
+"""The shrinker: determinism, 1-minimality, and the reproducer format."""
+
+import pytest
+
+from repro.chaos.schedule import ChaosFault
+from repro.errors import CheckpointError, ConfigurationError
+from repro.soak.fuzzer import (BUG_CONSERVATION, BUG_PROTECTED_SHED,
+                               PlantedBug, SoakCase, default_space,
+                               generate_case, plant)
+from repro.soak.shrinker import (ReplayOutcome, load_reproducer,
+                                 replay_reproducer, shrink_case,
+                                 violation_signature, write_reproducer)
+
+_SPACE = default_space(0.008)
+
+
+def _fault(kind, at_s, duration_s=0.002):
+    return ChaosFault(kind=kind, at_s=at_s, duration_s=duration_s)
+
+
+def _synthetic_case(faults):
+    base = generate_case(_SPACE, 1)
+    return base.with_faults(faults)
+
+
+def _oracle_requiring(*kinds):
+    """A run function failing iff all ``kinds`` appear in the faults."""
+    def run(case):
+        present = {fault.kind for fault in case.faults}
+        failing = all(kind in present for kind in kinds)
+        violations = ([{"invariant": "synthetic", "detail": "tripped"}]
+                      if failing else [])
+        return {"seed": case.seed, "case": case.to_dict(),
+                "violations": violations}
+    return run
+
+
+class TestSyntheticShrinks:
+    def test_single_culprit_out_of_many(self):
+        faults = [_fault("crash", 0.001), _fault("brownout", 0.002),
+                  _fault("pcie-flap", 0.003), _fault("crash", 0.004),
+                  _fault("telemetry-dropout", 0.005),
+                  _fault("brownout", 0.006)]
+        case = _synthetic_case(faults)
+        result = shrink_case(case, run=_oracle_requiring("pcie-flap"))
+        assert [f.kind for f in result.case.faults] == ["pcie-flap"]
+        assert result.signature == ("synthetic",)
+
+    def test_two_interacting_culprits_kept(self):
+        faults = [_fault("crash", 0.001), _fault("brownout", 0.002),
+                  _fault("pcie-flap", 0.003),
+                  _fault("telemetry-dropout", 0.004)]
+        case = _synthetic_case(faults)
+        result = shrink_case(case,
+                             run=_oracle_requiring("crash", "brownout"))
+        assert sorted(f.kind for f in result.case.faults) == \
+            ["brownout", "crash"]
+
+    def test_failure_without_faults_shrinks_to_empty(self):
+        case = _synthetic_case([_fault("crash", 0.001),
+                                _fault("brownout", 0.002)])
+        result = shrink_case(case, run=_oracle_requiring())
+        assert result.case.faults == ()
+
+    def test_simplification_rounds_times_and_durations(self):
+        case = _synthetic_case(
+            [_fault("crash", 0.0031415926, duration_s=0.0071)])
+        result = shrink_case(case, run=_oracle_requiring("crash"))
+        fault = result.case.faults[0]
+        assert fault.duration_s == 0.002
+        assert fault.at_s == round(fault.at_s, 2)
+
+    def test_non_failing_case_rejected(self):
+        case = _synthetic_case([_fault("crash", 0.001)])
+        with pytest.raises(ConfigurationError, match="nothing to shrink"):
+            shrink_case(case, run=_oracle_requiring("brownout"))
+
+
+@pytest.mark.parametrize("bug", [BUG_CONSERVATION, BUG_PROTECTED_SHED])
+class TestPlantedBugClasses:
+    """The acceptance property: 1-minimal for both planted bug classes."""
+
+    def test_shrinks_to_single_trigger_event(self, bug):
+        armed = plant(generate_case(_SPACE, 12), PlantedBug(bug, "crash"))
+        assert len(armed.faults) > 1
+        result = shrink_case(armed)
+        assert len(result.case.faults) == 1
+        assert result.case.faults[0].kind == "crash"
+
+    def test_shrink_is_deterministic_to_the_byte(self, bug, tmp_path):
+        armed = plant(generate_case(_SPACE, 12), PlantedBug(bug, "crash"))
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        write_reproducer(first, shrink_case(armed))
+        write_reproducer(second, shrink_case(armed))
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_reproducer_replays_bit_exact(self, bug, tmp_path):
+        armed = plant(generate_case(_SPACE, 12), PlantedBug(bug, "crash"))
+        path = tmp_path / "repro.json"
+        write_reproducer(path, shrink_case(armed))
+        outcome = replay_reproducer(path)
+        assert outcome.match
+        assert "bit-exact" in outcome.render()
+
+
+class TestReproducerFormat:
+    def _result(self):
+        case = _synthetic_case([_fault("crash", 0.001)])
+        return shrink_case(case, run=_oracle_requiring("crash"))
+
+    def test_document_round_trip(self, tmp_path):
+        path = tmp_path / "repro.json"
+        result = self._result()
+        write_reproducer(path, result)
+        document = load_reproducer(path)
+        assert document["format"] == "soak-reproducer"
+        assert document["version"] == 1
+        assert SoakCase.from_dict(document["case"]) == result.case
+        assert document["signature"] == ["synthetic"]
+        assert document["shrink"]["events"] == 1
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_reproducer(tmp_path / "absent.json")
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="not valid JSON"):
+            load_reproducer(path)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}', encoding="utf-8")
+        with pytest.raises(CheckpointError, match="soak-reproducer"):
+            load_reproducer(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "new.json"
+        path.write_text('{"format": "soak-reproducer", "version": 99}',
+                        encoding="utf-8")
+        with pytest.raises(CheckpointError, match="unsupported version"):
+            load_reproducer(path)
+
+    def test_diverging_replay_reports_mismatch(self):
+        case = _synthetic_case([_fault("crash", 0.001)])
+        outcome = ReplayOutcome(
+            case=case,
+            expected=[{"invariant": "synthetic", "detail": "tripped"}],
+            actual=[])
+        assert not outcome.match
+        assert "DIVERGED" in outcome.render()
+
+    def test_signature_sorted_and_deduplicated(self):
+        violations = [{"invariant": "b"}, {"invariant": "a"},
+                      {"invariant": "b"}]
+        assert violation_signature(violations) == ("a", "b")

@@ -56,7 +56,7 @@ class QuarantineGrid(Campaign):
     def run_request(self, request):
         return {"index": request.index, "square": request.seed ** 2}
 
-    def error_payload(self, request, error):
+    def error_payload(self, request, error, details=None):
         return {"index": request.index, "scenario-error": error}
 
 
@@ -219,8 +219,9 @@ class _PlainGrid(QuarantineGrid):
 
     kind = "test-plain-grid"
 
-    def error_payload(self, request, error):
-        return Campaign.error_payload(self, request, error)
+    def error_payload(self, request, error, details=None):
+        return Campaign.error_payload(self, request, error,
+                                      details=details)
 
 
 register_campaign(_PlainGrid)
@@ -352,3 +353,55 @@ class TestAbortBudget:
         assert "scenario-error" in resumed.payloads[1]
         assert resumed.payloads[0] == reference[0]
         assert resumed.payloads[2:] == reference[2:]
+
+
+class TestStructuredQuarantineDetails:
+    """Quarantined scenario-errors carry a structured traceback payload
+    that is bit-exact across every executor (harness frames filtered)."""
+
+    def _quarantine_violation(self, payload):
+        violations = [v for v in payload["violations"]
+                      if v["invariant"] == "scenario-error"]
+        assert len(violations) == 1
+        return violations[0]
+
+    def test_supervised_serial_quarantine_carries_frames(self):
+        campaign = _chaos_campaign(runs=2, faults=["1:error"])
+        outcome = run_campaign(campaign,
+                               executor=make_executor(1, _policy()))
+        violation = self._quarantine_violation(outcome.payloads[1])
+        data = violation["data"]
+        assert data["type"] == "ExecutionError"
+        assert "injected worker error" in data["message"]
+        files = [frame["file"] for frame in data["frames"]]
+        # The raise site (faultinject) is kept; the executor harness
+        # frames are filtered so serial == parallel stays bit-exact.
+        assert any(f.endswith("faultinject.py") for f in files)
+        assert not any(f.endswith("supervisor.py")
+                       or f.endswith("executors.py") for f in files)
+
+    def test_quarantine_details_identical_across_executors(self):
+        campaign = _chaos_campaign(runs=2, faults=["1:error"])
+        serial = run_campaign(campaign,
+                              executor=make_executor(1, _policy()))
+        parallel = run_campaign(campaign,
+                                executor=make_executor(2, _policy()))
+        assert serial.payloads == parallel.payloads
+
+    def test_plain_parallel_error_payload_carries_frames(self):
+        # The unsupervised pool forwards the same structured payload.
+        campaign = _chaos_campaign(runs=2, faults=["0:error"])
+        outcome = run_campaign(campaign, executor=make_executor(2, None))
+        violation = self._quarantine_violation(outcome.payloads[0])
+        data = violation["data"]
+        assert data["type"] == "ExecutionError"
+        assert any(frame["file"].endswith("faultinject.py")
+                   for frame in data["frames"])
+
+    def test_worker_death_quarantine_has_no_details(self):
+        # A dead worker leaves no raise site to report.
+        campaign = _chaos_campaign(runs=2, faults=["1:die"])
+        outcome = run_campaign(campaign,
+                               executor=make_executor(2, _policy()))
+        violation = self._quarantine_violation(outcome.payloads[1])
+        assert "data" not in violation
