@@ -48,6 +48,9 @@ class Device:
         #: :meth:`fail`).  Recovery means moving the hosted NFs to a
         #: survivor, not resurrecting the device.
         self._failed: bool = False
+        #: Memoised per-NF effective rates for the occupancy hot path;
+        #: every mutation of hosting/load/health state clears it.
+        self._rate_cache: Dict[str, float] = {}
 
     # -- hosting -----------------------------------------------------------
 
@@ -58,9 +61,11 @@ class Device:
         if nf.name in self._hosted:
             raise PlacementError(f"NF {nf.name!r} already hosted on {self.name}")
         self._hosted[nf.name] = nf
+        self._rate_cache.clear()
 
     def evict(self, name: str) -> NFProfile:
         """Remove an NF instance (the first half of a migration)."""
+        self._rate_cache.clear()
         try:
             return self._hosted.pop(name)
         except KeyError:
@@ -98,6 +103,7 @@ class Device:
         if shared_capacity_bps <= 0:
             raise ConfigurationError("shared capacity must be positive")
         self._shared_capacity_bps = shared_capacity_bps
+        self._rate_cache.clear()
 
     @property
     def demand(self) -> float:
@@ -118,6 +124,7 @@ class Device:
         if not (0.0 < scale <= 1.0):
             raise ConfigurationError("derate scale must be in (0, 1]")
         self._derate = scale
+        self._rate_cache.clear()
 
     @property
     def is_failed(self) -> bool:
@@ -136,6 +143,7 @@ class Device:
         is a brownout (:meth:`set_derate`), not a failure.
         """
         self._failed = True
+        self._rate_cache.clear()
 
     @property
     def overloaded(self) -> bool:
@@ -167,10 +175,14 @@ class Device:
         pipelined, so capacity is set by theta alone (Table 1), not by
         per-packet latency.
         """
-        if not self.hosts(nf.name):
-            raise PlacementError(
-                f"NF {nf.name!r} is not hosted on {self.name}")
-        return (packet_bytes * 8.0) / self.effective_rate(nf)
+        rate = self._rate_cache.get(nf.name)
+        if rate is None:
+            if not self.hosts(nf.name):
+                raise PlacementError(
+                    f"NF {nf.name!r} is not hosted on {self.name}")
+            rate = self.effective_rate(nf)
+            self._rate_cache[nf.name] = rate
+        return (packet_bytes * 8.0) / rate
 
     def service_time(self, nf: NFProfile, packet_bytes: int) -> float:
         """Total per-packet delay in ``nf``: occupancy plus pipeline latency."""
@@ -203,6 +215,7 @@ class Device:
         self._shared_capacity_bps = float(state["shared_capacity_bps"])
         self._derate = float(state["derate"])
         self._failed = bool(state["failed"])
+        self._rate_cache.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         names = ", ".join(self._hosted) or "-"

@@ -111,7 +111,12 @@ class PCIeLink:
         latency includes the wait for earlier transfers still holding
         the link.
         """
-        t = self.crossing_time(packet_bytes)
+        if packet_bytes < 0:
+            raise ConfigurationError("packet size must be >= 0")
+        # Inlined crossing_time(): this runs twice per PCIe-adjacent
+        # packet hop, and the call overhead shows up in packet mode.
+        t = (self.crossing_latency_s + self.fault_extra_latency_s
+             + (packet_bytes * 8.0) / self.bandwidth_bps)
         wait = 0.0
         if self.model_contention and now_s is not None:
             serialise = (packet_bytes * 8.0) / self.bandwidth_bps
@@ -119,10 +124,11 @@ class PCIeLink:
             wait = start - now_s
             self._busy_until_s = start + serialise
             t += wait
-        self.stats.crossings += 1
-        self.stats.bytes_transferred += packet_bytes
-        self.stats.busy_time_s += t
-        self.stats.queue_wait_s += wait
+        stats = self.stats
+        stats.crossings += 1
+        stats.bytes_transferred += packet_bytes
+        stats.busy_time_s += t
+        stats.queue_wait_s += wait
         return t
 
     def reset(self) -> None:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..chain.nf import DeviceKind
 from ..errors import ConfigurationError
-from ..units import gbps, wire_time
+from ..units import ETHERNET_OVERHEAD_BYTES, gbps, wire_time
 from .device import Device
 
 
@@ -48,12 +48,20 @@ class SmartNIC(Device):
         """Ingress wire delay for one frame arriving at ``now_s``.
 
         With contention on, includes the wait for earlier frames still
-        serialising into the RX port.
+        serialising into the RX port.  The contention-free branch is
+        ``units.wire_time`` inlined — two wire terms per packet make
+        this a hot path.
         """
+        if not self.model_port_contention:
+            return ((frame_bytes + ETHERNET_OVERHEAD_BYTES) * 8.0
+                    / self.port_rate_bps)
         return self._port_time(frame_bytes, now_s, "_rx_busy_until_s")
 
     def tx_time(self, frame_bytes: int, now_s: float) -> float:
         """Egress wire delay for one frame handed to TX at ``now_s``."""
+        if not self.model_port_contention:
+            return ((frame_bytes + ETHERNET_OVERHEAD_BYTES) * 8.0
+                    / self.port_rate_bps)
         return self._port_time(frame_bytes, now_s, "_tx_busy_until_s")
 
     def _port_time(self, frame_bytes: int, now_s: float,

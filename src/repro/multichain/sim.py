@@ -119,8 +119,7 @@ class MultiChainRunner:
         for network, (placement, generator) in zip(self.networks,
                                                    self.pairs):
             horizon = max(horizon, generator.duration_s)
-            for packet in generator.packets():
-                network.inject(packet)
+            network.inject_batch(list(generator.packets()))
         if self.controller is not None:
             self.engine.after(self.monitor_period_s,
                               lambda: self._tick(horizon), control=True)

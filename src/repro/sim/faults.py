@@ -199,6 +199,9 @@ class FaultInjector:
             original_ingress(packet)
 
         self.network._ingress = lossy_ingress  # type: ignore[method-assign]
+        # Injection is scheduled by action id: repoint the id too so
+        # already-queued arrivals dispatch into the lossy wrapper.
+        self.engine.rebind_action(self.network._ingress_id, lossy_ingress)
         return event
 
     # -- device kill (permanent) --------------------------------------------------

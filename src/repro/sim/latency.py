@@ -24,9 +24,10 @@ from ..errors import SimulationError
 COMPONENTS = ("wire", "processing", "queueing", "pcie")
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyRecord:
-    """Component-attributed latency for one packet."""
+    """Component-attributed latency for one packet (slotted: one live
+    record per in-flight packet, accumulated into on every hop)."""
 
     seq: int
     wire: float = 0.0
@@ -49,19 +50,32 @@ class LatencyRecord:
         return self.wire + self.processing + self.queueing + self.pcie
 
 
+class _RecordMap(Dict[int, LatencyRecord]):
+    """seq -> record mapping that creates records on first access.
+
+    ``__missing__`` makes plain subscription the create-or-get
+    operation, so hot paths reach a packet's record with a single C
+    dict lookup instead of a Python method call.
+    """
+
+    def __missing__(self, seq: int) -> LatencyRecord:
+        record = LatencyRecord(seq=seq)
+        self[seq] = record
+        return record
+
+
 class LatencyLedger:
     """Collects per-packet records and aggregates them."""
 
     def __init__(self) -> None:
-        self._records: Dict[int, LatencyRecord] = {}
+        #: Per-packet records by seq; subscription auto-creates, so hot
+        #: paths may index it directly (``ledger.by_seq[seq]``).
+        self.by_seq: _RecordMap = _RecordMap()
+        self._records: Dict[int, LatencyRecord] = self.by_seq
 
     def record_for(self, seq: int) -> LatencyRecord:
         """The (possibly new) record for packet ``seq``."""
-        record = self._records.get(seq)
-        if record is None:
-            record = LatencyRecord(seq=seq)
-            self._records[seq] = record
-        return record
+        return self.by_seq[seq]
 
     def __len__(self) -> int:
         return len(self._records)

@@ -19,6 +19,7 @@ from ..chain.placement import Placement
 from ..devices.server import Server
 from ..errors import SimulationError
 from ..traffic.packet import Packet
+from ..units import ETHERNET_OVERHEAD_BYTES
 from .engine import Engine
 from .latency import LatencyLedger
 from .nfinstance import NFStation
@@ -70,6 +71,54 @@ class ChainNetwork:
         #: Bytes that have actually arrived on the wire so far (advances
         #: with the simulation clock; the monitor's rate estimator reads it).
         self.arrived_bytes: int = 0
+        # Hot-path routing, precomputed once: the chain's NF order is
+        # immutable (migrations move NFs between devices, never reorder
+        # the chain), so per-NF hop numbers, successor names, station
+        # objects, and arrival thunks never change after wiring.
+        self._first_nf = self.chain[0].name
+        self._wire_ingress = self.ingress_device is DeviceKind.SMARTNIC
+        self._wire_egress = self.egress_device is DeviceKind.SMARTNIC
+        self._routes: Dict[str, Tuple[int, Optional[str], NFStation]] = {}
+        for position, nf in enumerate(self.chain):
+            next_name = (self.chain[position + 1].name
+                         if position + 1 < len(self.chain) else None)
+            self._routes[nf.name] = (position + 1, next_name,
+                                     self.stations[nf.name])
+        # Pre-registered engine action ids for every per-packet hop
+        # (see Engine.register_action); the post-PCIe arrival thunks
+        # are one fused closure per NF so the scheduled argument stays
+        # the bare packet.
+        self._latency_by_seq = self.ledger.by_seq
+        self._pcie = server.pcie
+        self._nic = server.nic
+        # Port contention is constructor-set configuration; when it is
+        # off, wire serialisation is pure arithmetic inlined at the
+        # ingress/egress hops (the expression mirrors
+        # ``SmartNIC.rx_time``'s fast path term for term).
+        self._nic_contended = server.nic.model_port_contention
+        self._port_rate_bps = server.nic.port_rate_bps
+        self._ingress_id = engine.register_action(self._ingress)
+        self._egress_at_endpoint_id = engine.register_action(
+            self._egress_at_endpoint)
+        self._depart_id = engine.register_action(self._depart)
+        self._arrive_ids: Dict[str, int] = {
+            name: engine.register_action(self._arrival_action(station))
+            for name, station in self.stations.items()}
+        # Registered after the arrival ids it closes over (action ids
+        # are opaque table indices; registration order carries no
+        # ordering semantics).
+        self._forward_from_wire_id = engine.register_action(
+            self._wire_arrival_action())
+        # Fused completion path: each station gets a closure that knows
+        # its successor (the chain never reorders), so an NF completion
+        # routes in one frame instead of dispatching through the
+        # generic name-keyed ``_on_nf_complete`` -> ``_forward`` pair.
+        # Device *kinds* are still read per packet — migrations move
+        # stations between devices mid-run.
+        for nf in self.chain:
+            hop, next_name, station = self._routes[nf.name]
+            self.stations[nf.name].on_complete = self._completion_for(
+                hop, next_name, station)
 
     # -- ingress ------------------------------------------------------------
 
@@ -77,7 +126,18 @@ class ChainNetwork:
         """Schedule a packet's wire arrival (call before engine.run)."""
         self.injected += 1
         self.injected_bytes += packet.size_bytes
-        self.engine.at(packet.arrival_s, lambda: self._ingress(packet))
+        self.engine.call_at_id(packet.arrival_s, self._ingress_id, packet)
+
+    def inject_batch(self, packets: List[Packet]) -> None:
+        """Bulk :meth:`inject`: one scheduler call for a whole epoch.
+
+        The runner's prepare step feeds entire arrival schedules
+        through here; accounting is identical to per-packet injection.
+        """
+        self.injected += len(packets)
+        self.injected_bytes += sum(p.size_bytes for p in packets)
+        self.engine.call_at_id_many(
+            self._ingress_id, ((p.arrival_s, p) for p in packets))
 
     def _ingress(self, packet: Packet) -> None:
         """Enter the chain at the ingress endpoint.
@@ -93,16 +153,74 @@ class ChainNetwork:
             self.shed.append(packet)
             return
         self.arrived_bytes += packet.size_bytes
-        first_nf = self.chain[0].name
-        if self.ingress_device is DeviceKind.SMARTNIC:
-            t_wire = self.server.nic.rx_time(packet.size_bytes,
-                                             self.engine.now_s)
-            self.ledger.record_for(packet.seq).add("wire", t_wire)
-            self.engine.after(
-                t_wire, lambda: self._forward(packet, DeviceKind.SMARTNIC,
-                                              first_nf))
+        if self._wire_ingress:
+            if self._nic_contended:
+                t_wire = self._nic.rx_time(packet.size_bytes,
+                                           self.engine.now_s)
+            else:
+                t_wire = ((packet.size_bytes + ETHERNET_OVERHEAD_BYTES)
+                          * 8.0 / self._port_rate_bps)
+            if t_wire < 0.0:
+                raise SimulationError(
+                    f"negative wire latency {t_wire} at ingress")
+            self._latency_by_seq[packet.seq].wire += t_wire
+            self.engine.call_after_id(t_wire, self._forward_from_wire_id,
+                                      packet)
         else:
-            self._forward(packet, DeviceKind.CPU, first_nf)
+            self._forward(packet, DeviceKind.CPU, self._first_nf)
+
+    def _forward_from_wire(self, packet: Packet) -> None:
+        """Continue ingress after NIC wire serialisation completes."""
+        self._forward(packet, DeviceKind.SMARTNIC, self._first_nf)
+
+    def _wire_arrival_action(self) -> Callable[[Packet], None]:
+        """Fused :meth:`_forward_from_wire`: one frame per wire arrival.
+
+        Same semantics as forwarding from the SmartNIC to the first NF,
+        with the station resolved at wiring time (device kind stays a
+        per-packet read — the first NF can migrate).
+        """
+        station = self.stations[self._first_nf]
+        arrive_id = self._arrive_ids[self._first_nf]
+        pcie = self._pcie
+        engine = self.engine
+        by_seq = self._latency_by_seq
+        dropped_append = self.dropped.append
+        nf_name = station.profile.name
+
+        def forward_from_wire(packet: Packet) -> None:
+            if station.device.kind is not DeviceKind.SMARTNIC:
+                t_pcie = pcie.record_crossing(packet.size_bytes,
+                                              engine.now_s)
+                if t_pcie < 0.0:
+                    raise SimulationError(
+                        f"negative PCIe latency {t_pcie} "
+                        f"toward {station.profile.name!r}")
+                by_seq[packet.seq].pcie += t_pcie
+                engine.call_after_id(t_pcie, arrive_id, packet)
+            elif station.device._failed and not station._paused:
+                packet.dropped_at = nf_name
+                dropped_append(packet)
+            elif not station.accept(packet):
+                dropped_append(packet)
+
+        return forward_from_wire
+
+    def _arrival_action(self, station: NFStation) -> Callable[[Packet], None]:
+        """Fused post-PCIe arrival thunk: :meth:`_arrive_station` in one
+        frame, with the station (stable across migrations) and the drop
+        sink bound at wiring time."""
+        dropped_append = self.dropped.append
+        nf_name = station.profile.name
+
+        def arrive(packet: Packet) -> None:
+            if station.device._failed and not station._paused:
+                packet.dropped_at = nf_name
+                dropped_append(packet)
+            elif not station.accept(packet):
+                dropped_append(packet)
+
+        return arrive
 
     # -- forwarding -------------------------------------------------------------
 
@@ -110,26 +228,34 @@ class ChainNetwork:
                  nf_name: str) -> None:
         """Move a packet from ``from_device`` to NF ``nf_name``."""
         station = self.stations[nf_name]
-        to_device = station.device.kind
-        if to_device is not from_device:
-            t_pcie = self.server.pcie.record_crossing(packet.size_bytes,
-                                                      self.engine.now_s)
-            self.ledger.record_for(packet.seq).add("pcie", t_pcie)
-            self.engine.after(t_pcie, lambda: self._arrive(packet, nf_name))
+        if station.device.kind is not from_device:
+            t_pcie = self._pcie.record_crossing(packet.size_bytes,
+                                                self.engine.now_s)
+            if t_pcie < 0.0:
+                raise SimulationError(
+                    f"negative PCIe latency {t_pcie} toward {nf_name!r}")
+            self._latency_by_seq[packet.seq].pcie += t_pcie
+            self.engine.call_after_id(t_pcie, self._arrive_ids[nf_name],
+                                      packet)
         else:
-            self._arrive(packet, nf_name)
+            self._arrive_station(station, packet)
 
-    def _arrive(self, packet: Packet, nf_name: str) -> None:
-        # The station's device may have changed while the packet was in
-        # flight over PCIe (migration completed); that is fine — the
-        # packet is delivered to wherever the NF lives *now*, matching
-        # how flow re-steering behaves in UNO/OpenNF.
-        station = self.stations[nf_name]
-        if station.device.is_failed and not station.paused:
+    def _arrive(self, nf_name: str, packet: Packet) -> None:
+        """Deliver a packet to NF ``nf_name`` (name-keyed entry point)."""
+        self._arrive_station(self.stations[nf_name], packet)
+
+    def _arrive_station(self, station: NFStation, packet: Packet) -> None:
+        # Station objects are stable across migrations (rebind swaps the
+        # hosting device underneath the same NFStation), so the post-PCIe
+        # arrival thunks bind the station itself.  The device may have
+        # changed while the packet was in flight over PCIe (migration
+        # completed); that is fine — the packet is delivered to wherever
+        # the NF lives *now*, matching flow re-steering in UNO/OpenNF.
+        if station.device._failed and not station._paused:
             # The hosting device died and nobody has paused the station
             # for evacuation yet: the packet has nowhere to go.  (Paused
             # stations buffer loss-free while the migration runs.)
-            packet.dropped_at = nf_name
+            packet.dropped_at = station.profile.name
             self.dropped.append(packet)
             return
         if not station.accept(packet):
@@ -148,13 +274,57 @@ class ChainNetwork:
 
     def _on_nf_complete(self, packet: Packet, nf_name: str, now_s: float) -> None:
         """Station finished serving; route to next NF or egress."""
-        position = self.chain.position(nf_name)
-        here = self.stations[nf_name].device.kind
-        if position + 1 < len(self.chain):
-            packet.hop = position + 1
-            self._forward(packet, here, self.chain[position + 1].name)
+        hop, next_name, station = self._routes[nf_name]
+        here = station.device.kind
+        if next_name is not None:
+            packet.hop = hop
+            self._forward(packet, here, next_name)
         else:
             self._egress(packet, here)
+
+    def _completion_for(self, hop: int, next_name: Optional[str],
+                        station: NFStation) -> Callable[[Packet, str, float],
+                                                        None]:
+        """Build the fused per-station completion callback.
+
+        Semantically identical to :meth:`_on_nf_complete`, with the
+        route lookup resolved at wiring time and the inter-NF hop
+        inlined.
+        """
+        if next_name is None:
+            egress = self._egress
+
+            def complete_last(packet: Packet, nf_name: str,
+                              now_s: float) -> None:
+                egress(packet, station.device.kind)
+
+            return complete_last
+        next_station = self.stations[next_name]
+        arrive_id = self._arrive_ids[next_name]
+        pcie = self._pcie
+        engine = self.engine
+        by_seq = self._latency_by_seq
+        dropped_append = self.dropped.append
+        next_nf_name = next_station.profile.name
+
+        def complete(packet: Packet, nf_name: str, now_s: float) -> None:
+            packet.hop = hop
+            if next_station.device.kind is not station.device.kind:
+                t_pcie = pcie.record_crossing(packet.size_bytes,
+                                              engine.now_s)
+                if t_pcie < 0.0:
+                    raise SimulationError(
+                        f"negative PCIe latency {t_pcie} "
+                        f"toward {next_station.profile.name!r}")
+                by_seq[packet.seq].pcie += t_pcie
+                engine.call_after_id(t_pcie, arrive_id, packet)
+            elif next_station.device._failed and not next_station._paused:
+                packet.dropped_at = next_nf_name
+                dropped_append(packet)
+            elif not next_station.accept(packet):
+                dropped_append(packet)
+
+        return complete
 
     # -- egress -------------------------------------------------------------
 
@@ -165,26 +335,40 @@ class ChainNetwork:
         paying wire serialisation only when the egress endpoint is the
         NIC (host-terminated chains hand the packet to an application).
         """
-        record = self.ledger.record_for(packet.seq)
+        record = self._latency_by_seq[packet.seq]
         if from_device is not self.egress_device:
-            t_pcie = self.server.pcie.record_crossing(packet.size_bytes,
-                                                      self.engine.now_s)
-            record.add("pcie", t_pcie)
-            self.engine.after(
-                t_pcie, lambda: self._egress(packet, self.egress_device))
+            t_pcie = self._pcie.record_crossing(packet.size_bytes,
+                                                self.engine.now_s)
+            if t_pcie < 0.0:
+                raise SimulationError(
+                    f"negative PCIe latency {t_pcie} at egress")
+            record.pcie += t_pcie
+            self.engine.call_after_id(t_pcie, self._egress_at_endpoint_id,
+                                      packet)
             return
-
-        def depart() -> None:
-            packet.departure_s = self.engine.now_s
-            self.delivered.append(packet)
-
-        if self.egress_device is DeviceKind.SMARTNIC:
-            t_wire = self.server.nic.tx_time(packet.size_bytes,
-                                             self.engine.now_s)
-            record.add("wire", t_wire)
-            self.engine.after(t_wire, depart)
+        if self._wire_egress:
+            if self._nic_contended:
+                t_wire = self._nic.tx_time(packet.size_bytes,
+                                           self.engine.now_s)
+            else:
+                t_wire = ((packet.size_bytes + ETHERNET_OVERHEAD_BYTES)
+                          * 8.0 / self._port_rate_bps)
+            if t_wire < 0.0:
+                raise SimulationError(
+                    f"negative wire latency {t_wire} at egress")
+            record.wire += t_wire
+            self.engine.call_after_id(t_wire, self._depart_id, packet)
         else:
-            depart()
+            self._depart(packet)
+
+    def _egress_at_endpoint(self, packet: Packet) -> None:
+        """Continue egress once the packet has crossed to the endpoint."""
+        self._egress(packet, self.egress_device)
+
+    def _depart(self, packet: Packet) -> None:
+        """Final hop: stamp the departure time and deliver."""
+        packet.departure_s = self.engine.now_s
+        self.delivered.append(packet)
 
     # -- accounting --------------------------------------------------------------
 

@@ -70,6 +70,15 @@ class NFStation:
         self.served_packets: int = 0
         self.served_bytes: int = 0
         self.filtered_packets: int = 0
+        # Pre-registered engine action ids for the two completions every
+        # served packet schedules (see Engine.register_action).  The
+        # pass rate is profile-constant, so a station that never
+        # filters gets the emit variant without the filter-token check.
+        self._free_server_id = engine.register_action(self._free_server)
+        emit = self._emit if profile.pass_rate < 1.0 else self._emit_pass
+        self._emit_id = engine.register_action(emit)
+        self._latency_by_seq = ledger.by_seq
+        self._call_after_pair = engine.call_after_id_pair
 
     # -- state inspection ---------------------------------------------------
 
@@ -97,16 +106,47 @@ class NFStation:
             # Loss-free migration: buffer instead of dropping.
             self._pause_buffer.append((packet, now))
             return True
-        if not self.queue.enqueue(packet, now):
+        queue = self.queue
+        if not self._busy and not queue._size and not self.device._failed:
+            # Idle fast path: the packet would be enqueued and then
+            # immediately dequeued by the service start it triggers.
+            # Fuse the two, keeping the queue counters exactly as the
+            # enqueue/dequeue pair would have left them (zero waiting
+            # time contributes nothing to the latency record).
+            stats = queue.stats
+            stats.enqueued += 1
+            stats.dequeued += 1
+            if not stats.peak_depth:
+                stats.peak_depth = 1
+            rate = self.device._rate_cache.get(self.profile.name)
+            if rate is not None:
+                occupancy = (packet.size_bytes * 8.0) / rate
+            else:
+                occupancy = self.device.occupancy_time(self.profile,
+                                                       packet.size_bytes)
+            delay = occupancy + self.profile.base_latency_s
+            if delay < 0.0:
+                raise SimulationError(
+                    f"negative latency contribution for packet "
+                    f"{packet.seq} at station {self.profile.name}")
+            self._latency_by_seq[packet.seq].processing += delay
+            self._busy = True
+            self._call_after_pair(occupancy, self._free_server_id,
+                                  delay, self._emit_id, packet)
+            return True
+        if not queue.enqueue(packet, now):
             packet.dropped_at = self.profile.name
             return False
-        self._try_start_service()
+        # Not paused here (handled above), so the only start-service
+        # gate left is a busy server — checked inline to skip the call.
+        if not self._busy:
+            self._try_start_service()
         return True
 
     def _try_start_service(self) -> None:
         if self._busy or (self._paused and not self._draining):
             return
-        if self.device.is_failed:
+        if self.device._failed:
             # A dead device serves nothing: packets sit queued until the
             # recovery planner pauses the station, rebinds it to a
             # survivor, and resumes it there (or abandons it and drains
@@ -116,41 +156,62 @@ class NFStation:
         if item is None:
             return
         packet, enqueued_at = item
-        now = self.engine.now_s
-        record = self.ledger.record_for(packet.seq)
-        record.add("queueing", now - enqueued_at)
+        engine = self.engine
+        waited = engine.now_s - enqueued_at
         # Occupancy gates throughput (the server frees after it); the
         # NF's fixed pipeline latency delays the packet further without
         # blocking the next one — NFs are pipelined (see Device docs).
-        occupancy = self.device.occupancy_time(self.profile, packet.size_bytes)
-        pipeline = self.profile.base_latency_s
-        record.add("processing", occupancy + pipeline)
+        # The effective-rate cache is peeked directly (the device owns
+        # and invalidates it); only a cache miss pays the method call.
+        rate = self.device._rate_cache.get(self.profile.name)
+        if rate is not None:
+            occupancy = (packet.size_bytes * 8.0) / rate
+        else:
+            occupancy = self.device.occupancy_time(self.profile,
+                                                   packet.size_bytes)
+        delay = occupancy + self.profile.base_latency_s
+        if waited < 0.0 or delay < 0.0:
+            raise SimulationError(
+                f"negative latency contribution for packet {packet.seq} "
+                f"at station {self.profile.name}")
+        record = self._latency_by_seq[packet.seq]
+        record.queueing += waited
+        record.processing += delay
         self._busy = True
-        self.engine.after(occupancy, self._free_server)
-        self.engine.after(occupancy + pipeline,
-                          lambda p=packet: self._emit(p))
+        self._call_after_pair(occupancy, self._free_server_id,
+                              delay, self._emit_id, packet)
 
     def _free_server(self) -> None:
         if not self._busy:
             raise SimulationError(
                 f"server-free fired on idle station {self.profile.name}")
         self._busy = False
-        self._try_start_service()
+        # An empty queue makes _try_start_service a no-op; the length
+        # gate skips the call (and its futile dequeue) on the common
+        # uncongested cycle.
+        if self.queue._size:
+            self._try_start_service()
+
+    def _emit_pass(self, packet: Packet) -> None:
+        """:meth:`_emit` for stations with ``pass_rate == 1.0``: no
+        packet can be filtered, so the token check is skipped."""
+        self.served_packets += 1
+        self.served_bytes += packet.size_bytes
+        self.on_complete(packet, self.profile.name, self.engine.now_s)
 
     def _emit(self, packet: Packet) -> None:
         self.served_packets += 1
         self.served_bytes += packet.size_bytes
-        if self.profile.pass_rate < 1.0 and \
-                _filter_token(self.profile.name, packet.seq) >= \
-                self.profile.pass_rate:
+        name = self.profile.name
+        pass_rate = self.profile.pass_rate
+        if pass_rate < 1.0 and _filter_token(name, packet.seq) >= pass_rate:
             # Policy decision, not a loss: consume the packet here.
-            packet.filtered_at = self.profile.name
+            packet.filtered_at = name
             self.filtered_packets += 1
             if self.on_filtered is not None:
-                self.on_filtered(packet, self.profile.name,
-                                 self.engine.now_s)
+                self.on_filtered(packet, name, self.engine.now_s)
             return
-        self.on_complete(packet, self.profile.name, self.engine.now_s)
+        self.on_complete(packet, name, self.engine.now_s)
 
     # -- checkpointing -------------------------------------------------------
 

@@ -3,13 +3,18 @@
 Every NF instance owns one ingress queue.  The queue tracks occupancy,
 drops, and per-packet enqueue timestamps so the latency decomposition
 can attribute waiting time separately from service time.
+
+Storage is an array-backed ring: two preallocated slot arrays (packet,
+enqueue time) indexed by a wrapping head cursor, so steady-state
+enqueue/dequeue touches fixed slots instead of allocating per-packet
+nodes.  Accounting (drop-tail, enqueued/dequeued/dropped/peak counters)
+is identical to the previous deque-backed implementation.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from ..traffic.packet import Packet
@@ -39,33 +44,54 @@ class PacketQueue:
             raise ConfigurationError("queue capacity must be positive")
         self.capacity_packets = capacity_packets
         self.name = name
-        self._items: Deque[Tuple[Packet, float]] = deque()
+        # Ring storage: fixed-size parallel slot arrays plus a head
+        # cursor; occupied slots are [head, head + size) modulo capacity.
+        self._packets: List[Optional[Packet]] = [None] * capacity_packets
+        self._times: List[float] = [0.0] * capacity_packets
+        self._head = 0
+        self._size = 0
         self.stats = QueueStats()
 
     def __len__(self) -> int:
-        return len(self._items)
+        return self._size
 
     @property
     def full(self) -> bool:
         """Whether the next enqueue would be dropped."""
-        return len(self._items) >= self.capacity_packets
+        return self._size >= self.capacity_packets
 
     def enqueue(self, packet: Packet, now_s: float) -> bool:
         """Append a packet; returns False (and counts a drop) when full."""
-        if self.full:
-            self.stats.dropped += 1
+        size = self._size
+        capacity = self.capacity_packets
+        stats = self.stats
+        if size >= capacity:
+            stats.dropped += 1
             return False
-        self._items.append((packet, now_s))
-        self.stats.enqueued += 1
-        self.stats.peak_depth = max(self.stats.peak_depth, len(self._items))
+        tail = self._head + size
+        if tail >= capacity:
+            tail -= capacity
+        self._packets[tail] = packet
+        self._times[tail] = now_s
+        size += 1
+        self._size = size
+        stats.enqueued += 1
+        if size > stats.peak_depth:
+            stats.peak_depth = size
         return True
 
     def dequeue(self) -> Optional[Tuple[Packet, float]]:
         """Pop the oldest (packet, enqueue_time), or None when empty."""
-        if not self._items:
+        if not self._size:
             return None
+        head = self._head
+        item = (self._packets[head], self._times[head])
+        self._packets[head] = None
+        head += 1
+        self._head = 0 if head >= self.capacity_packets else head
+        self._size -= 1
         self.stats.dequeued += 1
-        return self._items.popleft()
+        return item
 
     def drain(self):
         """Remove and return all queued (packet, enqueue_time) pairs.
@@ -74,7 +100,16 @@ class PacketQueue:
         packets are carried to the buffer, not lost (OpenNF loss-free
         semantics).
         """
-        items = list(self._items)
-        self._items.clear()
+        capacity = self.capacity_packets
+        head = self._head
+        items = []
+        for offset in range(self._size):
+            slot = head + offset
+            if slot >= capacity:
+                slot -= capacity
+            items.append((self._packets[slot], self._times[slot]))
+            self._packets[slot] = None
+        self._head = 0
+        self._size = 0
         self.stats.dequeued += len(items)
         return items

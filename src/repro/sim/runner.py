@@ -176,8 +176,7 @@ class SimulationRunner:
         self._prepared = True
         self._offered_mean_bps = self.generator.mean_rate_bps()
         self.server.refresh_demand(self._offered_mean_bps)
-        for packet in self.generator.packets():
-            self.network.inject(packet)
+        self.network.inject_batch(list(self.generator.packets()))
         self.engine.after(self.monitor_period_s, self._tick, control=True)
 
     def run(self) -> SimulationResult:

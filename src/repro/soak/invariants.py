@@ -5,7 +5,9 @@ The chaos invariants (:mod:`repro.chaos.invariants`) inspect the
 *when*.  This module evaluates registered invariants **online**: at
 every monitor tick (a quiescent point, via
 :meth:`SimulationRunner.add_tick_hook`) and, for the cheap ones, at
-every executed engine event (via :meth:`Engine.add_observer`).  The
+every executed engine event (via :meth:`Engine.add_trace_observer`,
+which delivers ``(time_s, priority, seq)`` keys in batches so the
+per-event cost stays off the engine's hot path).  The
 end-state checks are registered here too, so one engine is the superset
 of every ad-hoc check the chaos/resilience/reliability campaigns grew.
 
@@ -46,6 +48,8 @@ The catalogue (also printed by ``python -m repro soak
 
 from __future__ import annotations
 
+from itertools import islice
+from operator import le
 from typing import Dict, Iterable, List, Optional, Tuple, Type
 
 from ..chaos.invariants import (Violation, check_invariants,
@@ -113,14 +117,30 @@ class Observation:
         return self.sim.engine.now_s
 
 
+class _TraceEvent:
+    """Event view rebuilt from a ``(time_s, priority, seq)`` trace key.
+
+    The engine no longer materialises an object per executed event;
+    the default :meth:`RuntimeInvariant.on_batch` rehydrates one shared
+    instance so per-event ``on_event`` overrides keep working.
+    """
+
+    __slots__ = ("time_s", "priority", "seq")
+
+
 class RuntimeInvariant:
     """Base class: override the hooks that apply; yield detail strings.
 
-    ``on_tick``/``on_event`` yield plain detail strings — the engine
-    wraps them into :class:`Violation` under the invariant's ``name``.
-    ``at_end`` yields full :class:`Violation` objects so delegating
-    invariants can preserve the primitive checks' established names
-    (``packet-conservation``, ``shed-classes``, ...).
+    ``on_tick``/``on_event``/``on_batch`` yield plain detail strings —
+    the engine wraps them into :class:`Violation` under the invariant's
+    ``name``.  ``at_end`` yields full :class:`Violation` objects so
+    delegating invariants can preserve the primitive checks'
+    established names (``packet-conservation``, ``shed-classes``, ...).
+
+    Event-level checks arrive as *batches* of ``(time_s, priority,
+    seq)`` keys in execution order.  Override :meth:`on_batch` for a
+    vectorised check, or just :meth:`on_event` — the default
+    ``on_batch`` replays the batch through it one key at a time.
     """
 
     #: Stable identifier; becomes the ``invariant`` field of violations.
@@ -131,6 +151,19 @@ class RuntimeInvariant:
     def on_event(self, event, obs: Observation) -> Iterable[str]:
         """Called for every executed engine event."""
         return ()
+
+    def on_batch(self, keys: List[Tuple[float, int, int]],
+                 obs: Observation) -> Iterable[str]:
+        """Called with each batch of executed-event trace keys.
+
+        Lazily delegates to :meth:`on_event` per key: the first
+        yielded detail trips the invariant and abandons the rest of
+        the batch, exactly as the old per-event observer did.
+        """
+        event = _TraceEvent()
+        for key in keys:
+            event.time_s, event.priority, event.seq = key
+            yield from self.on_event(event, obs)
 
     def on_tick(self, obs: Observation) -> Iterable[str]:
         """Called at every monitor-tick quiescent point."""
@@ -161,6 +194,24 @@ class MonotonicVirtualTime(RuntimeInvariant):
         if at_s < 0.0:
             yield f"event scheduled at negative time {at_s!r}s"
         self._last_s = max(self._last_s, at_s)
+
+    def on_batch(self, keys: List[Tuple[float, int, int]],
+                 obs: Observation) -> Iterable[str]:
+        """Batched monotonicity check with a sorted-batch fast path.
+
+        Keys arrive in execution order; when the batch is internally
+        sorted, non-negative, and starts at or after the high-water
+        mark, one comparison per key (a single C-level pairwise pass —
+        ``map(le, keys, keys[1:])`` without the copy) proves the whole
+        batch clean.  Anything suspicious
+        falls back to the exact per-event scan so violation details are
+        byte-identical to :meth:`on_event`'s.
+        """
+        if (keys and keys[0][0] >= self._last_s and keys[0][0] >= 0.0
+                and all(map(le, keys, islice(keys, 1, None)))):
+            self._last_s = keys[-1][0]
+            return ()
+        return super().on_batch(keys, obs)
 
 
 @register_invariant
@@ -356,11 +407,13 @@ class InvariantEngine:
                  = None) -> None:
         self.invariants = (default_invariants() if invariants is None
                            else list(invariants))
-        # The event hook runs per executed event — skip invariants that
-        # never override it (same for ticks) to keep the hot path flat.
+        # The event hook runs per executed-event batch — skip
+        # invariants that override neither per-event nor batch hooks
+        # (same for ticks) to keep the hot path flat.
         self._event_invariants = [
             inv for inv in self.invariants
-            if type(inv).on_event is not RuntimeInvariant.on_event]
+            if type(inv).on_event is not RuntimeInvariant.on_event
+            or type(inv).on_batch is not RuntimeInvariant.on_batch]
         self._tick_invariants = [
             inv for inv in self.invariants
             if type(inv).on_tick is not RuntimeInvariant.on_tick]
@@ -379,7 +432,7 @@ class InvariantEngine:
         self._obs = Observation(sim, hardened=hardened,
                                 resilient=resilient)
         sim.add_tick_hook(self._on_tick)
-        sim.engine.add_observer(self._on_event)
+        sim.engine.add_trace_observer(self._on_trace)
 
     def _record(self, invariant: RuntimeInvariant,
                 details: Iterable[str]) -> None:
@@ -390,10 +443,10 @@ class InvariantEngine:
             self._tripped.add(invariant.name)
             break
 
-    def _on_event(self, event) -> None:
-        self.events_checked += 1
+    def _on_trace(self, keys: List[Tuple[float, int, int]]) -> None:
+        self.events_checked += len(keys)
         for invariant in self._event_invariants:
-            self._record(invariant, invariant.on_event(event, self._obs))
+            self._record(invariant, invariant.on_batch(keys, self._obs))
 
     def _on_tick(self, tick_index: int) -> None:
         self.ticks_checked += 1
@@ -412,6 +465,9 @@ class InvariantEngine:
             raise RuntimeError("finalize() before attach()")
         if not self._finalized:
             self._finalized = True
+            # Any trace keys still buffered in the engine must be seen
+            # before the end-state pass.
+            self._obs.sim.engine.flush_trace()
             self._obs.tick_index = self.ticks_checked
             for invariant in self.invariants:
                 self.violations.extend(invariant.at_end(self._obs))

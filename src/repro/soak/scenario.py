@@ -30,6 +30,7 @@ from ..migration.executor import (OUTCOME_SUCCEEDED, ProbabilisticFailure,
 from ..resilience.controller import ResilienceConfig, ResilientController
 from ..sim.faults import FaultInjector
 from ..sim.runner import SimulationResult, SimulationRunner
+from ..traffic.generators import numpy as _np
 from ..traffic.packet import FixedSize
 from ..traffic.patterns import ProfiledArrivals, RateProfile, spike
 from ..units import usec
@@ -55,6 +56,19 @@ def _case_profile(case: SoakCase,
                 rate = max(rate, window.magnitude)
         return rate
 
+    base_rates = getattr(base, "rates", None)
+    if base_rates is not None and _np is not None:
+
+        def rates(t_s: "_np.ndarray") -> "_np.ndarray":
+            """Vectorised overlay, element-identical to ``profile``."""
+            rate = base_rates(t_s)
+            for window in overloads:
+                _np.maximum(rate, window.magnitude, out=rate,
+                            where=((t_s >= window.at_s)
+                                   & (t_s < window.at_s + window.duration_s)))
+            return rate
+
+        profile.rates = rates
     return profile
 
 

@@ -9,10 +9,17 @@ stable population of 5-tuples and maps packets onto flows.
 from __future__ import annotations
 
 import random
+from bisect import bisect
 from dataclasses import dataclass
+from itertools import accumulate
 from typing import List, Tuple
 
 from ..errors import ConfigurationError
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an optional accelerator
+    _np = None
 
 
 @dataclass(frozen=True)
@@ -59,13 +66,51 @@ class FlowTable:
         # Zipf weights over flow ranks.
         self._weights = [1.0 / (rank ** zipf_s)
                          for rank in range(1, num_flows + 1)]
+        # Precomputed draw state: cumulative weights, the float total,
+        # and the bisect ceiling.  These replicate random.choices()
+        # draw-for-draw (one rng.random() per pick, same rounding, same
+        # bisect bounds) without rebuilding the cumulative table on
+        # every packet.
+        self._cum_weights = list(accumulate(self._weights))
+        self._total_weight = self._cum_weights[-1] + 0.0
+        self._hi = num_flows - 1
+        self._cum_array = (_np.asarray(self._cum_weights)
+                           if _np is not None else None)
 
     def __len__(self) -> int:
         return len(self.flows)
 
     def pick_flow(self, rng: random.Random) -> int:
-        """Flow id for the next packet, Zipf-weighted."""
-        return rng.choices(range(len(self.flows)), weights=self._weights, k=1)[0]
+        """Flow id for the next packet, Zipf-weighted.
+
+        Draw-identical to ``rng.choices(range(n), weights=...)`` — the
+        same single uniform variate lands in the same cumulative-weight
+        slot — so seeded traffic is unchanged.
+        """
+        return bisect(self._cum_weights, rng.random() * self._total_weight,
+                      0, self._hi)
+
+    def pick_flow_from(self, uniform: float) -> int:
+        """:meth:`pick_flow` with the uniform draw supplied by the caller.
+
+        The batched generators pre-draw their uniforms in one numpy
+        call; this maps each draw to the same flow id the scalar path
+        would have picked.
+        """
+        return bisect(self._cum_weights, uniform * self._total_weight,
+                      0, self._hi)
+
+    def pick_flows(self, uniforms: "_np.ndarray") -> "_np.ndarray":
+        """Vectorised :meth:`pick_flow` over an array of uniform draws.
+
+        ``searchsorted(side='right')`` clamped to the same ceiling is
+        element-for-element identical to the scalar bisect, so a batch
+        of draws yields exactly the flow ids the scalar loop would.
+        Requires numpy (callers gate on availability).
+        """
+        idx = _np.searchsorted(self._cum_array,
+                               uniforms * self._total_weight, side="right")
+        return _np.minimum(idx, self._hi)
 
     def flow(self, flow_id: int) -> FiveTuple:
         """The 5-tuple of ``flow_id``."""

@@ -20,9 +20,14 @@ from ..units import MAX_FRAME_BYTES, MIN_FRAME_BYTES
 PAPER_SIZE_SWEEP: Tuple[int, ...] = (64, 128, 256, 512, 1024, 1500)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
-    """One simulated frame travelling through the service chain."""
+    """One simulated frame travelling through the service chain.
+
+    ``slots=True`` matters: campaigns allocate hundreds of thousands of
+    packets and touch their fields on every hop, and slot access skips
+    the per-instance dict.
+    """
 
     #: Monotonic sequence number assigned by the generator.
     seq: int

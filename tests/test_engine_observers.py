@@ -1,23 +1,6 @@
-"""Tests for the engine's observer list (and the deprecated on_event)."""
-
-import warnings
-
-import pytest
+"""Tests for the engine's observer list and batched trace observers."""
 
 from repro.sim.engine import Engine
-
-
-def _legacy(engine):
-    """Read/write the deprecated property without tripping the filter."""
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        return engine.on_event
-
-
-def _assign_legacy(engine, observer):
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        engine.on_event = observer
 
 
 def _schedule_three(engine):
@@ -83,58 +66,54 @@ class TestObserverList:
         assert trace == sorted(trace)
         assert all(len(entry) == 3 for entry in trace)
 
+    def test_no_legacy_on_event_property(self):
+        # The deprecated single-slot `on_event` observer is gone; the
+        # list API is the only subscription surface.
+        assert not hasattr(Engine, "on_event")
 
-class TestDeprecatedOnEvent:
-    def test_getter_warns_deprecation(self):
-        engine = Engine()
-        with pytest.warns(DeprecationWarning, match="add_observer"):
-            engine.on_event
 
-    def test_setter_warns_deprecation(self):
-        engine = Engine()
-        with pytest.warns(DeprecationWarning, match="add_observer"):
-            engine.on_event = lambda event: None
-
-    def test_assignment_still_observes(self):
+class TestTraceObservers:
+    def test_batches_arrive_in_execution_order(self):
         engine = Engine()
         _schedule_three(engine)
-        seen = []
-        _assign_legacy(engine, lambda event: seen.append(event.time_s))
+        engine.at(0.001, lambda: None, control=True)
+        batches = []
+        engine.add_trace_observer(lambda keys: batches.append(list(keys)))
         engine.run()
-        assert seen == [0.001, 0.002, 0.003]
+        keys = [key for batch in batches for key in batch]
+        assert keys == sorted(keys)
+        assert len(keys) == 4
 
-    def test_getter_returns_assigned_observer(self):
-        engine = Engine()
-        assert _legacy(engine) is None
-        def observer(event):
-            pass
-        _assign_legacy(engine, observer)
-        assert _legacy(engine) is observer
-
-    def test_reassignment_replaces_only_the_legacy_slot(self):
+    def test_run_returns_with_trace_flushed(self):
         engine = Engine()
         _schedule_three(engine)
-        calls = []
-        engine.add_observer(lambda event: calls.append("listed"))
-        _assign_legacy(engine, lambda event: calls.append("old"))
-        _assign_legacy(engine, lambda event: calls.append("new"))
+        sink = []
+        engine.trace_to(sink)
+        engine.run(max_events=2)
+        assert len(sink) == 2
+        engine.run()
+        assert len(sink) == 3
+
+    def test_remove_trace_observer_stops_delivery(self):
+        engine = Engine()
+        _schedule_three(engine)
+        batches = []
+        def observer(keys):
+            batches.append(list(keys))
+        engine.add_trace_observer(observer)
         engine.run(max_events=1)
-        assert calls == ["listed", "new"]
+        engine.remove_trace_observer(observer)
+        engine.run()
+        assert sum(len(batch) for batch in batches) == 1
 
-    def test_assigning_none_clears_the_legacy_observer(self):
+    def test_trace_and_per_event_observers_agree(self):
         engine = Engine()
         _schedule_three(engine)
-        seen = []
-        _assign_legacy(engine, lambda event: seen.append(event.time_s))
-        _assign_legacy(engine, None)
+        per_event = []
+        engine.add_observer(
+            lambda event: per_event.append(
+                (event.time_s, event.priority, event.seq)))
+        traced = []
+        engine.trace_to(traced)
         engine.run()
-        assert seen == []
-        assert _legacy(engine) is None
-
-    def test_remove_observer_clears_legacy_slot_too(self):
-        engine = Engine()
-        def observer(event):
-            pass
-        _assign_legacy(engine, observer)
-        engine.remove_observer(observer)
-        assert _legacy(engine) is None
+        assert traced == per_event
